@@ -1,0 +1,47 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+Each benchmark isolates one PhoneBit optimization with the cost model:
+layer integration (Sec. V-B), branchless binarization (Sec. VI-C), packing
+word width (Sec. V-A2) and the workload rule (Sec. VI-B).
+"""
+
+from repro.analysis import ablations
+
+
+def test_ablation_layer_fusion(benchmark):
+    result = benchmark(ablations.fusion_ablation)
+    print()
+    print(result.table("Ablation — layer integration"))
+    fused = result.runtimes_ms["fused (PhoneBit)"]
+    unfused = result.runtimes_ms["unfused conv/BN/binarize"]
+    assert unfused > fused
+
+
+def test_ablation_branchless(benchmark):
+    result = benchmark(ablations.branchless_ablation)
+    print()
+    print(result.table("Ablation — branch divergence"))
+    assert result.runtimes_ms["divergent (Eqn. 8)"] > result.runtimes_ms["branchless (Eqn. 9)"]
+
+
+def test_ablation_packing_width(benchmark):
+    result = benchmark(ablations.packing_width_ablation)
+    print()
+    print(result.table("Ablation — packing word width"))
+    times = list(result.runtimes_ms.values())
+    assert times == sorted(times, reverse=True), "wider packing words must be faster"
+
+
+def test_ablation_workload_rule(benchmark):
+    result = benchmark(ablations.workload_rule_ablation)
+    print()
+    print(result.table("Ablation — workload rule (integrated packing)"))
+    assert (result.runtimes_ms["separate packing pass"]
+            >= result.runtimes_ms["integrated packing (<=256 ch)"])
+
+
+if __name__ == "__main__":
+    print(ablations.fusion_ablation().table("Ablation — layer integration"))
+    print(ablations.branchless_ablation().table("Ablation — branch divergence"))
+    print(ablations.packing_width_ablation().table("Ablation — packing word width"))
+    print(ablations.workload_rule_ablation().table("Ablation — workload rule"))

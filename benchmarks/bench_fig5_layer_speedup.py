@@ -1,0 +1,35 @@
+"""Figure 5 — per-layer speedup of PhoneBit over CNNdroid-GPU (YOLOv2-Tiny).
+
+The paper reports 23×/38×/62×/34×/43×/60×/42×/41×/3× for conv1…conv9 on the
+Snapdragon 855.  The benchmark regenerates the series and asserts its shape:
+the middle binary layers gain tens of ×, the bit-plane first layer gains
+less than the best middle layer, and the full-precision conv9 only gains a
+few ×.
+"""
+
+from repro.analysis import experiments
+
+
+def test_figure5_layer_speedup(benchmark):
+    figure = benchmark(experiments.figure5_layer_speedup)
+    print()
+    print(figure.chart())
+    speedups = figure.speedups
+
+    middle = [speedups[f"conv{i}"] for i in range(2, 9)]
+    assert min(middle) > 10, "middle binary layers should gain tens of x"
+    assert speedups["conv1"] < max(middle), "bit-plane conv1 gains less than middle layers"
+    assert speedups["conv9"] < 10, "float conv9 gains only a few x"
+    assert speedups["conv9"] == min(speedups.values())
+
+
+def test_figure5_on_snapdragon_820(benchmark, sd820):
+    figure = benchmark(experiments.figure5_layer_speedup, device=sd820)
+    print()
+    print(figure.chart())
+    assert figure.device == "Snapdragon 820"
+    assert figure.speedups["conv9"] == min(figure.speedups.values())
+
+
+if __name__ == "__main__":
+    print(experiments.figure5_layer_speedup().chart())

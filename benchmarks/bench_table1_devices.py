@@ -1,0 +1,26 @@
+"""Table I — mobile device configurations.
+
+Regenerates the device table from the simulator presets and benchmarks the
+preset construction (trivially fast; included for completeness so every
+table in the paper has a benchmark target).
+"""
+
+from repro.analysis import experiments
+
+
+def bench(benchmark=None):
+    result = experiments.table1_devices()
+    print()
+    print(result.table())
+    return result
+
+
+def test_table1_devices(benchmark):
+    result = benchmark(experiments.table1_devices)
+    print()
+    print(result.table())
+    assert {row["SOC"] for row in result.rows} == {"Snapdragon 820", "Snapdragon 855"}
+
+
+if __name__ == "__main__":
+    bench()

@@ -1,0 +1,47 @@
+"""Table III — average runtime (ms) on both SoCs under all six frameworks.
+
+Regenerates the full table (CNNdroid CPU/GPU, TFLite CPU/GPU/quant,
+PhoneBit × AlexNet/YOLOv2-Tiny/VGG16 × Snapdragon 820/855) and checks the
+shape properties the paper claims: PhoneBit wins everywhere it runs, the
+OOM/CRASH entries appear in the same cells, and the speedup factors are in
+the tens-to-hundreds range.
+"""
+
+from repro.analysis import experiments
+from repro.frameworks.registry import FRAMEWORK_ORDER
+
+
+def test_table3_runtime(benchmark):
+    table = benchmark(experiments.table3_runtime)
+    print()
+    print(table.table())
+
+    for device in ("Snapdragon 820", "Snapdragon 855"):
+        # Failure cells match the paper.
+        assert table.results[device]["VGG16"]["CNNdroid CPU"].status == "OOM"
+        assert table.results[device]["VGG16"]["CNNdroid GPU"].status == "OOM"
+        assert table.results[device]["VGG16"]["Tensorflow Lite GPU"].status == "CRASH"
+        assert table.results[device]["AlexNet"]["Tensorflow Lite GPU"].status == "CRASH"
+        assert table.results[device]["YOLOv2 Tiny"]["Tensorflow Lite GPU"].succeeded
+
+        # PhoneBit is the fastest framework on every model.
+        for model, per_framework in table.results[device].items():
+            phonebit = per_framework["PhoneBit"].runtime_ms
+            for name in FRAMEWORK_ORDER[:-1]:
+                result = per_framework[name]
+                if result.succeeded:
+                    assert result.runtime_ms > phonebit, (device, model, name)
+
+        speedups = table.speedups(device)
+        print(f"\nmean speedups of PhoneBit on {device}:")
+        for name, factor in speedups.items():
+            print(f"  vs {name:<24s} {factor:7.1f}x")
+        # Paper: ~794x vs CNNdroid CPU, ~35x vs CNNdroid GPU, ~6-15x vs TFLite.
+        assert speedups["CNNdroid CPU"] > 100
+        assert speedups["CNNdroid GPU"] > 10
+        assert speedups["Tensorflow Lite CPU"] > 3
+        assert speedups["Tensorflow Lite Quant"] > 1
+
+
+if __name__ == "__main__":
+    print(experiments.table3_runtime().table())

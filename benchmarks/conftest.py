@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` file regenerates one table or figure of the paper.  The
+pytest-benchmark fixture times the experiment driver itself (the analytic
+cost-model sweep), and every benchmark prints the regenerated table next to
+the paper's values so the shape comparison is visible in the benchmark log.
+"""
+
+import pytest
+
+from repro.gpusim.device import snapdragon_820, snapdragon_855
+
+
+@pytest.fixture(scope="session")
+def sd820():
+    return snapdragon_820()
+
+
+@pytest.fixture(scope="session")
+def sd855():
+    return snapdragon_855()
+
+
+def pytest_configure(config):
+    # Benchmarks live outside the default testpaths; make sure accidental
+    # collection of tests/ fixtures does not interfere.
+    config.addinivalue_line("markers", "table: benchmark regenerating a paper table")

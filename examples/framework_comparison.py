@@ -1,0 +1,40 @@
+"""Framework comparison: regenerate the paper's evaluation tables.
+
+Runs the Table II (model size), Table III (runtime across six framework
+configurations on both phones), Table IV (power / FPS-per-watt) and
+Figure 5 (per-layer speedup) experiments and prints them next to the
+paper's numbers.
+
+Run with:  python examples/framework_comparison.py
+"""
+
+from repro.analysis import ablations, experiments
+
+
+def main() -> None:
+    print(experiments.table1_devices().table())
+    print()
+    print(experiments.table2_model_size().table())
+    print()
+
+    table3 = experiments.table3_runtime()
+    print(table3.table())
+    print()
+    for device in ("Snapdragon 820", "Snapdragon 855"):
+        print(f"mean speedup of PhoneBit on {device}:")
+        for framework, factor in table3.speedups(device).items():
+            print(f"  vs {framework:<24s} {factor:8.1f}x")
+        print()
+
+    print(experiments.table4_energy().table())
+    print()
+    print(experiments.figure5_layer_speedup().chart())
+    print()
+
+    print(ablations.fusion_ablation().table("Ablation — layer integration"))
+    print()
+    print(ablations.packing_width_ablation().table("Ablation — packing word width"))
+
+
+if __name__ == "__main__":
+    main()

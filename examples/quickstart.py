@@ -1,0 +1,64 @@
+"""Quickstart: build a small BNN, run it with the PhoneBit engine.
+
+Mirrors the deployment flow of the paper's Fig. 2/Fig. 3 in a few lines:
+construct a network layer by layer (bit-plane input conv, fused binary
+convs, packed pooling, binary/float dense head), run one batch of 8-bit
+images, and read back both the classification output and the simulated
+on-device latency for the Snapdragon 855.
+
+Run with:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core.engine import PhoneBitEngine
+from repro.core.layers import (
+    BinaryConv2d,
+    BinaryDense,
+    Flatten,
+    InputConv2d,
+    MaxPool2d,
+)
+from repro.core.network import Network
+from repro.gpusim.device import snapdragon_855
+
+
+def build_network() -> Network:
+    """A small CIFAR-style BNN with the standard PhoneBit layer pattern."""
+    net = Network("quickstart-bnn", input_shape=(32, 32, 3), input_dtype="uint8")
+    net.add(InputConv2d(3, 32, 3, padding=1, rng=1, name="conv1"))
+    net.add(MaxPool2d(2, name="pool1"))
+    net.add(BinaryConv2d(32, 64, 3, padding=1, rng=2, name="conv2"))
+    net.add(MaxPool2d(2, name="pool2"))
+    net.add(BinaryConv2d(64, 128, 3, padding=1, rng=3, name="conv3"))
+    net.add(MaxPool2d(2, name="pool3"))
+    net.add(Flatten(name="flatten"))
+    net.add(BinaryDense(4 * 4 * 128, 256, rng=4, name="fc1"))
+    net.add(BinaryDense(256, 10, output_binary=False, rng=5, name="fc2"))
+    return net
+
+
+def main() -> None:
+    network = build_network()
+    print(network.summary())
+    print()
+
+    rng = np.random.default_rng(0)
+    images = rng.integers(0, 256, size=(4, 32, 32, 3)).astype(np.uint8)
+
+    engine = PhoneBitEngine(snapdragon_855())
+    report = engine.run(network, images)
+
+    predictions = np.argmax(report.output.data, axis=1)
+    print(f"predictions for the batch: {predictions.tolist()}")
+    print(f"simulated latency on {report.device_name}: {report.latency_ms:.2f} ms "
+          f"({report.fps:.1f} FPS)")
+    print(f"model size (compressed): {network.compressed_size_bytes() / 2**20:.2f} MiB, "
+          f"{network.compression_ratio():.1f}x smaller than float32")
+    print("\nper-layer simulated times (ms):")
+    for name, ms in report.layer_times_ms.items():
+        print(f"  {name:<10s} {ms:8.3f}")
+
+
+if __name__ == "__main__":
+    main()

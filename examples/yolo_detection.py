@@ -1,0 +1,62 @@
+"""Object detection with binarized YOLOv2-Tiny on synthetic VOC images.
+
+This example exercises the full detection pipeline the paper benchmarks:
+
+1. generate a synthetic VOC-style image (colored boxes on texture);
+2. build the binarized YOLOv2-Tiny architecture (bit-plane conv1, fused
+   binary conv2–conv8, full-precision conv9 head) at a reduced input size
+   so the functional NumPy pass is fast;
+3. run it with the PhoneBit engine and decode the raw 125-channel head into
+   boxes with :mod:`repro.models.yolo_head` (anchors, objectness, class
+   scores, non-maximum suppression);
+4. estimate the full-size (416×416) on-device latency for both phones.
+
+With synthetic weights the detections are of course meaningless; the point
+is that every stage — packing, fused binary convolution, packed pooling,
+float head, decode — runs end to end through the public API.
+
+Run with:  python examples/yolo_detection.py
+"""
+
+from repro.core.engine import PhoneBitEngine
+from repro.datasets.detection import synthetic_voc_detection
+from repro.frameworks.phonebit_runner import PhoneBitRunner
+from repro.gpusim.device import snapdragon_820, snapdragon_855
+from repro.models import build_phonebit_network, yolov2_tiny_config
+from repro.models.yolo_head import detect
+
+
+def main() -> None:
+    # --- functional pass at reduced resolution -----------------------------
+    input_size = 128
+    config = yolov2_tiny_config(input_size=input_size)
+    print(f"building binarized {config.name} at {input_size}x{input_size} "
+          f"(functional pass)...")
+    network = build_phonebit_network(config, rng=0)
+
+    sample = synthetic_voc_detection(count=1, image_size=input_size, seed=7)[0]
+    engine = PhoneBitEngine(snapdragon_855())
+    report = engine.run(network, sample.image[None, ...])
+    head = report.output.data[0]
+    detections = detect(head, score_threshold=0.30)
+
+    print(f"ground-truth objects: {[(b.class_index,) + b.corners(input_size) for b in sample.boxes]}")
+    print(f"decoded detections (synthetic weights, for pipeline demonstration):")
+    for detection in detections[:5]:
+        print(f"  class {detection.class_index:2d}  score {detection.score:.2f}  "
+              f"corners {detection.box.corners(input_size)}")
+    if not detections:
+        print("  (no detections above threshold — expected with random weights)")
+
+    # --- full-size latency estimate ----------------------------------------
+    print("\nfull-size (416x416) simulated latency:")
+    full_config = yolov2_tiny_config()
+    for device in (snapdragon_820(), snapdragon_855()):
+        result = PhoneBitRunner(device).run_model(full_config)
+        print(f"  {device.soc:<16s} {result.runtime_ms:7.1f} ms "
+              f"({1000.0 / result.runtime_ms:5.1f} FPS)")
+    print("  paper reports 42.1 ms (SD820) and 22.6 ms (SD855)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The project is configured through ``pyproject.toml``; this file exists so
+that legacy (non-PEP-660) editable installs keep working on environments
+whose setuptools cannot build editable wheels (e.g. offline machines without
+the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

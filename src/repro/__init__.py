@@ -1,0 +1,43 @@
+"""PhoneBit reproduction package.
+
+This package reproduces *PhoneBit: Efficient GPU-Accelerated Binary Neural
+Network Inference Engine for Mobile Phones* (DATE 2020).  It contains:
+
+``repro.core``
+    The PhoneBit inference engine itself: channel bit packing, binary
+    convolution via xor/popcount, bit-plane decomposition of the input
+    layer, conv+BN+binarize layer fusion and the branchless binarization
+    operator, together with the layer/network/engine/model-format APIs.
+
+``repro.gpusim``
+    A mobile-GPU simulator substrate (Adreno-class device presets, roofline
+    cost model, occupancy/latency-hiding, coalescing and divergence models,
+    and an energy model) standing in for the phones used in the paper.
+
+``repro.frameworks``
+    Cost-modeled baseline frameworks (CNNdroid CPU/GPU, TensorFlow Lite
+    CPU/GPU/quant) and the PhoneBit runner used in the paper's comparison.
+
+``repro.models`` / ``repro.datasets`` / ``repro.training``
+    The three benchmark networks (AlexNet, YOLOv2-Tiny, VGG16), synthetic
+    dataset generators and a straight-through-estimator BNN trainer.
+
+``repro.analysis``
+    Experiment drivers that regenerate every table and figure of the
+    paper's evaluation section.
+"""
+
+from repro.core.network import Network
+from repro.core.engine import PhoneBitEngine, InferenceReport
+from repro.gpusim.device import DeviceSpec, snapdragon_820, snapdragon_855
+
+__all__ = [
+    "Network",
+    "PhoneBitEngine",
+    "InferenceReport",
+    "DeviceSpec",
+    "snapdragon_820",
+    "snapdragon_855",
+]
+
+__version__ = "0.1.0"

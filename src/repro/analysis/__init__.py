@@ -1,0 +1,26 @@
+"""Experiment drivers and reporting for the paper's evaluation section.
+
+:mod:`repro.analysis.experiments` regenerates every table and figure:
+
+* Table I — device configurations (:func:`table1_devices`)
+* Table II — model size and accuracy (:func:`table2_model_size`,
+  :func:`table2_accuracy_proxy`)
+* Table III — runtime across frameworks and devices (:func:`table3_runtime`)
+* Table IV — power / energy efficiency (:func:`table4_energy`)
+* Figure 5 — per-layer speedup over CNNdroid GPU (:func:`figure5_layer_speedup`)
+* Ablations — fusion / branchless / packing width / workload rule
+  (:mod:`repro.analysis.ablations`)
+"""
+
+from repro.analysis.metrics import SpeedupSummary, speedup_summary
+from repro.analysis.reporting import format_table
+from repro.analysis import experiments
+from repro.analysis import ablations
+
+__all__ = [
+    "SpeedupSummary",
+    "speedup_summary",
+    "format_table",
+    "experiments",
+    "ablations",
+]

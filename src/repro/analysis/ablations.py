@@ -1,0 +1,129 @@
+"""Ablation studies of PhoneBit's design choices.
+
+DESIGN.md calls out four optimizations whose individual contribution the
+paper argues for but does not isolate; these ablations quantify each with
+the cost model:
+
+* **Layer integration** (Sec. V-B) — fused conv+BN+binarize kernel vs three
+  separate kernels with intermediate feature maps.
+* **Branchless binarization** (Sec. VI-C, Eqn. 9) — branch-free epilogue vs
+  the divergent four-way comparison of Eqn. 8.
+* **Bit-packing word width** (Sec. V-A2) — 8/16/32/64-bit packing words.
+* **Workload rule** (Sec. VI-B) — one thread computing 8 filters with
+  in-register packing vs a separate packing pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.analysis.reporting import format_table
+from repro.frameworks.phonebit_runner import PhoneBitRunner
+from repro.gpusim.cost_model import CostModel
+from repro.gpusim.device import DeviceSpec, snapdragon_855
+from repro.models import get_model_config
+
+
+@dataclass
+class AblationResult:
+    """Runtime of a model under several PhoneBit configurations."""
+
+    model: str
+    device: str
+    runtimes_ms: Dict[str, float]
+
+    def table(self, title: str) -> str:
+        baseline = next(iter(self.runtimes_ms.values()))
+        rows = [
+            [name, ms, f"{ms / baseline:.2f}x"]
+            for name, ms in self.runtimes_ms.items()
+        ]
+        return format_table(
+            ["configuration", "runtime (ms)", "vs default"],
+            rows,
+            title=f"{title} ({self.model}, {self.device})",
+            float_format="{:.2f}",
+        )
+
+
+def _runtime(runner: PhoneBitRunner, model: str) -> float:
+    result = runner.run_model(get_model_config(model))
+    if not result.succeeded:
+        raise RuntimeError(f"PhoneBit failed on {model}: {result.reason}")
+    return float(result.runtime_ms)
+
+
+def fusion_ablation(model: str = "YOLOv2 Tiny",
+                    device: DeviceSpec | None = None) -> AblationResult:
+    """Fused conv+BN+binarize kernels vs separate kernels."""
+    device = device or snapdragon_855()
+    fused = PhoneBitRunner(device, fused=True)
+    unfused = PhoneBitRunner(device, fused=False)
+    return AblationResult(
+        model=model,
+        device=device.soc,
+        runtimes_ms={
+            "fused (PhoneBit)": _runtime(fused, model),
+            "unfused conv/BN/binarize": _runtime(unfused, model),
+        },
+    )
+
+
+def branchless_ablation(model: str = "YOLOv2 Tiny",
+                        device: DeviceSpec | None = None) -> AblationResult:
+    """Branch-free Eqn. (9) epilogue vs the divergent Eqn. (8) check."""
+    device = device or snapdragon_855()
+    branchless = PhoneBitRunner(device, branchless=True)
+    divergent = PhoneBitRunner(device, branchless=False)
+    return AblationResult(
+        model=model,
+        device=device.soc,
+        runtimes_ms={
+            "branchless (Eqn. 9)": _runtime(branchless, model),
+            "divergent (Eqn. 8)": _runtime(divergent, model),
+        },
+    )
+
+
+def packing_width_ablation(model: str = "YOLOv2 Tiny",
+                           device: DeviceSpec | None = None,
+                           word_sizes: Sequence[int] = (8, 16, 32, 64)) -> AblationResult:
+    """Bit-packing word width sweep."""
+    device = device or snapdragon_855()
+    runtimes = {}
+    for word_size in word_sizes:
+        runner = PhoneBitRunner(device, word_size=word_size)
+        runtimes[f"{word_size}-bit words"] = _runtime(runner, model)
+    return AblationResult(model=model, device=device.soc, runtimes_ms=runtimes)
+
+
+def workload_rule_ablation(model: str = "YOLOv2 Tiny",
+                           device: DeviceSpec | None = None) -> AblationResult:
+    """Integrated binarize+pack in the conv thread vs a separate packing pass.
+
+    The rule is controlled by the channel-count limit; forcing the limit to
+    zero makes every layer use the separate packing kernel.
+    """
+    from repro.core import kernels as kern
+
+    device = device or snapdragon_855()
+    config = get_model_config(model)
+    runner = PhoneBitRunner(device)
+    cost_model = CostModel(device, runner.profile())
+
+    default_ms = cost_model.run_cost(runner.model_workloads(config)).total_ms
+    original_limit = kern.INTEGRATED_PACKING_LIMIT
+    try:
+        kern.INTEGRATED_PACKING_LIMIT = 0
+        separate_ms = cost_model.run_cost(runner.model_workloads(config)).total_ms
+    finally:
+        kern.INTEGRATED_PACKING_LIMIT = original_limit
+    return AblationResult(
+        model=model,
+        device=device.soc,
+        runtimes_ms={
+            "integrated packing (<=256 ch)": default_ms,
+            "separate packing pass": separate_ms,
+        },
+    )

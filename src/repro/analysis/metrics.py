@@ -1,0 +1,75 @@
+"""Derived metrics: speedups, compression ratios, accuracy deltas."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional
+
+
+@dataclass(frozen=True)
+class SpeedupSummary:
+    """Speedup statistics of PhoneBit against one baseline."""
+
+    baseline: str
+    per_model: Dict[str, float]
+
+    @property
+    def mean(self) -> float:
+        values = list(self.per_model.values())
+        return sum(values) / len(values) if values else float("nan")
+
+    @property
+    def maximum(self) -> float:
+        return max(self.per_model.values()) if self.per_model else float("nan")
+
+
+def speedup_summary(
+    baseline_name: str,
+    baseline_ms: Mapping[str, Optional[float]],
+    phonebit_ms: Mapping[str, Optional[float]],
+) -> SpeedupSummary:
+    """Per-model speedups of PhoneBit over a baseline (skips OOM/CRASH)."""
+    per_model: Dict[str, float] = {}
+    for model, base in baseline_ms.items():
+        ours = phonebit_ms.get(model)
+        if base is None or ours is None or ours <= 0:
+            continue
+        per_model[model] = base / ours
+    return SpeedupSummary(baseline=baseline_name, per_model=per_model)
+
+
+def compression_ratio(full_precision_mb: float, compressed_mb: float) -> float:
+    """Model-size compression ratio (Table II)."""
+    if compressed_mb <= 0:
+        raise ValueError("compressed size must be positive")
+    return full_precision_mb / compressed_mb
+
+
+def accuracy_drop(full_precision_accuracy: float, binary_accuracy: float) -> float:
+    """Accuracy lost by binarization, in percentage points."""
+    return full_precision_accuracy - binary_accuracy
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean (used to summarize speedups across models)."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return float("nan")
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def fps(runtime_ms: float) -> float:
+    """Frames per second for a per-frame latency."""
+    if runtime_ms <= 0:
+        raise ValueError("runtime must be positive")
+    return 1000.0 / runtime_ms
+
+
+def fps_per_watt(runtime_ms: float, power_mw: float) -> float:
+    """Energy efficiency metric of Table IV."""
+    if power_mw <= 0:
+        raise ValueError("power must be positive")
+    return fps(runtime_ms) / (power_mw / 1000.0)

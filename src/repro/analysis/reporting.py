@@ -1,0 +1,66 @@
+"""Plain-text table/figure rendering for the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+    float_format: str = "{:.1f}",
+) -> str:
+    """Render a list of rows as an aligned plain-text table."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(float_format.format(cell))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_bar_chart(
+    values: Mapping[str, float],
+    title: str | None = None,
+    width: int = 50,
+    unit: str = "x",
+) -> str:
+    """Render a mapping as a horizontal ASCII bar chart (Figure 5 style)."""
+    if not values:
+        return title or ""
+    maximum = max(values.values())
+    lines = []
+    if title:
+        lines.append(title)
+    label_width = max(len(label) for label in values)
+    for label, value in values.items():
+        bar_length = 0 if maximum <= 0 else int(round(width * value / maximum))
+        bar = "#" * bar_length
+        lines.append(f"{label.ljust(label_width)}  {value:6.1f}{unit}  {bar}")
+    return "\n".join(lines)
+
+
+def paper_vs_measured(
+    rows: Iterable[Sequence[object]],
+    headers: Sequence[str] = ("experiment", "paper", "measured"),
+    title: str | None = None,
+) -> str:
+    """Convenience wrapper for EXPERIMENTS.md style comparisons."""
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,110 @@
+"""Command-line interface for the PhoneBit reproduction.
+
+Usage (no console-script entry point is installed; invoke the module):
+
+    python -m repro.cli devices
+    python -m repro.cli sizes
+    python -m repro.cli runtime   [--model "YOLOv2 Tiny"] [--device sd855]
+    python -m repro.cli energy    [--model "YOLOv2 Tiny"] [--device sd820]
+    python -m repro.cli figure5   [--device sd855]
+    python -m repro.cli ablations
+    python -m repro.cli summary   <model.pbit>
+
+Each sub-command regenerates one of the paper's tables/figures or inspects a
+``.pbit`` model file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis import ablations, experiments
+from repro.gpusim.device import get_device
+
+
+def _add_device_argument(parser: argparse.ArgumentParser, default: str) -> None:
+    parser.add_argument(
+        "--device",
+        default=default,
+        help="device preset (snapdragon_820 / snapdragon_855 / sd820 / sd855)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the PhoneBit paper's evaluation tables and figures.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("devices", help="Table I — device configurations")
+    subparsers.add_parser("sizes", help="Table II — model sizes")
+
+    runtime = subparsers.add_parser("runtime", help="Table III — runtime comparison")
+    runtime.add_argument("--model", default=None,
+                         help="limit to one model (AlexNet / 'YOLOv2 Tiny' / VGG16)")
+
+    energy = subparsers.add_parser("energy", help="Table IV — power and FPS/W")
+    energy.add_argument("--model", default="YOLOv2 Tiny")
+    _add_device_argument(energy, "snapdragon_820")
+
+    figure5 = subparsers.add_parser("figure5", help="Figure 5 — per-layer speedup")
+    figure5.add_argument("--model", default="YOLOv2 Tiny")
+    _add_device_argument(figure5, "snapdragon_855")
+
+    subparsers.add_parser("ablations", help="fusion / branchless / packing ablations")
+
+    summary = subparsers.add_parser("summary", help="summarize a .pbit model file")
+    summary.add_argument("path", help="path to a .pbit file")
+    return parser
+
+
+def _command_runtime(model: Optional[str]) -> str:
+    models = (model,) if model else experiments.DEFAULT_MODELS
+    table = experiments.table3_runtime(models=models)
+    return table.table()
+
+
+def _command_summary(path: str) -> str:
+    from repro.core.model_format import load_network
+
+    network = load_network(path)
+    return network.summary()
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "devices":
+        output = experiments.table1_devices().table()
+    elif args.command == "sizes":
+        output = experiments.table2_model_size().table()
+    elif args.command == "runtime":
+        output = _command_runtime(args.model)
+    elif args.command == "energy":
+        output = experiments.table4_energy(
+            model=args.model, device=get_device(args.device)
+        ).table()
+    elif args.command == "figure5":
+        output = experiments.figure5_layer_speedup(
+            model=args.model, device=get_device(args.device)
+        ).chart()
+    elif args.command == "ablations":
+        output = "\n\n".join([
+            ablations.fusion_ablation().table("Ablation — layer integration"),
+            ablations.branchless_ablation().table("Ablation — branch divergence"),
+            ablations.packing_width_ablation().table("Ablation — packing word width"),
+            ablations.workload_rule_ablation().table("Ablation — workload rule"),
+        ])
+    elif args.command == "summary":
+        output = _command_summary(args.path)
+    else:  # pragma: no cover - argparse enforces the choices
+        raise SystemExit(2)
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Core PhoneBit engine: binary operators, layers, networks and the engine.
+
+The modules in this package implement the paper's operator-level
+optimizations as bit-exact NumPy kernels:
+
+* :mod:`repro.core.bitpack` — channel-dimension bit packing and packed
+  xor/popcount dot products (Sec. V-A).
+* :mod:`repro.core.binarize` — sign binarization and bit-plane splitting of
+  8-bit inputs (Sec. III-B).
+* :mod:`repro.core.binary_conv` — binary convolution via Eqn. (1) and the
+  first-layer bit-plane convolution via Eqn. (2).
+* :mod:`repro.core.fusion` — conv + batch-norm + binarize fusion into a
+  per-channel threshold (Eqns. 3–8).
+* :mod:`repro.core.branchless` — the branch-divergence-free binarization
+  ``(A xor B) or C`` of Eqn. (9).
+* :mod:`repro.core.layers` — the layer zoo used by the benchmark networks.
+* :mod:`repro.core.network`, :mod:`repro.core.engine` — network container
+  and the inference engine (functional execution + cost estimation).
+* :mod:`repro.core.model_format`, :mod:`repro.core.converter` — the
+  compressed ``.pbit`` model format and the float-model converter.
+"""
+
+from repro.core.tensor import Layout, Tensor
+from repro.core.network import Network
+from repro.core.engine import PhoneBitEngine
+
+__all__ = ["Layout", "Tensor", "Network", "PhoneBitEngine"]

@@ -1,0 +1,82 @@
+"""Sign binarization and bit-plane decomposition.
+
+Binarization follows Eqn. (7) of the paper: a value maps to bit 1 (meaning
++1) when it is greater than or equal to zero and to bit 0 (meaning −1)
+otherwise.
+
+The first convolution layer receives 8-bit integer images instead of ±1
+activations.  Following Sec. III-B the input ``I`` is split into bit-planes
+``I_n`` so that
+
+    s = Σ_{n=1..8} 2^{n−1} · <I_n · W>            (Eqn. 2)
+
+where ``<·>`` is a binary convolution between a unipolar bit-plane and the
+±1 weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def binarize_sign(values: np.ndarray) -> np.ndarray:
+    """Binarize values to bits: 1 where ``value >= 0``, else 0 (Eqn. 7)."""
+    return (np.asarray(values) >= 0).astype(np.uint8)
+
+
+def bits_to_values(bits: np.ndarray, dtype=np.float32) -> np.ndarray:
+    """Map bits back to ±1 values (bit 1 → +1, bit 0 → −1)."""
+    bits = np.asarray(bits)
+    if bits.size and (bits.min() < 0 or bits.max() > 1):
+        raise ValueError("expected an array of 0/1 bits")
+    return (2 * bits.astype(np.int8) - 1).astype(dtype)
+
+
+def values_to_bits(values: np.ndarray) -> np.ndarray:
+    """Map ±1 values to bits, validating that only ±1 occurs."""
+    values = np.asarray(values)
+    if values.size and not np.all(np.isin(values, (-1, 1))):
+        raise ValueError("expected an array of ±1 values")
+    return (values > 0).astype(np.uint8)
+
+
+def split_bitplanes(image: np.ndarray, bits: int = 8) -> np.ndarray:
+    """Split an unsigned integer image into its bit-planes.
+
+    Parameters
+    ----------
+    image:
+        Array of non-negative integers representable in ``bits`` bits
+        (typically a uint8 NHWC image).
+    bits:
+        Number of planes to extract.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of shape ``(bits,) + image.shape`` and dtype uint8 where plane
+        ``n`` (0-based) holds bit ``n`` of every pixel, i.e. the plane with
+        weight ``2**n`` in Eqn. (2).
+    """
+    image = np.asarray(image)
+    if image.dtype.kind not in "ui":
+        raise ValueError("bit-plane splitting requires an integer image")
+    if image.size and image.min() < 0:
+        raise ValueError("bit-plane splitting requires non-negative values")
+    if image.size and image.max() >= (1 << bits):
+        raise ValueError(f"image values do not fit in {bits} bits")
+    planes = [((image >> n) & 1).astype(np.uint8) for n in range(bits)]
+    return np.stack(planes, axis=0)
+
+
+def combine_bitplanes(planes: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`split_bitplanes`; returns an int32 image."""
+    planes = np.asarray(planes)
+    weights = (1 << np.arange(planes.shape[0], dtype=np.int64))
+    shaped = weights.reshape((-1,) + (1,) * (planes.ndim - 1))
+    return (planes.astype(np.int64) * shaped).sum(axis=0).astype(np.int32)
+
+
+def bitplane_weights(bits: int = 8) -> np.ndarray:
+    """Per-plane weights ``2**n`` used when recombining bit-plane convolutions."""
+    return (1 << np.arange(bits, dtype=np.int64)).astype(np.int64)

@@ -1,0 +1,291 @@
+"""Binary convolution kernels (Eqn. 1) and the bit-plane input convolution (Eqn. 2).
+
+All kernels operate on NHWC activations (the PhoneBit data layout) and store
+binary weights packed along the channel dimension, exactly as the OpenCL
+kernels in the paper do.  The functional results are bit-exact with a float
+reference convolution over ±1 values, which the test-suite verifies.
+
+Spatial zero padding pads packed words with 0, i.e. padded pixels behave as
+all-(−1) activations.  The float reference used for verification therefore
+pads with −1 as well (``pad_value=-1``); this mirrors how a real BNN kernel
+treats padding when ``Len`` in Eqn. (1) is the full kernel volume.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import bitpack
+from repro.core.binarize import bitplane_weights, split_bitplanes
+from repro.core.tensor import conv_output_size, pad_spatial_nhwc
+
+#: Output-channel block size used when evaluating packed dot products; keeps
+#: the intermediate xor/popcount buffers small.
+_COUT_BLOCK = 64
+
+
+def im2col_nhwc(
+    x: np.ndarray,
+    kernel_size: int,
+    stride: int = 1,
+    padding: int = 0,
+    pad_value: float = 0.0,
+) -> np.ndarray:
+    """Extract convolution patches from an NHWC tensor.
+
+    Returns an array of shape ``(N, OH, OW, KH*KW*C)`` whose last axis is
+    ordered ``(kh, kw, c)`` — channels innermost, matching the NHWC layout
+    and therefore the packed-word ordering.
+    """
+    x = np.asarray(x)
+    if x.ndim != 4:
+        raise ValueError(f"expected NHWC input, got shape {x.shape}")
+    n, h, w, c = x.shape
+    oh = conv_output_size(h, kernel_size, stride, padding)
+    ow = conv_output_size(w, kernel_size, stride, padding)
+    padded = pad_spatial_nhwc(x, padding, value=pad_value)
+    patches = np.empty((n, oh, ow, kernel_size, kernel_size, c), dtype=x.dtype)
+    for kh in range(kernel_size):
+        for kw in range(kernel_size):
+            h_end = kh + stride * oh
+            w_end = kw + stride * ow
+            patches[:, :, :, kh, kw, :] = padded[:, kh:h_end:stride, kw:w_end:stride, :]
+    return patches.reshape(n, oh, ow, kernel_size * kernel_size * c)
+
+
+def conv2d_float_nhwc(
+    x: np.ndarray,
+    weights: np.ndarray,
+    stride: int = 1,
+    padding: int = 0,
+    pad_value: float = 0.0,
+    bias: np.ndarray | None = None,
+) -> np.ndarray:
+    """Reference float convolution on NHWC activations.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, H, W, Cin)``.
+    weights:
+        Filter bank of shape ``(KH, KW, Cin, Cout)`` with ``KH == KW``.
+    stride, padding:
+        Convolution stride and symmetric spatial padding.
+    pad_value:
+        Value used for spatial padding (−1 when emulating binary padding).
+    bias:
+        Optional per-output-channel bias of shape ``(Cout,)``.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    kh, kw, cin, cout = weights.shape
+    if kh != kw:
+        raise ValueError("only square kernels are supported")
+    patches = im2col_nhwc(
+        np.asarray(x, dtype=np.float64), kh, stride, padding, pad_value
+    )
+    flat_w = weights.reshape(kh * kw * cin, cout)
+    out = patches @ flat_w
+    if bias is not None:
+        out = out + np.asarray(bias, dtype=np.float64)
+    return out
+
+
+def pack_weights(weight_bits: np.ndarray, word_size: int = 64) -> np.ndarray:
+    """Pack binary filter weights along the input-channel dimension.
+
+    Parameters
+    ----------
+    weight_bits:
+        Bits of shape ``(KH, KW, Cin, Cout)`` (1 ↦ +1, 0 ↦ −1).
+    word_size:
+        Packing word width.
+
+    Returns
+    -------
+    numpy.ndarray
+        Packed filters of shape ``(Cout, KH, KW, ceil(Cin/word_size))``.
+    """
+    weight_bits = np.asarray(weight_bits)
+    if weight_bits.ndim != 4:
+        raise ValueError(f"expected (KH, KW, Cin, Cout) bits, got {weight_bits.shape}")
+    packed = bitpack.pack_bits(weight_bits, word_size=word_size, axis=2)
+    return np.ascontiguousarray(np.transpose(packed, (3, 0, 1, 2)))
+
+
+def pack_activations(activation_bits: np.ndarray, word_size: int = 64) -> np.ndarray:
+    """Pack binarized NHWC activations along the channel dimension."""
+    activation_bits = np.asarray(activation_bits)
+    if activation_bits.ndim != 4:
+        raise ValueError(f"expected NHWC bits, got shape {activation_bits.shape}")
+    return bitpack.pack_bits(activation_bits, word_size=word_size, axis=3)
+
+
+def _blocked_dot(
+    patches: np.ndarray,
+    filters: np.ndarray,
+    combine,
+) -> np.ndarray:
+    """Apply a packed-word reduction between every patch and every filter.
+
+    ``patches`` has shape ``(P, K)``, ``filters`` has shape ``(Cout, K)``;
+    ``combine(p_block, f_block)`` receives broadcastable packed-word blocks
+    and must reduce the trailing word axis, returning ``(p, cout)`` int64.
+    """
+    n_patches = patches.shape[0]
+    n_filters = filters.shape[0]
+    out = np.empty((n_patches, n_filters), dtype=np.int64)
+    for start in range(0, n_filters, _COUT_BLOCK):
+        stop = min(start + _COUT_BLOCK, n_filters)
+        block = filters[start:stop]
+        out[:, start:stop] = combine(patches[:, None, :], block[None, :, :])
+    return out
+
+
+def binary_conv2d_packed(
+    x_packed: np.ndarray,
+    weights_packed: np.ndarray,
+    true_channels: int,
+    kernel_size: int,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Binary convolution on packed activations and filters — Eqn. (1).
+
+    Parameters
+    ----------
+    x_packed:
+        Packed NHWC activations of shape ``(N, H, W, Wc)``.
+    weights_packed:
+        Packed filters of shape ``(Cout, KH, KW, Wc)`` from :func:`pack_weights`.
+    true_channels:
+        Unpadded input channel count ``Cin``.
+    kernel_size, stride, padding:
+        Convolution geometry.
+
+    Returns
+    -------
+    numpy.ndarray
+        Integer pre-activations ``x1`` of shape ``(N, OH, OW, Cout)``; each
+        value equals the ±1 dot product over the kernel volume.
+    """
+    x_packed = np.asarray(x_packed)
+    weights_packed = np.asarray(weights_packed)
+    cout = weights_packed.shape[0]
+    n = x_packed.shape[0]
+    patches = im2col_nhwc(x_packed, kernel_size, stride, padding, pad_value=0)
+    _, oh, ow, k = patches.shape
+    flat_patches = patches.reshape(-1, k)
+    flat_filters = weights_packed.reshape(cout, -1)
+    if flat_filters.shape[1] != k:
+        raise ValueError("activation and filter packing widths do not match")
+    length = kernel_size * kernel_size * true_channels
+
+    def combine(p_block, f_block):
+        disagree = bitpack.popcount(np.bitwise_xor(p_block, f_block)).sum(
+            axis=-1, dtype=np.int64
+        )
+        return length - 2 * disagree
+
+    out = _blocked_dot(flat_patches, flat_filters, combine)
+    return out.reshape(n, oh, ow, cout)
+
+
+def binary_conv2d_reference(
+    x_bits: np.ndarray,
+    weight_bits: np.ndarray,
+    kernel_size: int,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Float reference for :func:`binary_conv2d_packed` (±1 arithmetic)."""
+    x_values = 2.0 * np.asarray(x_bits, dtype=np.float64) - 1.0
+    w_values = 2.0 * np.asarray(weight_bits, dtype=np.float64) - 1.0
+    out = conv2d_float_nhwc(
+        x_values, w_values, stride=stride, padding=padding, pad_value=-1.0
+    )
+    return np.rint(out).astype(np.int64)
+
+
+def input_conv2d_bitplanes(
+    image: np.ndarray,
+    weights_packed: np.ndarray,
+    true_channels: int,
+    kernel_size: int,
+    stride: int = 1,
+    padding: int = 0,
+    input_bits: int = 8,
+    word_size: int | None = None,
+) -> np.ndarray:
+    """First-layer convolution of an integer image with binary weights (Eqn. 2).
+
+    The 8-bit image is split into bit-planes; each unipolar plane is packed
+    and convolved with the ±1 weights using the and/popcount dot product,
+    then the plane results are recombined with their power-of-two weights.
+
+    Parameters
+    ----------
+    image:
+        Unsigned integer NHWC image of shape ``(N, H, W, Cin)``.
+    weights_packed:
+        Packed ±1 filters of shape ``(Cout, KH, KW, Wc)``.
+    true_channels:
+        Unpadded input channel count (3 for RGB images).
+    input_bits:
+        Bit width of the integer input (8 for uint8 images).
+    word_size:
+        Packing word width used for the activations; inferred from the
+        packed weights when omitted.
+
+    Returns
+    -------
+    numpy.ndarray
+        Integer pre-activations of shape ``(N, OH, OW, Cout)`` equal to the
+        exact integer convolution ``I · W``.
+    """
+    image = np.asarray(image)
+    weights_packed = np.asarray(weights_packed)
+    if word_size is None:
+        word_size = weights_packed.dtype.itemsize * 8
+    planes = split_bitplanes(image, bits=input_bits)
+    weights = bitplane_weights(input_bits)
+    cout = weights_packed.shape[0]
+    flat_filters = weights_packed.reshape(cout, -1)
+    out = None
+    for plane_index in range(input_bits):
+        plane_packed = pack_activations(planes[plane_index], word_size=word_size)
+        patches = im2col_nhwc(plane_packed, kernel_size, stride, padding, pad_value=0)
+        n, oh, ow, k = patches.shape
+        flat_patches = patches.reshape(-1, k)
+        if flat_filters.shape[1] != k:
+            raise ValueError("activation and filter packing widths do not match")
+
+        def combine(p_block, f_block):
+            overlap = bitpack.popcount(np.bitwise_and(p_block, f_block)).sum(
+                axis=-1, dtype=np.int64
+            )
+            ones = bitpack.popcount(p_block).sum(axis=-1, dtype=np.int64)
+            return 2 * overlap - ones
+
+        plane_dot = _blocked_dot(flat_patches, flat_filters, combine)
+        contribution = plane_dot.reshape(n, oh, ow, cout) * int(weights[plane_index])
+        out = contribution if out is None else out + contribution
+    return out
+
+
+def input_conv2d_reference(
+    image: np.ndarray,
+    weight_bits: np.ndarray,
+    kernel_size: int,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Exact integer reference for :func:`input_conv2d_bitplanes`."""
+    w_values = 2.0 * np.asarray(weight_bits, dtype=np.float64) - 1.0
+    out = conv2d_float_nhwc(
+        np.asarray(image, dtype=np.float64),
+        w_values,
+        stride=stride,
+        padding=padding,
+        pad_value=0.0,
+    )
+    return np.rint(out).astype(np.int64)

@@ -1,0 +1,202 @@
+"""Channel-dimension bit packing and packed binary arithmetic.
+
+PhoneBit packs the bits of binarized activations and weights along the
+channel dimension into machine words (``uchar`` .. ``ulong`` and the OpenCL
+vector types built on top of them, Sec. V-A2).  A binary dot product between
+two packed vectors then reduces to ``xor`` + ``popcount`` (Eqn. 1):
+
+    a · b = Len − 2 · popcount(xor(a, b))
+
+where bit ``1`` encodes the value ``+1`` and bit ``0`` encodes ``−1`` and
+``Len`` is the *unpadded* vector length.  Channel counts that are not a
+multiple of the word size are zero-padded; because both operands share the
+padding, the padded bits xor to zero and never perturb the popcount.
+
+The first network layer receives 8-bit integer inputs rather than ±1 values.
+Its bit-planes are unipolar ({0, 1}); the dot product of a unipolar vector
+``x`` with a bipolar vector ``w`` uses ``and`` instead of ``xor``:
+
+    x · w = 2 · popcount(and(x, w)) − popcount(x)
+
+Both primitives are provided here, together with a vectorized SWAR popcount
+that works on any unsigned word width.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Word widths supported by the packing kernels, mirroring the OpenCL scalar
+#: types used by PhoneBit (uchar, ushort, uint, ulong).
+SUPPORTED_WORD_SIZES = (8, 16, 32, 64)
+
+_WORD_DTYPES = {
+    8: np.uint8,
+    16: np.uint16,
+    32: np.uint32,
+    64: np.uint64,
+}
+
+#: Per-byte popcount lookup table (the OpenCL kernels use the native
+#: ``popcount`` builtin; a 256-entry LUT is the NumPy equivalent).
+_POPCOUNT_TABLE = np.array(
+    [bin(i).count("1") for i in range(256)], dtype=np.uint8
+)
+
+
+def word_dtype(word_size: int) -> np.dtype:
+    """Return the NumPy dtype backing a packing word of ``word_size`` bits."""
+    try:
+        return np.dtype(_WORD_DTYPES[word_size])
+    except KeyError:
+        raise ValueError(
+            f"unsupported word size {word_size}; expected one of {SUPPORTED_WORD_SIZES}"
+        ) from None
+
+
+def words_per_channel(channels: int, word_size: int) -> int:
+    """Number of packing words needed to hold ``channels`` bits."""
+    if channels <= 0:
+        raise ValueError("channel count must be positive")
+    word_dtype(word_size)
+    return (channels + word_size - 1) // word_size
+
+
+def pack_bits(bits: np.ndarray, word_size: int = 64, axis: int = -1) -> np.ndarray:
+    """Pack an array of {0, 1} bits along ``axis`` into unsigned words.
+
+    Bits are packed little-endian within each word (bit ``i`` of the word
+    holds element ``i`` of the group), and the axis is zero-padded up to a
+    multiple of ``word_size``.
+
+    Parameters
+    ----------
+    bits:
+        Array whose values are 0 or 1 (any integer or boolean dtype).
+    word_size:
+        Packing word width in bits (8, 16, 32 or 64).
+    axis:
+        Axis along which to pack (the channel axis for NHWC tensors).
+
+    Returns
+    -------
+    numpy.ndarray
+        Array with the packed axis reduced by a factor of ``word_size``
+        (rounded up), of dtype ``uint{word_size}``.
+    """
+    dtype = word_dtype(word_size)
+    bits = np.asarray(bits)
+    if bits.size and (bits.min() < 0 or bits.max() > 1):
+        raise ValueError("pack_bits expects an array of 0/1 values")
+    bits = np.moveaxis(bits, axis, -1)
+    length = bits.shape[-1]
+    n_words = words_per_channel(length, word_size)
+    padded_len = n_words * word_size
+    if padded_len != length:
+        pad = np.zeros(bits.shape[:-1] + (padded_len - length,), dtype=bits.dtype)
+        bits = np.concatenate([bits, pad], axis=-1)
+    grouped = bits.reshape(bits.shape[:-1] + (n_words, word_size)).astype(np.uint64)
+    shifts = np.arange(word_size, dtype=np.uint64)
+    packed = (grouped << shifts).sum(axis=-1, dtype=np.uint64).astype(dtype)
+    return np.ascontiguousarray(np.moveaxis(packed, -1, axis))
+
+
+def unpack_bits(packed: np.ndarray, length: int, axis: int = -1) -> np.ndarray:
+    """Inverse of :func:`pack_bits`.
+
+    Parameters
+    ----------
+    packed:
+        Packed word array produced by :func:`pack_bits`.
+    length:
+        True (unpadded) number of bits to recover along ``axis``.
+    axis:
+        Axis holding the packed words.
+    """
+    packed = np.asarray(packed)
+    word_size = packed.dtype.itemsize * 8
+    word_dtype(word_size)
+    moved = np.moveaxis(packed, axis, -1).astype(np.uint64)
+    shifts = np.arange(word_size, dtype=np.uint64)
+    bits = (moved[..., None] >> shifts) & np.uint64(1)
+    bits = bits.reshape(moved.shape[:-1] + (moved.shape[-1] * word_size,))
+    bits = bits[..., :length].astype(np.uint8)
+    return np.ascontiguousarray(np.moveaxis(bits, -1, axis))
+
+
+def popcount(words: np.ndarray) -> np.ndarray:
+    """Per-element population count of an unsigned integer array."""
+    words = np.asarray(words)
+    if words.dtype.kind != "u":
+        raise ValueError("popcount expects an unsigned integer array")
+    contiguous = np.ascontiguousarray(words)
+    as_bytes = contiguous.view(np.uint8).reshape(words.shape + (words.dtype.itemsize,))
+    return _POPCOUNT_TABLE[as_bytes].sum(axis=-1, dtype=np.int64)
+
+
+def packed_xor_popcount(a: np.ndarray, b: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Sum of ``popcount(xor(a, b))`` along ``axis``."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.dtype != b.dtype:
+        raise ValueError("operands must share the same packed dtype")
+    return popcount(np.bitwise_xor(a, b)).sum(axis=axis, dtype=np.int64)
+
+
+def packed_dot_bipolar(a: np.ndarray, b: np.ndarray, length: int, axis: int = -1) -> np.ndarray:
+    """Binary (±1) dot product of two packed bit vectors — Eqn. (1).
+
+    Parameters
+    ----------
+    a, b:
+        Packed words with identical shapes and dtypes, where bit 1 encodes
+        +1 and bit 0 encodes −1.
+    length:
+        True (unpadded) vector length ``Len``.
+    axis:
+        Axis along which the packed words of a single vector lie.
+    """
+    disagree = packed_xor_popcount(a, b, axis=axis)
+    return length - 2 * disagree
+
+
+def packed_dot_unipolar(x: np.ndarray, w: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Dot product of a unipolar ({0,1}) packed vector with a bipolar one.
+
+    Used by the first-layer bit-plane convolution (Eqn. 2): ``x`` holds a
+    bit-plane of the 8-bit input, ``w`` holds ±1 weights packed as bits.
+
+        x · w = 2 · popcount(and(x, w)) − popcount(x)
+    """
+    x = np.asarray(x)
+    w = np.asarray(w)
+    if x.dtype != w.dtype:
+        raise ValueError("operands must share the same packed dtype")
+    overlap = popcount(np.bitwise_and(x, w)).sum(axis=axis, dtype=np.int64)
+    ones = popcount(x).sum(axis=axis, dtype=np.int64)
+    return 2 * overlap - ones
+
+
+def select_word_size(channels: int, preferred: int = 64) -> int:
+    """Pick the packing word width for a given channel count.
+
+    PhoneBit "selects the optimal bit packing strategy and computing kernel
+    according to channel dimensions" (Sec. V-A2): small channel counts use
+    narrow words to avoid wasting padding bits, larger ones use the widest
+    supported word.
+    """
+    if channels <= 0:
+        raise ValueError("channel count must be positive")
+    word_dtype(preferred)
+    for size in SUPPORTED_WORD_SIZES:
+        if size > preferred:
+            break
+        if channels <= size:
+            return size
+    return preferred
+
+
+def packing_efficiency(channels: int, word_size: int) -> float:
+    """Fraction of packed bits that carry real channel data (1.0 = no waste)."""
+    n_words = words_per_channel(channels, word_size)
+    return channels / float(n_words * word_size)

@@ -1,0 +1,117 @@
+"""Branch-divergence-free binarization (Sec. VI-C, Eqn. 9).
+
+Wavefronts on mobile GPUs serialize divergent branches, so the four-way
+comparison of Eqn. (8) is expensive.  The paper builds the truth table of
+Eqn. (8) over the three boolean inputs
+
+    A = (x1 < ξ),    B = (γ > 0),    C = (x1 == ξ)
+
+and simplifies it (Karnaugh map) to the branch-free expression
+
+    x4 = (A xor B) or C                            (Eqn. 9)
+
+which the OpenCL kernel evaluates with ``isless`` / ``isgreater`` /
+``isequal`` and bitwise ops.  This module provides the branchless operator,
+the truth table used to derive it, and an exhaustive equivalence check
+against Eqn. (8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.core.fusion import fused_binarize
+
+
+def branchless_binarize(
+    x1: np.ndarray, threshold: np.ndarray, gamma: np.ndarray
+) -> np.ndarray:
+    """Evaluate Eqn. (9): ``x4 = (A xor B) or C`` without branches.
+
+    Parameters
+    ----------
+    x1:
+        Raw binary-convolution output, shape ``(..., Cout)``.
+    threshold:
+        Per-channel thresholds ``ξ``.
+    gamma:
+        Per-channel batch-norm scales (only the sign is used).
+    """
+    x1 = np.asarray(x1, dtype=np.float64)
+    threshold = np.asarray(threshold, dtype=np.float64)
+    gamma = np.asarray(gamma, dtype=np.float64)
+    a = np.less(x1, threshold)
+    b = np.greater(gamma, 0)
+    c = np.equal(x1, threshold)
+    return (np.logical_xor(a, b) | c).astype(np.uint8)
+
+
+@dataclass(frozen=True)
+class TruthTableRow:
+    """One row of the Eqn. (8)/(9) truth table."""
+
+    a: bool
+    b: bool
+    c: bool
+    feasible: bool
+    eqn8: int
+    eqn9: int
+
+
+def truth_table() -> List[TruthTableRow]:
+    """Enumerate all combinations of (A, B, C) with both formulations.
+
+    Rows with ``A and C`` are infeasible (``x1 < ξ`` and ``x1 == ξ`` cannot
+    hold simultaneously); they are marked so and excluded from the
+    Karnaugh-map simplification, exactly as "don't care" terms.
+    """
+    rows: List[TruthTableRow] = []
+    for a in (False, True):
+        for b in (False, True):
+            for c in (False, True):
+                feasible = not (a and c)
+                if a:
+                    x1, xi = -1.0, 0.0
+                elif c:
+                    x1, xi = 0.0, 0.0
+                else:
+                    x1, xi = 1.0, 0.0
+                gamma = 1.0 if b else -1.0
+                eqn8 = int(
+                    fused_binarize(np.array([x1]), np.array([xi]), np.array([gamma]))[0]
+                ) if feasible else 0
+                eqn9 = int((a ^ b) or c)
+                rows.append(TruthTableRow(a, b, c, feasible, eqn8, eqn9))
+    return rows
+
+
+def formulations_equivalent() -> bool:
+    """Check Eqn. (9) reproduces Eqn. (8) on every feasible truth-table row."""
+    return all(row.eqn9 == row.eqn8 for row in truth_table() if row.feasible)
+
+
+def divergent_binarize(
+    x1: np.ndarray, threshold: np.ndarray, gamma: np.ndarray
+) -> np.ndarray:
+    """Scalar, branch-per-element evaluation of Eqn. (8).
+
+    This mirrors the naive divergent kernel a GPU would run without the
+    optimization; it exists for the ablation benchmarks and for equivalence
+    tests, not for speed.
+    """
+    x1 = np.asarray(x1, dtype=np.float64)
+    threshold = np.broadcast_to(np.asarray(threshold, dtype=np.float64), x1.shape)
+    gamma = np.broadcast_to(np.asarray(gamma, dtype=np.float64), x1.shape)
+    flat_x = x1.reshape(-1)
+    flat_t = threshold.reshape(-1)
+    flat_g = gamma.reshape(-1)
+    out = np.empty(flat_x.shape, dtype=np.uint8)
+    for i in range(flat_x.shape[0]):
+        if flat_g[i] > 0:
+            out[i] = 1 if flat_x[i] >= flat_t[i] else 0
+        else:
+            out[i] = 1 if flat_x[i] <= flat_t[i] else 0
+    return out.reshape(x1.shape)

@@ -1,0 +1,203 @@
+"""Conversion of trained float models into PhoneBit networks.
+
+The deployment flow of Fig. 2 starts from a model trained with an existing
+BNN training framework (float "latent" weights, batch-norm statistics) and
+converts it into the compressed PhoneBit format.  The converter here does
+the same:
+
+* latent float weights are binarized with the sign function;
+* batch-norm parameters and biases are folded into the fused thresholds
+  ``ξ`` (Eqn. 6) by the layer constructors;
+* full-precision layers (the first/last layers that BNNs keep in float, or
+  any layer explicitly marked non-binary) are carried over unchanged;
+* the result is a :class:`~repro.core.network.Network` that can be saved to
+  a ``.pbit`` file with :func:`repro.core.model_format.save_network`.
+
+The input is a list of :class:`LayerSpec` records, a framework-neutral
+description of a sequential model (the training module and the model zoo
+both produce it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.binarize import binarize_sign
+from repro.core.fusion import BatchNormParams
+from repro.core.layers import (
+    AvgPool2d,
+    BinaryConv2d,
+    BinaryDense,
+    Dense,
+    Flatten,
+    FloatConv2d,
+    InputConv2d,
+    MaxPool2d,
+)
+from repro.core.network import Network
+
+
+@dataclass
+class LayerSpec:
+    """Framework-neutral description of one layer of a trained model.
+
+    Attributes
+    ----------
+    kind:
+        One of ``"conv"``, ``"dense"``, ``"maxpool"``, ``"avgpool"``,
+        ``"flatten"``.
+    weights:
+        Float weights — ``(KH, KW, Cin, Cout)`` for conv, ``(In, Out)`` for
+        dense.  Ignored for pooling/flatten.
+    batchnorm:
+        Batch-norm parameters to fold (optional).
+    bias:
+        Per-output bias (optional).
+    binary:
+        Whether the layer should be binarized (weights → sign bits, output →
+        fused threshold).  Non-binary conv/dense layers stay float.
+    input_layer:
+        Marks the first layer, which receives 8-bit images and therefore
+        uses the bit-plane convolution.
+    output_binary:
+        Whether the layer's output feeds another binary layer (False for the
+        layer right before a float head).
+    stride, padding, pool_size, activation:
+        Usual geometry / activation attributes.
+    """
+
+    kind: str
+    weights: Optional[np.ndarray] = None
+    batchnorm: Optional[BatchNormParams] = None
+    bias: Optional[np.ndarray] = None
+    binary: bool = True
+    input_layer: bool = False
+    output_binary: bool = True
+    stride: int = 1
+    padding: int = 0
+    pool_size: int = 2
+    pool_stride: Optional[int] = None
+    pool_padding: int = 0
+    activation: Optional[str] = None
+    name: Optional[str] = None
+    extras: dict = field(default_factory=dict)
+
+
+def binarize_weights(weights: np.ndarray) -> np.ndarray:
+    """Binarize latent float weights to sign bits (≥ 0 → 1, < 0 → 0)."""
+    return binarize_sign(np.asarray(weights))
+
+
+def _convert_conv(spec: LayerSpec, word_size: int, name: str):
+    weights = np.asarray(spec.weights)
+    if weights.ndim != 4:
+        raise ValueError(f"conv layer {name!r} needs (KH, KW, Cin, Cout) weights")
+    kh, kw, cin, cout = weights.shape
+    if not spec.binary:
+        return FloatConv2d(
+            cin, cout, kh, stride=spec.stride, padding=spec.padding,
+            use_bias=spec.bias is not None, activation=spec.activation,
+            weights=weights, bias=spec.bias, name=name,
+        )
+    weight_bits = binarize_weights(weights)
+    cls = InputConv2d if spec.input_layer else BinaryConv2d
+    return cls(
+        cin, cout, kh, stride=spec.stride, padding=spec.padding,
+        word_size=word_size, output_binary=spec.output_binary,
+        weight_bits=weight_bits, batchnorm=spec.batchnorm, bias=spec.bias,
+        name=name,
+    )
+
+
+def _convert_dense(spec: LayerSpec, word_size: int, name: str):
+    weights = np.asarray(spec.weights)
+    if weights.ndim != 2:
+        raise ValueError(f"dense layer {name!r} needs (In, Out) weights")
+    n_in, n_out = weights.shape
+    if not spec.binary:
+        return Dense(
+            n_in, n_out, use_bias=spec.bias is not None,
+            activation=spec.activation, weights=weights, bias=spec.bias, name=name,
+        )
+    weight_bits = binarize_weights(weights)
+    return BinaryDense(
+        n_in, n_out, word_size=word_size, output_binary=spec.output_binary,
+        weight_bits=weight_bits, batchnorm=spec.batchnorm, bias=spec.bias, name=name,
+    )
+
+
+def convert_model(
+    name: str,
+    input_shape: tuple,
+    specs: Sequence[LayerSpec],
+    word_size: int = 64,
+    input_dtype: str = "uint8",
+    metadata: dict | None = None,
+) -> Network:
+    """Convert a trained sequential float model into a PhoneBit network."""
+    network = Network(name, input_shape=input_shape, input_dtype=input_dtype,
+                      metadata=metadata)
+    counters: dict = {}
+    for spec in specs:
+        counters[spec.kind] = counters.get(spec.kind, 0) + 1
+        layer_name = spec.name or f"{spec.kind}{counters[spec.kind]}"
+        if spec.kind == "conv":
+            network.add(_convert_conv(spec, word_size, layer_name))
+        elif spec.kind == "dense":
+            network.add(_convert_dense(spec, word_size, layer_name))
+        elif spec.kind == "maxpool":
+            network.add(
+                MaxPool2d(spec.pool_size, spec.pool_stride, padding=spec.pool_padding,
+                          name=layer_name)
+            )
+        elif spec.kind == "avgpool":
+            network.add(AvgPool2d(spec.pool_size, spec.pool_stride, name=layer_name))
+        elif spec.kind == "flatten":
+            network.add(Flatten(word_size=word_size, name=layer_name))
+        else:
+            raise ValueError(f"unknown layer kind {spec.kind!r}")
+    return network
+
+
+@dataclass
+class ConversionReport:
+    """Summary of a model conversion (for logging / examples)."""
+
+    network: Network
+    binary_layers: int
+    float_layers: int
+    compressed_mb: float
+    full_precision_mb: float
+
+    @property
+    def compression_ratio(self) -> float:
+        return self.full_precision_mb / self.compressed_mb if self.compressed_mb else float("inf")
+
+
+def convert_with_report(
+    name: str,
+    input_shape: tuple,
+    specs: Sequence[LayerSpec],
+    word_size: int = 64,
+    input_dtype: str = "uint8",
+) -> ConversionReport:
+    """Convert a model and compute the size statistics reported in Table II."""
+    network = convert_model(name, input_shape, specs, word_size=word_size,
+                            input_dtype=input_dtype)
+    binary_layers = sum(
+        1 for layer in network.layers
+        if isinstance(layer, (InputConv2d, BinaryConv2d, BinaryDense))
+    )
+    float_layers = sum(
+        1 for layer in network.layers if isinstance(layer, (FloatConv2d, Dense))
+    )
+    return ConversionReport(
+        network=network,
+        binary_layers=binary_layers,
+        float_layers=float_layers,
+        compressed_mb=network.compressed_size_bytes() / 2**20,
+        full_precision_mb=network.full_precision_size_bytes() / 2**20,
+    )

@@ -1,0 +1,233 @@
+"""The PhoneBit inference engine.
+
+The engine plays the role of the OpenCL runtime in the paper: it walks a
+:class:`~repro.core.network.Network`, executes each layer functionally (the
+bit-exact NumPy kernels) and/or emits the corresponding
+:class:`~repro.gpusim.kernel.KernelLaunch` descriptors to the mobile-GPU
+cost model to obtain the simulated on-device latency.
+
+Two usage modes:
+
+``run(network, batch)``
+    Execute the network on real data and return the output together with an
+    :class:`InferenceReport` (simulated latency, per-layer breakdown,
+    memory footprint).
+
+``estimate(network)``
+    Skip the functional execution and only produce the cost estimate —
+    used by the benchmark harness so full-size networks (VGG16 at 224²,
+    YOLOv2-Tiny at 416²) can be swept quickly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core import kernels as kern
+from repro.core.kernels import ConvGeometry
+from repro.core.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Binarize,
+    BinaryConv2d,
+    BinaryDense,
+    Dense,
+    Flatten,
+    FloatConv2d,
+    InputConv2d,
+    MaxPool2d,
+    Relu,
+    Softmax,
+)
+from repro.core.network import Network
+from repro.core.tensor import Tensor
+from repro.gpusim.cost_model import CostModel, EfficiencyProfile, RunCost
+from repro.gpusim.device import DeviceSpec, snapdragon_855
+from repro.gpusim.kernel import KernelLaunch, LayerWorkload, OpKind
+
+
+#: Efficiency profile of PhoneBit's hand-tuned OpenCL kernels.
+PHONEBIT_PROFILE = EfficiencyProfile(
+    name="phonebit",
+    compute_efficiency=0.80,
+    memory_efficiency=0.90,
+    launch_overhead_factor=1.0,
+    per_inference_overhead_s=1.5e-3,
+)
+
+
+@dataclass
+class InferenceReport:
+    """Result of running (or estimating) one inference."""
+
+    network_name: str
+    device_name: str
+    latency_ms: float
+    layer_times_ms: Dict[str, float]
+    run_cost: RunCost
+    output: Optional[Tensor] = None
+    peak_activation_bytes: float = 0.0
+    weight_bytes: float = 0.0
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def fps(self) -> float:
+        return 1000.0 / self.latency_ms if self.latency_ms > 0 else float("inf")
+
+
+class PhoneBitEngine:
+    """Inference engine combining functional execution with cost estimation."""
+
+    def __init__(
+        self,
+        device: DeviceSpec | None = None,
+        word_size: int = 64,
+        profile: EfficiencyProfile | None = None,
+        fused: bool = True,
+        branchless: bool = True,
+    ) -> None:
+        self.device = device or snapdragon_855()
+        self.word_size = word_size
+        self.profile = profile or PHONEBIT_PROFILE
+        self.fused = fused
+        self.branchless = branchless
+        self.cost_model = CostModel(self.device, self.profile)
+
+    # ----------------------------------------------------------- workloads
+    def _elementwise_workload(
+        self, name: str, layer_type: str, values: int, element_bytes: float,
+        op_kind: OpKind = OpKind.FP32,
+    ) -> LayerWorkload:
+        kernel = KernelLaunch(
+            name=f"{name}/{layer_type}",
+            work_items=max(values, 1),
+            ops_per_item=2,
+            bytes_read_per_item=element_bytes,
+            bytes_written_per_item=element_bytes,
+            op_kind=op_kind,
+            vector_width=4,
+        )
+        return LayerWorkload(layer_name=name, layer_type=layer_type, kernels=[kernel])
+
+    def network_workloads(self, network: Network) -> List[LayerWorkload]:
+        """Translate every layer of a network into kernel workloads."""
+        workloads: List[LayerWorkload] = []
+        packed_stream = False
+        for layer, in_shape, out_shape in network.layer_shapes():
+            if isinstance(layer, InputConv2d):
+                geometry = ConvGeometry(
+                    in_height=in_shape[0], in_width=in_shape[1],
+                    in_channels=layer.in_channels, out_channels=layer.out_channels,
+                    kernel_size=layer.kernel_size, stride=layer.stride,
+                    padding=layer.padding,
+                )
+                workloads.append(
+                    kern.phonebit_binary_conv_workload(
+                        layer.name, geometry, word_size=self.word_size,
+                        fused=self.fused, branchless=self.branchless,
+                        input_bitplanes=layer.input_bits,
+                        output_binary=layer.output_binary,
+                    )
+                )
+                packed_stream = layer.output_binary
+            elif isinstance(layer, BinaryConv2d):
+                geometry = ConvGeometry(
+                    in_height=in_shape[0], in_width=in_shape[1],
+                    in_channels=layer.in_channels, out_channels=layer.out_channels,
+                    kernel_size=layer.kernel_size, stride=layer.stride,
+                    padding=layer.padding,
+                )
+                workloads.append(
+                    kern.phonebit_binary_conv_workload(
+                        layer.name, geometry, word_size=self.word_size,
+                        fused=self.fused, branchless=self.branchless,
+                        output_binary=layer.output_binary,
+                    )
+                )
+                packed_stream = layer.output_binary
+            elif isinstance(layer, FloatConv2d):
+                geometry = ConvGeometry(
+                    in_height=in_shape[0], in_width=in_shape[1],
+                    in_channels=layer.in_channels, out_channels=layer.out_channels,
+                    kernel_size=layer.kernel_size, stride=layer.stride,
+                    padding=layer.padding,
+                )
+                workloads.append(kern.phonebit_float_conv_workload(layer.name, geometry))
+                packed_stream = False
+            elif isinstance(layer, (MaxPool2d, AvgPool2d)):
+                padding = getattr(layer, "padding", 0)
+                workloads.append(
+                    kern.phonebit_pool_workload(
+                        layer.name, in_shape[0], in_shape[1], in_shape[2],
+                        layer.pool_size, layer.stride, padding,
+                        packed=packed_stream and isinstance(layer, MaxPool2d),
+                        word_size=self.word_size,
+                    )
+                )
+            elif isinstance(layer, BinaryDense):
+                workloads.append(
+                    kern.phonebit_binary_dense_workload(
+                        layer.name, layer.in_features, layer.out_features,
+                        word_size=self.word_size,
+                        output_binary=layer.output_binary,
+                    )
+                )
+                packed_stream = layer.output_binary
+            elif isinstance(layer, Dense):
+                workloads.append(
+                    kern.phonebit_float_dense_workload(
+                        layer.name, layer.in_features, layer.out_features
+                    )
+                )
+                packed_stream = False
+            elif isinstance(layer, Binarize):
+                values = int(np.prod(out_shape))
+                workloads.append(
+                    self._elementwise_workload(
+                        layer.name, "binarize", values, 4.0, OpKind.BITWISE
+                    )
+                )
+                packed_stream = True
+            elif isinstance(layer, (BatchNorm2d, Relu, Softmax)):
+                values = int(np.prod(out_shape))
+                workloads.append(
+                    self._elementwise_workload(layer.name, type(layer).__name__.lower(),
+                                               values, 4.0)
+                )
+            elif isinstance(layer, Flatten):
+                # Pure view change; PhoneBit performs it during the next
+                # layer's indexing, so no kernel is emitted.
+                continue
+            else:
+                raise TypeError(
+                    f"engine does not know how to cost layer type {type(layer).__name__}"
+                )
+        return workloads
+
+    # ----------------------------------------------------------- estimation
+    def estimate(self, network: Network) -> InferenceReport:
+        """Estimate one-image inference latency without executing the math."""
+        workloads = self.network_workloads(network)
+        run_cost = self.cost_model.run_cost(workloads)
+        peak_activation = max((w.activation_bytes for w in workloads), default=0.0)
+        weight_bytes = sum(w.weight_bytes for w in workloads)
+        return InferenceReport(
+            network_name=network.name,
+            device_name=self.device.soc,
+            latency_ms=run_cost.total_ms,
+            layer_times_ms=run_cost.layer_times_ms(),
+            run_cost=run_cost,
+            peak_activation_bytes=peak_activation,
+            weight_bytes=weight_bytes,
+        )
+
+    # ----------------------------------------------------------- execution
+    def run(self, network: Network, batch: np.ndarray) -> InferenceReport:
+        """Execute the network on a batch and attach the cost estimate."""
+        output = network.forward(batch)
+        report = self.estimate(network)
+        report.output = output
+        return report

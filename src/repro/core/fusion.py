@@ -1,0 +1,144 @@
+"""Layer integration: fusing binary convolution, batch-norm and binarization.
+
+Section V-B of the paper shows that the three layers that normally follow
+each other in a BNN block — binary convolution (with bias ``b``), batch
+normalization (γ, β, µ, σ) and sign binarization — collapse into a single
+per-channel threshold test.  With ``x1`` the raw binary-convolution result:
+
+    x2 = x1 + b                                   (Eqn. 3)
+    x3 = γ · (x2 − µ) / σ + β                      (Eqn. 4)
+       = (γ / σ) · (x1 − ξ)                        (Eqn. 5)
+    ξ  = µ − β · σ / γ − b                         (Eqn. 6)
+    x4 = 1 if x3 ≥ 0 else 0                        (Eqn. 7)
+
+so the output bit only depends on how ``x1`` compares to ``ξ`` and on the
+sign of ``γ`` (Eqn. 8).  ``ξ`` is computed offline by the converter; at run
+time the fused operator is a single comparison per output value, which also
+removes the intermediate feature map writes between the three layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BatchNormParams:
+    """Learned batch-norm parameters and running statistics for one layer."""
+
+    gamma: np.ndarray
+    beta: np.ndarray
+    mean: np.ndarray
+    var: np.ndarray
+    eps: float = 1e-5
+
+    def __post_init__(self) -> None:
+        arrays = [np.asarray(a, dtype=np.float64) for a in
+                  (self.gamma, self.beta, self.mean, self.var)]
+        shape = arrays[0].shape
+        for arr in arrays[1:]:
+            if arr.shape != shape:
+                raise ValueError("batch-norm parameter shapes must match")
+        if np.any(arrays[3] < 0):
+            raise ValueError("variance must be non-negative")
+        object.__setattr__(self, "gamma", arrays[0])
+        object.__setattr__(self, "beta", arrays[1])
+        object.__setattr__(self, "mean", arrays[2])
+        object.__setattr__(self, "var", arrays[3])
+
+    @property
+    def sigma(self) -> np.ndarray:
+        """Standard deviation used by the normalization (includes eps)."""
+        return np.sqrt(self.var + self.eps)
+
+    @property
+    def channels(self) -> int:
+        return int(self.gamma.shape[0])
+
+
+def compute_threshold(bn: BatchNormParams, bias: np.ndarray | None = None) -> np.ndarray:
+    """Compute the fused threshold ``ξ = µ − β·σ/γ − b`` (Eqn. 6).
+
+    The paper's footnote notes that channels with ``γ = 0`` can be pruned
+    (network slimming); such channels are rejected here because the fused
+    comparison is undefined for them.
+    """
+    if np.any(bn.gamma == 0):
+        raise ValueError(
+            "fused threshold is undefined for channels with gamma == 0; "
+            "prune those channels before conversion"
+        )
+    if bias is None:
+        bias = np.zeros_like(bn.gamma)
+    bias = np.asarray(bias, dtype=np.float64)
+    if bias.shape != bn.gamma.shape:
+        raise ValueError("bias shape must match batch-norm channel count")
+    return bn.mean - bn.beta * bn.sigma / bn.gamma - bias
+
+
+def batchnorm_forward(x: np.ndarray, bn: BatchNormParams) -> np.ndarray:
+    """Unfused batch normalization over the channel (last) axis."""
+    x = np.asarray(x, dtype=np.float64)
+    return bn.gamma * (x - bn.mean) / bn.sigma + bn.beta
+
+
+def fused_binarize(
+    x1: np.ndarray, threshold: np.ndarray, gamma: np.ndarray
+) -> np.ndarray:
+    """Fused conv+BN+binarize output bits via the four-way test of Eqn. (8).
+
+    This is the *reference* (branchy) formulation; the production kernel
+    uses the branchless equivalent in :mod:`repro.core.branchless`.
+
+    Parameters
+    ----------
+    x1:
+        Raw binary-convolution output, shape ``(..., Cout)``.
+    threshold:
+        Per-channel thresholds ``ξ`` of shape ``(Cout,)``.
+    gamma:
+        Per-channel batch-norm scales (only their signs matter).
+    """
+    x1 = np.asarray(x1, dtype=np.float64)
+    threshold = np.asarray(threshold, dtype=np.float64)
+    gamma = np.asarray(gamma, dtype=np.float64)
+    positive = gamma > 0
+    bits = np.where(
+        positive,
+        (x1 >= threshold),
+        (x1 <= threshold),
+    )
+    return bits.astype(np.uint8)
+
+
+def unfused_block_reference(
+    x1: np.ndarray,
+    bn: BatchNormParams,
+    bias: np.ndarray | None = None,
+) -> np.ndarray:
+    """Reference pipeline: bias add → batch-norm → sign binarize (Eqns. 3–7).
+
+    Used by the tests to show the fused operator is exactly equivalent to
+    running the three layers separately.
+    """
+    x1 = np.asarray(x1, dtype=np.float64)
+    if bias is not None:
+        x1 = x1 + np.asarray(bias, dtype=np.float64)
+    x3 = batchnorm_forward(x1, bn)
+    return (x3 >= 0).astype(np.uint8)
+
+
+def fold_batchnorm_affine(bn: BatchNormParams, bias: np.ndarray | None = None):
+    """Fold batch-norm into an affine ``scale·x + offset`` for float layers.
+
+    The last layer of the benchmark networks stays in full precision; when
+    it is followed by batch-norm the converter folds the normalization into
+    a per-channel scale/offset pair instead of a binary threshold.
+    """
+    scale = bn.gamma / bn.sigma
+    if bias is None:
+        bias = np.zeros_like(bn.gamma)
+    offset = bn.beta - scale * (bn.mean - np.asarray(bias, dtype=np.float64))
+    return scale, offset

@@ -1,0 +1,527 @@
+"""Kernel workload builders.
+
+Each builder converts the geometry of one network layer into the
+:class:`~repro.gpusim.kernel.KernelLaunch` descriptors the cost model needs.
+Two families exist:
+
+* **PhoneBit kernels** — packed binary convolutions with fused
+  BN/binarization, bit-plane input convolution, packed max pooling, packed
+  dense layers and the float last layer.  They reflect every optimization of
+  Secs. V–VI: channel packing divides the inner-loop op count by the word
+  width, fusion folds three layers into one kernel (and removes the
+  intermediate feature-map traffic), the branchless epilogue avoids the
+  divergence penalty, and the workload rule decides whether binarize+pack
+  stays in the conv thread.
+
+* **Float / quantized kernels** — the same layers as a conventional
+  framework would run them (fp32/fp16/int8 direct convolution, separate
+  batch-norm and activation passes when the framework does not fuse).
+  The baseline frameworks in :mod:`repro.frameworks` build their workloads
+  from these.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.bitpack import words_per_channel
+from repro.core.tensor import conv_output_size
+from repro.gpusim.kernel import ExecutionUnit, KernelLaunch, LayerWorkload, OpKind
+
+#: Filters whose results a single PhoneBit thread binarizes and packs
+#: (Sec. VI-B, Fig. 4).
+FILTERS_PER_THREAD = 8
+
+#: Channel-count limit of the integrated binarize+pack workload rule.
+INTEGRATED_PACKING_LIMIT = 256
+
+#: Effective reuse factor of filter weights in the GPU cache hierarchy: each
+#: weight byte is fetched from DRAM roughly once per this many work items.
+WEIGHT_REUSE = 8
+
+#: Ops charged per packed word in the binary inner loop.  A 64-bit
+#: xor / popcount / accumulate triple executes as two 32-bit ALU operations
+#: each on Adreno-class GPUs, hence 6 ALU ops per packed word.
+OPS_PER_WORD = 6
+
+#: Ops charged per multiply-accumulate in float/quant inner loops.
+OPS_PER_MAC = 2
+
+
+@dataclass(frozen=True)
+class ConvGeometry:
+    """Geometry of a convolution layer instance."""
+
+    in_height: int
+    in_width: int
+    in_channels: int
+    out_channels: int
+    kernel_size: int
+    stride: int = 1
+    padding: int = 0
+
+    @property
+    def out_height(self) -> int:
+        return conv_output_size(self.in_height, self.kernel_size, self.stride, self.padding)
+
+    @property
+    def out_width(self) -> int:
+        return conv_output_size(self.in_width, self.kernel_size, self.stride, self.padding)
+
+    @property
+    def output_pixels(self) -> int:
+        return self.out_height * self.out_width
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulates of the equivalent float convolution."""
+        return (
+            self.output_pixels
+            * self.out_channels
+            * self.kernel_size
+            * self.kernel_size
+            * self.in_channels
+        )
+
+    @property
+    def weight_count(self) -> int:
+        return self.kernel_size * self.kernel_size * self.in_channels * self.out_channels
+
+    def output_shape(self) -> tuple:
+        return (self.out_height, self.out_width, self.out_channels)
+
+
+# --------------------------------------------------------------------------
+# PhoneBit (binary) kernels
+# --------------------------------------------------------------------------
+
+def phonebit_binary_conv_workload(
+    name: str,
+    geometry: ConvGeometry,
+    word_size: int = 64,
+    fused: bool = True,
+    branchless: bool = True,
+    input_bitplanes: int = 0,
+    output_binary: bool = True,
+) -> LayerWorkload:
+    """Workload of a PhoneBit binary convolution layer.
+
+    Parameters
+    ----------
+    name:
+        Layer name (also used for Fig. 5 per-layer reporting).
+    geometry:
+        Convolution geometry.
+    word_size:
+        Packing word width in bits.
+    fused:
+        Whether conv+BN+binarize run as one kernel (the PhoneBit default).
+        When False, separate batch-norm and binarize kernels are emitted and
+        the intermediate integer feature map is written to / read from
+        global memory (the ablation case).
+    branchless:
+        Whether the binarization epilogue uses the branch-free Eqn. (9).
+    input_bitplanes:
+        0 for a packed binary input; 8 for the first layer, which convolves
+        each bit-plane of the 8-bit input separately (Eqn. 2).
+    output_binary:
+        Whether the output is binarized+packed (False for a layer feeding a
+        float head, which writes float values instead).
+    """
+    g = geometry
+    if input_bitplanes:
+        # The first layer im2col-packs the whole K×K×Cin window of each
+        # bit-plane, so tiny channel counts (RGB inputs) do not waste most
+        # of every packing word.
+        window_bits = g.kernel_size * g.kernel_size * g.in_channels
+        words = words_per_channel(window_bits, word_size)
+    else:
+        words = words_per_channel(g.in_channels, word_size) * g.kernel_size * g.kernel_size
+    word_bytes = word_size // 8
+    planes = max(1, input_bitplanes)
+
+    filters_per_thread = FILTERS_PER_THREAD if output_binary else 1
+    integrated = g.out_channels <= INTEGRATED_PACKING_LIMIT and output_binary
+    work_items = g.output_pixels * math.ceil(g.out_channels / filters_per_thread)
+
+    inner_ops = planes * words * OPS_PER_WORD * filters_per_thread
+    epilogue_ops = filters_per_thread * (4 if branchless else 4)
+    pack_ops = filters_per_thread if integrated else 0
+    ops_per_item = inner_ops + epilogue_ops + pack_ops
+
+    patch_bytes = planes * words * word_bytes
+    weight_bytes = filters_per_thread * words * word_bytes / WEIGHT_REUSE
+    bytes_read = patch_bytes + weight_bytes
+    if output_binary:
+        bytes_written = filters_per_thread / 8.0 if integrated else 4.0 * filters_per_thread
+    else:
+        bytes_written = 4.0
+
+    conv_kernel = KernelLaunch(
+        name=f"{name}/fused-bconv" if fused else f"{name}/bconv",
+        work_items=work_items,
+        ops_per_item=ops_per_item if fused else inner_ops,
+        bytes_read_per_item=bytes_read,
+        bytes_written_per_item=bytes_written if fused else 4.0 * filters_per_thread,
+        op_kind=OpKind.BITWISE,
+        vector_width=4,
+        coalesced=True,
+        divergent=not branchless,
+        fused_layers=3 if fused else 1,
+        uses_private_packing=integrated,
+        metadata={"private_bytes": 8 * filters_per_thread + planes * words * word_bytes},
+    )
+
+    kernels = [conv_kernel]
+    output_values = g.output_pixels * g.out_channels
+    if not fused:
+        # Separate batch-norm and binarize passes over the int32 feature map.
+        kernels.append(
+            KernelLaunch(
+                name=f"{name}/batchnorm",
+                work_items=output_values,
+                ops_per_item=4,
+                bytes_read_per_item=4.0,
+                bytes_written_per_item=4.0,
+                op_kind=OpKind.FP32,
+                vector_width=4,
+            )
+        )
+        kernels.append(
+            KernelLaunch(
+                name=f"{name}/binarize",
+                work_items=output_values,
+                ops_per_item=2,
+                bytes_read_per_item=4.0,
+                bytes_written_per_item=1.0 / 8.0,
+                op_kind=OpKind.BITWISE,
+                vector_width=4,
+                divergent=not branchless,
+            )
+        )
+    elif not integrated and output_binary:
+        # Workload rule: channels above the limit pack in a separate kernel.
+        kernels.append(
+            KernelLaunch(
+                name=f"{name}/pack",
+                work_items=output_values // 8 or 1,
+                ops_per_item=8,
+                bytes_read_per_item=8.0,
+                bytes_written_per_item=1.0,
+                op_kind=OpKind.BITWISE,
+                vector_width=4,
+            )
+        )
+    if input_bitplanes:
+        # Bit-plane split of the integer input image (one pass over the input).
+        input_values = g.in_height * g.in_width * g.in_channels
+        kernels.insert(
+            0,
+            KernelLaunch(
+                name=f"{name}/bitplane-split",
+                work_items=input_values,
+                ops_per_item=2 * input_bitplanes,
+                bytes_read_per_item=1.0,
+                bytes_written_per_item=input_bitplanes / 8.0,
+                op_kind=OpKind.BITWISE,
+                vector_width=4,
+            ),
+        )
+
+    out_words = words_per_channel(g.out_channels, word_size)
+    activation_bytes = g.output_pixels * (
+        out_words * word_bytes if output_binary else 4 * g.out_channels
+    )
+    return LayerWorkload(
+        layer_name=name,
+        layer_type="binary_conv" if not input_bitplanes else "input_conv",
+        kernels=kernels,
+        activation_bytes=activation_bytes,
+        weight_bytes=g.weight_count / 8.0,
+    )
+
+
+def phonebit_float_conv_workload(name: str, geometry: ConvGeometry) -> LayerWorkload:
+    """Workload of the full-precision last layer under PhoneBit.
+
+    PhoneBit keeps the final prediction layer in float but vectorizes it
+    with the OpenCL ``dot`` builtin (the ~3× of Fig. 5 conv9).
+    """
+    g = geometry
+    work_items = g.output_pixels * g.out_channels
+    ops_per_item = OPS_PER_MAC * g.kernel_size * g.kernel_size * g.in_channels
+    bytes_read = 4.0 * g.kernel_size * g.kernel_size * g.in_channels * (1 + 1.0 / WEIGHT_REUSE)
+    kernel = KernelLaunch(
+        name=f"{name}/float-conv",
+        work_items=work_items,
+        ops_per_item=ops_per_item,
+        bytes_read_per_item=bytes_read,
+        bytes_written_per_item=4.0,
+        op_kind=OpKind.FP32,
+        vector_width=4,
+        coalesced=True,
+    )
+    return LayerWorkload(
+        layer_name=name,
+        layer_type="float_conv",
+        kernels=[kernel],
+        activation_bytes=4.0 * g.output_pixels * g.out_channels,
+        weight_bytes=4.0 * g.weight_count,
+    )
+
+
+def phonebit_pool_workload(
+    name: str,
+    in_height: int,
+    in_width: int,
+    channels: int,
+    pool_size: int,
+    stride: int,
+    padding: int = 0,
+    packed: bool = True,
+    word_size: int = 64,
+) -> LayerWorkload:
+    """Workload of a pooling layer over packed (or float) activations."""
+    oh = conv_output_size(in_height, pool_size, stride, padding)
+    ow = conv_output_size(in_width, pool_size, stride, padding)
+    if packed:
+        lanes = words_per_channel(channels, word_size)
+        element_bytes = word_size // 8
+        op_kind = OpKind.BITWISE
+    else:
+        lanes = channels
+        element_bytes = 4
+        op_kind = OpKind.FP32
+    work_items = oh * ow * lanes
+    window = pool_size * pool_size
+    kernel = KernelLaunch(
+        name=f"{name}/maxpool",
+        work_items=work_items,
+        ops_per_item=window,
+        bytes_read_per_item=float(window * element_bytes),
+        bytes_written_per_item=float(element_bytes),
+        op_kind=op_kind,
+        vector_width=4,
+    )
+    return LayerWorkload(
+        layer_name=name,
+        layer_type="pool",
+        kernels=[kernel],
+        activation_bytes=float(oh * ow * lanes * element_bytes),
+    )
+
+
+def phonebit_binary_dense_workload(
+    name: str,
+    in_features: int,
+    out_features: int,
+    word_size: int = 64,
+    output_binary: bool = True,
+) -> LayerWorkload:
+    """Workload of a fused binary fully connected layer."""
+    words = words_per_channel(in_features, word_size)
+    word_bytes = word_size // 8
+    filters_per_thread = FILTERS_PER_THREAD if output_binary else 1
+    work_items = math.ceil(out_features / filters_per_thread)
+    ops_per_item = words * OPS_PER_WORD * filters_per_thread + 4 * filters_per_thread
+    bytes_read = words * word_bytes * (1 + filters_per_thread)
+    bytes_written = filters_per_thread / 8.0 if output_binary else 4.0
+    kernel = KernelLaunch(
+        name=f"{name}/fused-bdense",
+        work_items=work_items,
+        ops_per_item=ops_per_item,
+        bytes_read_per_item=bytes_read,
+        bytes_written_per_item=bytes_written,
+        op_kind=OpKind.BITWISE,
+        vector_width=4,
+        fused_layers=3,
+    )
+    return LayerWorkload(
+        layer_name=name,
+        layer_type="binary_dense",
+        kernels=[kernel],
+        activation_bytes=float(out_features) / 8.0,
+        weight_bytes=in_features * out_features / 8.0,
+    )
+
+
+def phonebit_float_dense_workload(
+    name: str, in_features: int, out_features: int
+) -> LayerWorkload:
+    """Workload of the full-precision classifier head."""
+    kernel = KernelLaunch(
+        name=f"{name}/float-dense",
+        work_items=out_features,
+        ops_per_item=OPS_PER_MAC * in_features,
+        bytes_read_per_item=4.0 * in_features * (1 + 1.0 / WEIGHT_REUSE),
+        bytes_written_per_item=4.0,
+        op_kind=OpKind.FP32,
+        vector_width=4,
+    )
+    return LayerWorkload(
+        layer_name=name,
+        layer_type="float_dense",
+        kernels=[kernel],
+        activation_bytes=4.0 * out_features,
+        weight_bytes=4.0 * in_features * out_features,
+    )
+
+
+# --------------------------------------------------------------------------
+# Conventional (float / fp16 / int8) kernels for the baseline frameworks
+# --------------------------------------------------------------------------
+
+_PRECISION_BYTES = {
+    OpKind.FP32: 4.0,
+    OpKind.FP16: 2.0,
+    OpKind.INT8: 1.0,
+    OpKind.BITWISE: 0.125,
+}
+
+
+def float_conv_workload(
+    name: str,
+    geometry: ConvGeometry,
+    op_kind: OpKind = OpKind.FP32,
+    unit: ExecutionUnit = ExecutionUnit.GPU,
+    threads: int = 1,
+    fused_batchnorm: bool = True,
+    separate_activation: bool = False,
+    coalesced: bool = True,
+    weight_reuse: float = WEIGHT_REUSE,
+    input_reuse: float = 8.0,
+) -> LayerWorkload:
+    """Workload of a conventional convolution layer in a baseline framework.
+
+    ``input_reuse`` models how often the framework's tiling re-reads each
+    input value from DRAM: a well-tiled GEMM-based convolution touches each
+    input roughly once per tile (high reuse), a naive per-output-pixel
+    kernel re-reads the whole receptive field every time (reuse ≈ 1).
+    """
+    g = geometry
+    element_bytes = _PRECISION_BYTES[op_kind]
+    work_items = g.output_pixels * g.out_channels
+    ops_per_item = OPS_PER_MAC * g.kernel_size * g.kernel_size * g.in_channels
+    bytes_read = element_bytes * g.kernel_size * g.kernel_size * g.in_channels * (
+        1.0 / max(input_reuse, 1.0) + 1.0 / max(weight_reuse, 1.0)
+    )
+    kernels = [
+        KernelLaunch(
+            name=f"{name}/conv",
+            work_items=work_items,
+            ops_per_item=ops_per_item,
+            bytes_read_per_item=bytes_read,
+            bytes_written_per_item=element_bytes,
+            op_kind=op_kind,
+            vector_width=4 if unit is ExecutionUnit.CPU else 2,
+            coalesced=coalesced,
+            unit=unit,
+            threads=threads,
+        )
+    ]
+    if not fused_batchnorm:
+        kernels.append(
+            KernelLaunch(
+                name=f"{name}/batchnorm",
+                work_items=work_items,
+                ops_per_item=4,
+                bytes_read_per_item=element_bytes,
+                bytes_written_per_item=element_bytes,
+                op_kind=op_kind,
+                unit=unit,
+                threads=threads,
+                coalesced=coalesced,
+            )
+        )
+    if separate_activation:
+        kernels.append(
+            KernelLaunch(
+                name=f"{name}/activation",
+                work_items=work_items,
+                ops_per_item=1,
+                bytes_read_per_item=element_bytes,
+                bytes_written_per_item=element_bytes,
+                op_kind=op_kind,
+                unit=unit,
+                threads=threads,
+                coalesced=coalesced,
+            )
+        )
+    return LayerWorkload(
+        layer_name=name,
+        layer_type="conv",
+        kernels=kernels,
+        activation_bytes=element_bytes * g.output_pixels * g.out_channels,
+        weight_bytes=element_bytes * g.weight_count,
+    )
+
+
+def float_pool_workload(
+    name: str,
+    in_height: int,
+    in_width: int,
+    channels: int,
+    pool_size: int,
+    stride: int,
+    padding: int = 0,
+    op_kind: OpKind = OpKind.FP32,
+    unit: ExecutionUnit = ExecutionUnit.GPU,
+    threads: int = 1,
+    coalesced: bool = True,
+) -> LayerWorkload:
+    """Workload of a pooling layer in a baseline framework."""
+    element_bytes = _PRECISION_BYTES[op_kind]
+    oh = conv_output_size(in_height, pool_size, stride, padding)
+    ow = conv_output_size(in_width, pool_size, stride, padding)
+    work_items = oh * ow * channels
+    window = pool_size * pool_size
+    kernel = KernelLaunch(
+        name=f"{name}/pool",
+        work_items=work_items,
+        ops_per_item=window,
+        bytes_read_per_item=element_bytes * window,
+        bytes_written_per_item=element_bytes,
+        op_kind=op_kind,
+        unit=unit,
+        threads=threads,
+        coalesced=coalesced,
+    )
+    return LayerWorkload(
+        layer_name=name,
+        layer_type="pool",
+        kernels=[kernel],
+        activation_bytes=element_bytes * oh * ow * channels,
+    )
+
+
+def float_dense_workload(
+    name: str,
+    in_features: int,
+    out_features: int,
+    op_kind: OpKind = OpKind.FP32,
+    unit: ExecutionUnit = ExecutionUnit.GPU,
+    threads: int = 1,
+    coalesced: bool = True,
+    weight_reuse: float = 2.0,
+) -> LayerWorkload:
+    """Workload of a fully connected layer in a baseline framework."""
+    element_bytes = _PRECISION_BYTES[op_kind]
+    kernel = KernelLaunch(
+        name=f"{name}/dense",
+        work_items=out_features,
+        ops_per_item=OPS_PER_MAC * in_features,
+        bytes_read_per_item=element_bytes * in_features * (1 + 1.0 / max(weight_reuse, 1.0)),
+        bytes_written_per_item=element_bytes,
+        op_kind=op_kind,
+        unit=unit,
+        threads=threads,
+        coalesced=coalesced,
+    )
+    return LayerWorkload(
+        layer_name=name,
+        layer_type="dense",
+        kernels=[kernel],
+        activation_bytes=element_bytes * out_features,
+        weight_bytes=element_bytes * in_features * out_features,
+    )

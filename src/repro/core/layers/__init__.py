@@ -1,0 +1,31 @@
+"""Layer zoo for PhoneBit networks.
+
+Every layer consumes and produces :class:`repro.core.tensor.Tensor` objects
+so that binary layers can hand packed-word activations directly to their
+successors (the "layer overflow" the paper's fusion removes never
+materializes intermediate float maps).
+"""
+
+from repro.core.layers.base import Layer, ParamCount
+from repro.core.layers.conv import BinaryConv2d, FloatConv2d, InputConv2d
+from repro.core.layers.dense import BinaryDense, Dense
+from repro.core.layers.norm import BatchNorm2d
+from repro.core.layers.pooling import AvgPool2d, MaxPool2d
+from repro.core.layers.activation import Binarize, Flatten, Relu, Softmax
+
+__all__ = [
+    "Layer",
+    "ParamCount",
+    "InputConv2d",
+    "BinaryConv2d",
+    "FloatConv2d",
+    "BinaryDense",
+    "Dense",
+    "BatchNorm2d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "Binarize",
+    "Flatten",
+    "Relu",
+    "Softmax",
+]

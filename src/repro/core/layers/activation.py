@@ -1,0 +1,88 @@
+"""Activation and reshaping layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import bitpack
+from repro.core.binarize import binarize_sign
+from repro.core.layers.base import Layer
+from repro.core.tensor import Layout, Tensor
+
+
+class Binarize(Layer):
+    """Sign-binarize a float tensor and pack it along the channel dimension.
+
+    Used on the unfused execution path (the fused layers binarize inline).
+    """
+
+    def __init__(self, word_size: int = 64, name: str | None = None) -> None:
+        super().__init__(name)
+        self.word_size = word_size
+
+    def output_shape(self, input_shape: tuple) -> tuple:
+        return tuple(input_shape)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.packed:
+            return x
+        data = np.asarray(x.data)
+        bits = binarize_sign(data)
+        axis = data.ndim - 1
+        packed = bitpack.pack_bits(bits, word_size=self.word_size, axis=axis)
+        return Tensor(packed, Layout.NHWC, packed=True, true_channels=int(data.shape[-1]))
+
+
+class Flatten(Layer):
+    """Flatten spatial dimensions into a feature vector.
+
+    Packed binary tensors are flattened by unpacking, reordering to
+    (H, W, C) feature order and repacking, so that the bit order matches a
+    float network flattened the same way.
+    """
+
+    def __init__(self, word_size: int = 64, name: str | None = None) -> None:
+        super().__init__(name)
+        self.word_size = word_size
+
+    def output_shape(self, input_shape: tuple) -> tuple:
+        return (int(np.prod(input_shape)),)
+
+    def forward(self, x: Tensor) -> Tensor:
+        data = np.asarray(x.data)
+        batch = data.shape[0]
+        if not x.packed:
+            return Tensor(data.reshape(batch, -1), Layout.NHWC)
+        bits = bitpack.unpack_bits(data, x.true_channels, axis=-1)
+        flat_bits = bits.reshape(batch, -1)
+        packed = bitpack.pack_bits(flat_bits, word_size=self.word_size, axis=1)
+        return Tensor(packed, Layout.NHWC, packed=True,
+                      true_channels=int(flat_bits.shape[1]))
+
+
+class Relu(Layer):
+    """Rectified linear activation (float paths only)."""
+
+    def output_shape(self, input_shape: tuple) -> tuple:
+        return tuple(input_shape)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.packed:
+            raise ValueError(f"{self.name}: ReLU needs float activations")
+        return Tensor(np.maximum(np.asarray(x.data), 0.0), Layout.NHWC)
+
+
+class Softmax(Layer):
+    """Softmax over the last axis (classifier heads)."""
+
+    def output_shape(self, input_shape: tuple) -> tuple:
+        return tuple(input_shape)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.packed:
+            raise ValueError(f"{self.name}: softmax needs float activations")
+        data = np.asarray(x.data, dtype=np.float64)
+        shifted = data - data.max(axis=-1, keepdims=True)
+        exp = np.exp(shifted)
+        out = exp / exp.sum(axis=-1, keepdims=True)
+        return Tensor(out.astype(np.float32), Layout.NHWC)

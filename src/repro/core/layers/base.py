@@ -1,0 +1,74 @@
+"""Layer base class and parameter accounting.
+
+Parameter accounting distinguishes binary (1-bit) from full-precision
+(32-bit) and 8-bit parameters because Table II of the paper compares the
+compressed PhoneBit model size against the full-precision model size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.tensor import Tensor
+
+
+@dataclass(frozen=True)
+class ParamCount:
+    """Number of parameters held by a layer, split by storage precision."""
+
+    binary: int = 0
+    float32: int = 0
+    int8: int = 0
+
+    def __add__(self, other: "ParamCount") -> "ParamCount":
+        return ParamCount(
+            binary=self.binary + other.binary,
+            float32=self.float32 + other.float32,
+            int8=self.int8 + other.int8,
+        )
+
+    @property
+    def total(self) -> int:
+        """Total number of parameters regardless of precision."""
+        return self.binary + self.float32 + self.int8
+
+    @property
+    def compressed_bytes(self) -> int:
+        """Bytes when stored in PhoneBit's compressed format."""
+        return (self.binary + 7) // 8 + 4 * self.float32 + self.int8
+
+    @property
+    def full_precision_bytes(self) -> int:
+        """Bytes when every parameter is stored as float32."""
+        return 4 * self.total
+
+
+class Layer:
+    """Base class for all PhoneBit layers."""
+
+    def __init__(self, name: str | None = None) -> None:
+        self.name = name or self.__class__.__name__.lower()
+
+    def output_shape(self, input_shape: tuple) -> tuple:
+        """Shape (excluding batch) produced for a given input shape."""
+        raise NotImplementedError
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Functionally execute the layer on a batch tensor."""
+        raise NotImplementedError
+
+    def param_count(self) -> ParamCount:
+        """Parameter inventory for model-size accounting."""
+        return ParamCount()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"{self.__class__.__name__}(name={self.name!r})"
+
+
+def require_rng(rng: np.random.Generator | int | None) -> np.random.Generator:
+    """Normalize a seed / generator argument into a Generator."""
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)

@@ -1,0 +1,186 @@
+"""Dense (fully connected) layers: fused binary and full precision.
+
+``BinaryDense`` mirrors :class:`repro.core.layers.conv.BinaryConv2d` for
+1-D activations: the weight matrix is packed along the input-feature
+dimension, the dot product uses xor/popcount (Eqn. 1) and the output is
+binarized with the fused threshold of Eqn. (8)/(9).  ``Dense`` is the float
+classifier head kept at full precision (the last layer of the AlexNet and
+VGG16 benchmarks).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import bitpack
+from repro.core.binarize import binarize_sign
+from repro.core.branchless import branchless_binarize
+from repro.core.fusion import BatchNormParams, compute_threshold, fold_batchnorm_affine
+from repro.core.layers.base import Layer, ParamCount, require_rng
+from repro.core.tensor import Layout, Tensor
+
+
+def _default_batchnorm(features: int) -> BatchNormParams:
+    return BatchNormParams(
+        gamma=np.ones(features),
+        beta=np.zeros(features),
+        mean=np.zeros(features),
+        var=np.ones(features),
+    )
+
+
+class BinaryDense(Layer):
+    """Fused binary fully connected layer."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        word_size: int = 64,
+        output_binary: bool = True,
+        weight_bits: np.ndarray | None = None,
+        batchnorm: BatchNormParams | None = None,
+        bias: np.ndarray | None = None,
+        rng=None,
+        name: str | None = None,
+    ) -> None:
+        super().__init__(name)
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("feature counts must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.word_size = word_size
+        self.output_binary = output_binary
+
+        rng = require_rng(rng)
+        if weight_bits is None:
+            weight_bits = rng.integers(0, 2, size=(in_features, out_features), dtype=np.uint8)
+        weight_bits = np.asarray(weight_bits, dtype=np.uint8)
+        if weight_bits.shape != (in_features, out_features):
+            raise ValueError(
+                f"weight bits must have shape {(in_features, out_features)}, "
+                f"got {weight_bits.shape}"
+            )
+        self.weight_bits = weight_bits
+        # Pack along the input-feature dimension: (out_features, n_words).
+        self.weights_packed = np.ascontiguousarray(
+            bitpack.pack_bits(weight_bits, word_size=word_size, axis=0).T
+        )
+
+        self.batchnorm = batchnorm or _default_batchnorm(out_features)
+        if self.batchnorm.channels != out_features:
+            raise ValueError("batch-norm feature count must match out_features")
+        self.bias = (
+            np.zeros(out_features) if bias is None else np.asarray(bias, dtype=np.float64)
+        )
+        self.threshold = compute_threshold(self.batchnorm, self.bias)
+        self.gamma = self.batchnorm.gamma
+
+    def output_shape(self, input_shape: tuple) -> tuple:
+        features = int(np.prod(input_shape))
+        if features != self.in_features:
+            raise ValueError(
+                f"{self.name}: expected {self.in_features} input features, got {features}"
+            )
+        return (self.out_features,)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.packed:
+            if x.data.ndim != 2:
+                raise ValueError(f"{self.name}: packed input must be flattened first")
+            packed = x.data
+            features = x.true_channels
+        else:
+            data = np.asarray(x.data).reshape(x.data.shape[0], -1)
+            bits = binarize_sign(data)
+            packed = bitpack.pack_bits(bits, word_size=self.word_size, axis=1)
+            features = data.shape[1]
+        if features != self.in_features:
+            raise ValueError(
+                f"{self.name}: expected {self.in_features} input features, got {features}"
+            )
+        disagree = bitpack.popcount(
+            np.bitwise_xor(packed[:, None, :], self.weights_packed[None, :, :])
+        ).sum(axis=-1, dtype=np.int64)
+        x1 = self.in_features - 2 * disagree
+        if self.output_binary:
+            bits = branchless_binarize(x1, self.threshold, self.gamma)
+            out_packed = bitpack.pack_bits(bits, word_size=self.word_size, axis=1)
+            return Tensor(out_packed, Layout.NHWC, packed=True,
+                          true_channels=self.out_features)
+        scale, offset = fold_batchnorm_affine(self.batchnorm, self.bias)
+        values = scale * x1.astype(np.float64) + offset
+        return Tensor(values.astype(np.float32), Layout.NHWC)
+
+    def param_count(self) -> ParamCount:
+        binary = self.weight_bits.size + self.out_features
+        return ParamCount(binary=binary, float32=self.out_features)
+
+
+class Dense(Layer):
+    """Full-precision fully connected layer."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        use_bias: bool = True,
+        activation: str | None = None,
+        weights: np.ndarray | None = None,
+        bias: np.ndarray | None = None,
+        rng=None,
+        name: str | None = None,
+    ) -> None:
+        super().__init__(name)
+        if activation not in (None, "relu", "softmax"):
+            raise ValueError(f"unsupported activation {activation!r}")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.use_bias = use_bias
+        self.activation = activation
+
+        rng = require_rng(rng)
+        if weights is None:
+            weights = rng.standard_normal((in_features, out_features)) * np.sqrt(
+                2.0 / in_features
+            )
+        self.weights = np.asarray(weights, dtype=np.float32)
+        if self.weights.shape != (in_features, out_features):
+            raise ValueError(
+                f"weights must have shape {(in_features, out_features)}, "
+                f"got {self.weights.shape}"
+            )
+        self.bias = np.zeros(out_features, dtype=np.float32) if bias is None else np.asarray(
+            bias, dtype=np.float32
+        )
+
+    def output_shape(self, input_shape: tuple) -> tuple:
+        features = int(np.prod(input_shape))
+        if features != self.in_features:
+            raise ValueError(
+                f"{self.name}: expected {self.in_features} input features, got {features}"
+            )
+        return (self.out_features,)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.packed:
+            # A float head following a binary layer consumes the packed bits
+            # as ±1 values (the engine unpacks them on the fly).
+            bits = bitpack.unpack_bits(x.data, x.true_channels, axis=-1)
+            data = (2.0 * bits.astype(np.float64) - 1.0).reshape(x.data.shape[0], -1)
+        else:
+            data = np.asarray(x.data, dtype=np.float64).reshape(x.data.shape[0], -1)
+        out = data @ self.weights.astype(np.float64)
+        if self.use_bias:
+            out = out + self.bias
+        if self.activation == "relu":
+            out = np.maximum(out, 0.0)
+        elif self.activation == "softmax":
+            shifted = out - out.max(axis=1, keepdims=True)
+            exp = np.exp(shifted)
+            out = exp / exp.sum(axis=1, keepdims=True)
+        return Tensor(out.astype(np.float32), Layout.NHWC)
+
+    def param_count(self) -> ParamCount:
+        count = self.weights.size + (self.out_features if self.use_bias else 0)
+        return ParamCount(float32=int(count))

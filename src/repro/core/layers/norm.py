@@ -1,0 +1,53 @@
+"""Stand-alone batch normalization layer.
+
+In PhoneBit networks batch-norm is normally folded into the preceding binary
+convolution (Sec. V-B); this layer exists for the *unfused* execution path
+used by the baseline frameworks, the fusion ablation benchmark and the float
+reference networks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.fusion import BatchNormParams, batchnorm_forward
+from repro.core.layers.base import Layer, ParamCount
+from repro.core.tensor import Layout, Tensor
+
+
+class BatchNorm2d(Layer):
+    """Per-channel batch normalization over the last (channel) axis."""
+
+    def __init__(self, params: BatchNormParams, name: str | None = None) -> None:
+        super().__init__(name)
+        self.params = params
+
+    @classmethod
+    def identity(cls, channels: int, name: str | None = None) -> "BatchNorm2d":
+        """Identity normalization (γ=1, β=0, µ=0, σ²=1)."""
+        return cls(
+            BatchNormParams(
+                gamma=np.ones(channels),
+                beta=np.zeros(channels),
+                mean=np.zeros(channels),
+                var=np.ones(channels),
+            ),
+            name=name,
+        )
+
+    def output_shape(self, input_shape: tuple) -> tuple:
+        if input_shape[-1] != self.params.channels:
+            raise ValueError(
+                f"{self.name}: expected {self.params.channels} channels, "
+                f"got {input_shape[-1]}"
+            )
+        return tuple(input_shape)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.packed:
+            raise ValueError(f"{self.name}: batch-norm needs float activations")
+        out = batchnorm_forward(np.asarray(x.data, dtype=np.float64), self.params)
+        return Tensor(out.astype(np.float32), Layout.NHWC)
+
+    def param_count(self) -> ParamCount:
+        return ParamCount(float32=4 * self.params.channels)

@@ -1,0 +1,113 @@
+"""Pooling layers.
+
+Max pooling over binary (±1) activations has a convenient packed form: the
+maximum of a window is +1 as soon as any element is +1, so the packed-word
+implementation is a bitwise OR of the window's words.  PhoneBit exploits
+this to keep the activation stream packed between convolution layers.
+
+Average pooling operates on float activations only (it appears in the float
+heads of the benchmark networks).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.layers.base import Layer
+from repro.core.tensor import Layout, Tensor, conv_output_size, pad_spatial_nhwc
+
+
+def _pool_windows(data: np.ndarray, pool_size: int, stride: int):
+    """Yield (i, j, window) triples of pooling windows of an NHWC array."""
+    _, h, w, _ = data.shape
+    oh = conv_output_size(h, pool_size, stride, 0)
+    ow = conv_output_size(w, pool_size, stride, 0)
+    for i in range(oh):
+        for j in range(ow):
+            window = data[:, i * stride:i * stride + pool_size,
+                          j * stride:j * stride + pool_size, :]
+            yield i, j, window
+
+
+class MaxPool2d(Layer):
+    """Max pooling; packed binary inputs are pooled with bitwise OR.
+
+    ``padding`` pads spatially before pooling.  For packed binary inputs the
+    pad value is the all-zero word (every padded activation is −1), which is
+    the identity element of the binary max; for float inputs the pad value
+    is −inf so padded positions never win.
+    """
+
+    def __init__(self, pool_size: int = 2, stride: int | None = None,
+                 padding: int = 0, name: str | None = None) -> None:
+        super().__init__(name)
+        if pool_size <= 0:
+            raise ValueError("pool size must be positive")
+        self.pool_size = pool_size
+        self.stride = stride if stride is not None else pool_size
+        if self.stride <= 0:
+            raise ValueError("stride must be positive")
+        if padding < 0:
+            raise ValueError("padding must be non-negative")
+        self.padding = padding
+
+    def output_shape(self, input_shape: tuple) -> tuple:
+        h, w, c = input_shape
+        oh = conv_output_size(h, self.pool_size, self.stride, self.padding)
+        ow = conv_output_size(w, self.pool_size, self.stride, self.padding)
+        return (oh, ow, c)
+
+    def forward(self, x: Tensor) -> Tensor:
+        data = np.asarray(x.data)
+        if self.padding:
+            if x.packed:
+                data = pad_spatial_nhwc(data, self.padding, value=0)
+            elif data.dtype.kind == "f":
+                data = pad_spatial_nhwc(data, self.padding, value=-np.inf)
+            else:
+                data = pad_spatial_nhwc(
+                    data, self.padding, value=np.iinfo(data.dtype).min
+                )
+        n, h, w, c = data.shape
+        oh = conv_output_size(h, self.pool_size, self.stride, 0)
+        ow = conv_output_size(w, self.pool_size, self.stride, 0)
+        out = np.empty((n, oh, ow, c), dtype=data.dtype)
+        for i, j, window in _pool_windows(data, self.pool_size, self.stride):
+            flat = window.reshape(n, -1, c)
+            if x.packed:
+                out[:, i, j, :] = np.bitwise_or.reduce(flat, axis=1)
+            else:
+                out[:, i, j, :] = flat.max(axis=1)
+        return Tensor(out, Layout.NHWC, packed=x.packed, true_channels=x.true_channels)
+
+
+class AvgPool2d(Layer):
+    """Average pooling on float activations."""
+
+    def __init__(self, pool_size: int = 2, stride: int | None = None,
+                 name: str | None = None) -> None:
+        super().__init__(name)
+        if pool_size <= 0:
+            raise ValueError("pool size must be positive")
+        self.pool_size = pool_size
+        self.stride = stride if stride is not None else pool_size
+        if self.stride <= 0:
+            raise ValueError("stride must be positive")
+
+    def output_shape(self, input_shape: tuple) -> tuple:
+        h, w, c = input_shape
+        oh = conv_output_size(h, self.pool_size, self.stride, 0)
+        ow = conv_output_size(w, self.pool_size, self.stride, 0)
+        return (oh, ow, c)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.packed:
+            raise ValueError(f"{self.name}: average pooling needs float activations")
+        data = np.asarray(x.data, dtype=np.float64)
+        n, h, w, c = data.shape
+        oh = conv_output_size(h, self.pool_size, self.stride, 0)
+        ow = conv_output_size(w, self.pool_size, self.stride, 0)
+        out = np.empty((n, oh, ow, c), dtype=np.float32)
+        for i, j, window in _pool_windows(data, self.pool_size, self.stride):
+            out[:, i, j, :] = window.reshape(n, -1, c).mean(axis=1)
+        return Tensor(out, Layout.NHWC)

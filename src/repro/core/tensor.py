@@ -1,0 +1,137 @@
+"""Tensor layout utilities.
+
+PhoneBit stores activations in NHWC ("row-major order with interleaved
+channels", Sec. V-A1) so that channel-wise bit packing and coalesced memory
+access both happen along the innermost dimension.  Mainstream frameworks
+(Caffe, Torch) default to NCHW; the converter therefore needs cheap and
+explicit layout conversion.
+
+The :class:`Tensor` wrapper is intentionally thin: it carries a NumPy array,
+a :class:`Layout` tag and (for packed binary tensors) the true channel count
+before word padding.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class Layout(enum.Enum):
+    """Memory layout of a 4-D activation tensor."""
+
+    NHWC = "NHWC"
+    NCHW = "NCHW"
+
+    @property
+    def channel_axis(self) -> int:
+        """Axis index that holds the channel dimension."""
+        return 3 if self is Layout.NHWC else 1
+
+
+def nchw_to_nhwc(array: np.ndarray) -> np.ndarray:
+    """Transpose a 4-D NCHW array to NHWC."""
+    if array.ndim != 4:
+        raise ValueError(f"expected a 4-D tensor, got shape {array.shape}")
+    return np.ascontiguousarray(np.transpose(array, (0, 2, 3, 1)))
+
+
+def nhwc_to_nchw(array: np.ndarray) -> np.ndarray:
+    """Transpose a 4-D NHWC array to NCHW."""
+    if array.ndim != 4:
+        raise ValueError(f"expected a 4-D tensor, got shape {array.shape}")
+    return np.ascontiguousarray(np.transpose(array, (0, 3, 1, 2)))
+
+
+def convert_layout(array: np.ndarray, src: Layout, dst: Layout) -> np.ndarray:
+    """Convert ``array`` from layout ``src`` to layout ``dst``."""
+    if src is dst:
+        return array
+    if src is Layout.NCHW and dst is Layout.NHWC:
+        return nchw_to_nhwc(array)
+    return nhwc_to_nchw(array)
+
+
+@dataclass
+class Tensor:
+    """A NumPy array tagged with its layout.
+
+    Parameters
+    ----------
+    data:
+        The underlying array.  4-D activation tensors follow ``layout``;
+        other ranks (e.g. flattened dense activations) ignore it.
+    layout:
+        Memory layout of ``data`` when 4-D.
+    packed:
+        True when the channel dimension holds packed binary words rather
+        than individual values.
+    true_channels:
+        Number of valid channels before word padding (only meaningful when
+        ``packed`` is True).
+    """
+
+    data: np.ndarray
+    layout: Layout = Layout.NHWC
+    packed: bool = False
+    true_channels: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        self.data = np.asarray(self.data)
+        if self.packed and self.true_channels <= 0:
+            raise ValueError("packed tensors must record their true channel count")
+
+    @property
+    def shape(self) -> tuple:
+        return tuple(self.data.shape)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes occupied by the payload."""
+        return int(self.data.nbytes)
+
+    @property
+    def channels(self) -> int:
+        """Logical channel count (unpadded for packed tensors)."""
+        if self.packed:
+            return self.true_channels
+        if self.data.ndim == 4:
+            return int(self.data.shape[self.layout.channel_axis])
+        return int(self.data.shape[-1])
+
+    def to_layout(self, layout: Layout) -> "Tensor":
+        """Return a copy of this tensor converted to ``layout``."""
+        if self.data.ndim != 4 or layout is self.layout:
+            return Tensor(self.data, layout, self.packed, self.true_channels)
+        converted = convert_layout(self.data, self.layout, layout)
+        return Tensor(converted, layout, self.packed, self.true_channels)
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array."""
+        return self.data
+
+
+def pad_spatial_nhwc(array: np.ndarray, padding: int, value: float = 0.0) -> np.ndarray:
+    """Zero-pad (or constant-pad) the H and W dimensions of an NHWC array."""
+    if padding < 0:
+        raise ValueError("padding must be non-negative")
+    if padding == 0:
+        return array
+    pad_width = ((0, 0), (padding, padding), (padding, padding), (0, 0))
+    return np.pad(array, pad_width, mode="constant", constant_values=value)
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution/pooling window."""
+    if size + 2 * padding < kernel:
+        raise ValueError(
+            f"window of size {kernel} does not fit input of size {size} "
+            f"with padding {padding}"
+        )
+    return (size + 2 * padding - kernel) // stride + 1

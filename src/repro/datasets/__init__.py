@@ -1,0 +1,24 @@
+"""Synthetic dataset generators.
+
+The paper's accuracy numbers come from CIFAR-10 and VOC2007, neither of
+which is available offline here.  The generators in this package produce
+synthetic stand-ins with the same tensor shapes and with enough class
+structure that a small model can actually learn them, which is all the
+reproduction needs (Table II's accuracy column is reproduced in *shape*:
+a binarized model loses a few points against its float counterpart).
+"""
+
+from repro.datasets.synthetic import (
+    SyntheticClassification,
+    synthetic_cifar10,
+    synthetic_image_batch,
+)
+from repro.datasets.detection import DetectionSample, synthetic_voc_detection
+
+__all__ = [
+    "SyntheticClassification",
+    "synthetic_cifar10",
+    "synthetic_image_batch",
+    "DetectionSample",
+    "synthetic_voc_detection",
+]

@@ -1,0 +1,109 @@
+"""Synthetic classification data (CIFAR-10 stand-in).
+
+Each class is defined by a random low-frequency color/texture prototype;
+samples are noisy copies of their class prototype.  The task is easy enough
+for a small model to learn in a few epochs, but noisy enough that accuracy
+is informative (binarization costs a measurable number of points).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class SyntheticClassification:
+    """A labelled image dataset split into train and test."""
+
+    train_images: np.ndarray
+    train_labels: np.ndarray
+    test_images: np.ndarray
+    test_labels: np.ndarray
+    num_classes: int
+
+    @property
+    def image_shape(self) -> tuple:
+        return tuple(self.train_images.shape[1:])
+
+    def batches(self, batch_size: int, rng: np.random.Generator | int | None = 0):
+        """Yield shuffled (images, labels) minibatches of the training split."""
+        rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        order = rng.permutation(len(self.train_images))
+        for start in range(0, len(order), batch_size):
+            index = order[start:start + batch_size]
+            yield self.train_images[index], self.train_labels[index]
+
+
+def _class_prototypes(
+    rng: np.random.Generator, num_classes: int, image_size: int, channels: int
+) -> np.ndarray:
+    """Low-frequency per-class prototype images in [0, 255]."""
+    base = rng.uniform(0.0, 255.0, size=(num_classes, 4, 4, channels))
+    prototypes = np.empty((num_classes, image_size, image_size, channels))
+    for class_index in range(num_classes):
+        for channel in range(channels):
+            coarse = base[class_index, :, :, channel]
+            fine = np.kron(coarse, np.ones((image_size // 4, image_size // 4)))
+            prototypes[class_index, :, :, channel] = fine[:image_size, :image_size]
+    return prototypes
+
+
+def synthetic_cifar10(
+    train_size: int = 512,
+    test_size: int = 128,
+    image_size: int = 32,
+    num_classes: int = 10,
+    noise: float = 40.0,
+    seed: int = 0,
+) -> SyntheticClassification:
+    """Generate a CIFAR-10-shaped synthetic classification dataset.
+
+    Parameters
+    ----------
+    train_size, test_size:
+        Number of samples in each split.
+    image_size:
+        Square image resolution (32 for CIFAR-10).
+    num_classes:
+        Number of classes (10 for CIFAR-10).
+    noise:
+        Standard deviation of the pixel noise added to the prototypes, in
+        8-bit counts; larger values make the task harder.
+    seed:
+        RNG seed (the dataset is fully deterministic given the seed).
+    """
+    if image_size % 4 != 0:
+        raise ValueError("image_size must be a multiple of 4")
+    rng = np.random.default_rng(seed)
+    prototypes = _class_prototypes(rng, num_classes, image_size, channels=3)
+
+    def _make_split(count: int):
+        labels = rng.integers(0, num_classes, size=count)
+        images = prototypes[labels] + rng.normal(0.0, noise, size=(count, image_size, image_size, 3))
+        images = np.clip(images, 0, 255).astype(np.uint8)
+        return images, labels.astype(np.int64)
+
+    train_images, train_labels = _make_split(train_size)
+    test_images, test_labels = _make_split(test_size)
+    return SyntheticClassification(
+        train_images=train_images,
+        train_labels=train_labels,
+        test_images=test_images,
+        test_labels=test_labels,
+        num_classes=num_classes,
+    )
+
+
+def synthetic_image_batch(
+    batch_size: int = 1,
+    image_size: int = 416,
+    channels: int = 3,
+    seed: int = 0,
+) -> np.ndarray:
+    """A batch of random uint8 images (used to feed full-size networks)."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(
+        0, 256, size=(batch_size, image_size, image_size, channels), dtype=np.uint8
+    )

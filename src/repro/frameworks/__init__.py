@@ -1,0 +1,43 @@
+"""Simulated deployment frameworks used in the paper's comparison.
+
+Table III/IV compare PhoneBit against:
+
+* **CNNdroid** — RenderScript-based full-precision CNN execution, in CPU
+  and "GPU" modes (the paper notes RenderScript does not always actually
+  run on the GPU).
+* **TensorFlow Lite** — CPU float, GPU (GL delegate) and CPU 8-bit
+  quantized execution.
+
+Each framework is a :class:`~repro.frameworks.base.FrameworkRunner` that
+turns a :class:`~repro.models.config.ModelConfig` into kernel workloads with
+that framework's characteristics (precision, fusion, memory behaviour,
+threading, per-layer overheads) and feeds them to the device cost model.
+Failure modes are reproduced mechanistically: CNNdroid's Java-heap model
+loading OOMs on VGG16, and the TFLite GPU delegate rejects the huge fully
+connected layers of AlexNet/VGG16 (CRASH), exactly the entries of
+Table III.
+"""
+
+from repro.frameworks.base import FrameworkResult, FrameworkRunner, RunStatus
+from repro.frameworks.cnndroid import CnnDroidCpuRunner, CnnDroidGpuRunner
+from repro.frameworks.tflite import (
+    TfLiteCpuRunner,
+    TfLiteGpuRunner,
+    TfLiteQuantizedCpuRunner,
+)
+from repro.frameworks.phonebit_runner import PhoneBitRunner
+from repro.frameworks.registry import all_runners, get_runner
+
+__all__ = [
+    "FrameworkResult",
+    "FrameworkRunner",
+    "RunStatus",
+    "CnnDroidCpuRunner",
+    "CnnDroidGpuRunner",
+    "TfLiteCpuRunner",
+    "TfLiteGpuRunner",
+    "TfLiteQuantizedCpuRunner",
+    "PhoneBitRunner",
+    "all_runners",
+    "get_runner",
+]

@@ -1,0 +1,170 @@
+"""Framework runner interface and shared workload construction.
+
+A runner answers one question: *how long does one inference of this model
+take on this device under this framework, and does it run at all?*  The
+answer comes from three ingredients:
+
+1. the model's layer geometry (from :class:`~repro.models.config.ModelConfig`),
+2. the framework's execution characteristics (precision, fusion, threading,
+   memory behaviour, per-layer overheads) encoded as an
+   :class:`~repro.gpusim.cost_model.EfficiencyProfile` plus workload flags,
+3. the device cost model.
+
+Runners also model each framework's failure modes (OOM / CRASH) so the
+experiment harness can reproduce those Table III entries.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core import kernels as kern
+from repro.gpusim.cost_model import CostModel, EfficiencyProfile, RunCost
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.kernel import ExecutionUnit, LayerWorkload, OpKind
+from repro.models.config import ModelConfig
+
+
+class RunStatus(str):
+    """Status constants used in the Table III entries."""
+
+    OK = "ok"
+    OOM = "OOM"
+    CRASH = "CRASH"
+
+
+@dataclass
+class FrameworkResult:
+    """Outcome of running one model under one framework on one device."""
+
+    framework: str
+    model: str
+    device: str
+    status: str
+    runtime_ms: Optional[float] = None
+    run_cost: Optional[RunCost] = None
+    layer_times_ms: dict = field(default_factory=dict)
+    reason: str = ""
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status == RunStatus.OK
+
+    def cell(self) -> str:
+        """Formatted Table III cell (runtime in ms, or OOM/CRASH)."""
+        if not self.succeeded:
+            return self.status
+        return f"{self.runtime_ms:.1f}"
+
+
+class FrameworkRunner(abc.ABC):
+    """Base class for all simulated frameworks."""
+
+    #: Human-readable framework name (Table III column header).
+    name: str = "framework"
+    #: Execution unit used by this framework.
+    unit: ExecutionUnit = ExecutionUnit.GPU
+
+    def __init__(self, device: DeviceSpec):
+        self.device = device
+
+    # ----------------------------------------------------------- interface
+    @abc.abstractmethod
+    def profile(self) -> EfficiencyProfile:
+        """Efficiency profile of this framework's generated kernels."""
+
+    @abc.abstractmethod
+    def model_workloads(self, config: ModelConfig) -> List[LayerWorkload]:
+        """Kernel workloads for one inference of ``config``."""
+
+    def check_feasibility(self, config: ModelConfig) -> Optional[FrameworkResult]:
+        """Return a failure result if the framework cannot run the model."""
+        return None
+
+    # ----------------------------------------------------------- execution
+    def run_model(self, config: ModelConfig) -> FrameworkResult:
+        """Estimate one inference of ``config`` on this framework."""
+        failure = self.check_feasibility(config)
+        if failure is not None:
+            return failure
+        workloads = self.model_workloads(config)
+        cost_model = CostModel(self.device, self.profile())
+        run_cost = cost_model.run_cost(workloads)
+        return FrameworkResult(
+            framework=self.name,
+            model=config.name,
+            device=self.device.soc,
+            status=RunStatus.OK,
+            runtime_ms=run_cost.total_ms,
+            run_cost=run_cost,
+            layer_times_ms=run_cost.layer_times_ms(),
+        )
+
+    # ------------------------------------------------------------- helpers
+    def _conventional_workloads(
+        self,
+        config: ModelConfig,
+        op_kind: OpKind,
+        threads: int = 1,
+        fused_batchnorm: bool = True,
+        separate_activation: bool = False,
+        coalesced: bool = True,
+        weight_reuse: float = kern.WEIGHT_REUSE,
+        input_reuse: float = 8.0,
+    ) -> List[LayerWorkload]:
+        """Workloads of a conventional (float/quant) execution of ``config``."""
+        workloads: List[LayerWorkload] = []
+        for shaped in config.shaped_layers():
+            layer = shaped.definition
+            in_shape = shaped.input_shape
+            if layer.kind == "conv":
+                workloads.append(
+                    kern.float_conv_workload(
+                        layer.name, shaped.conv_geometry, op_kind=op_kind,
+                        unit=self.unit, threads=threads,
+                        fused_batchnorm=fused_batchnorm,
+                        separate_activation=separate_activation,
+                        coalesced=coalesced, weight_reuse=weight_reuse,
+                        input_reuse=input_reuse,
+                    )
+                )
+            elif layer.kind in ("maxpool", "avgpool"):
+                workloads.append(
+                    kern.float_pool_workload(
+                        layer.name, in_shape[0], in_shape[1], in_shape[2],
+                        layer.pool_size, layer.stride, layer.padding,
+                        op_kind=op_kind, unit=self.unit, threads=threads,
+                        coalesced=coalesced,
+                    )
+                )
+            elif layer.kind == "dense":
+                in_features = int(np.prod(in_shape))
+                workloads.append(
+                    kern.float_dense_workload(
+                        layer.name, in_features, layer.out_features,
+                        op_kind=op_kind, unit=self.unit, threads=threads,
+                        coalesced=coalesced,
+                    )
+                )
+            elif layer.kind == "flatten":
+                continue
+            else:
+                raise ValueError(f"unknown layer kind {layer.kind!r}")
+        return workloads
+
+    def model_memory_bytes(self, config: ModelConfig, bytes_per_weight: float) -> float:
+        """Weight storage of the model under this framework's precision."""
+        counts = config.parameter_counts()
+        return (counts["binary"] + counts["float32"]) * bytes_per_weight
+
+    def peak_activation_bytes(self, config: ModelConfig, bytes_per_value: float) -> float:
+        """Largest single activation tensor of the model."""
+        peak = 0.0
+        for shaped in config.shaped_layers():
+            values = float(np.prod(shaped.output_shape))
+            peak = max(peak, values * bytes_per_value)
+        return peak

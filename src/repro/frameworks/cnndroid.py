@@ -1,0 +1,110 @@
+"""CNNdroid baseline (RenderScript, full precision).
+
+CNNdroid [Latifi Oskouei et al., MM'16] executes full-precision CNNs through
+Android RenderScript.  Two execution modes are modeled:
+
+* **CPU mode** — single-threaded Java/RenderScript fallback without NEON
+  vectorization; orders of magnitude slower than a tuned NEON library.
+* **GPU mode** — RenderScript "GPU" execution.  As the paper notes (citing
+  the AI-benchmark study), RenderScript kernels are generic, unfused,
+  operate on NCHW float buffers with poor coalescing, and pay a host
+  round-trip per layer.
+
+Both modes load the entire model as float32 Java arrays.  Android caps a
+single app's Java heap (512 MB with ``largeHeap``), so VGG16's 527 MB of
+float weights cannot even be loaded — reproducing the ``OOM`` entries of
+Table III on *both* devices, independent of their total RAM.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.frameworks.base import FrameworkResult, FrameworkRunner, RunStatus
+from repro.gpusim.cost_model import EfficiencyProfile
+from repro.gpusim.kernel import ExecutionUnit, LayerWorkload, OpKind
+from repro.models.config import ModelConfig
+
+#: Android per-app Java heap limit (bytes) with android:largeHeap="true".
+JAVA_HEAP_LIMIT_BYTES = 512 * 1024 * 1024
+
+#: Overhead factor of Java float[] model storage (object headers, copies
+#: made while parsing the model file).
+JAVA_MODEL_OVERHEAD = 1.25
+
+
+class _CnnDroidBase(FrameworkRunner):
+    """Shared CNNdroid behaviour: Java-heap model loading and NCHW layout."""
+
+    def check_feasibility(self, config: ModelConfig):
+        model_bytes = self.model_memory_bytes(config, bytes_per_weight=4.0)
+        activation_bytes = self.peak_activation_bytes(config, bytes_per_value=4.0)
+        required = model_bytes * JAVA_MODEL_OVERHEAD + 2.0 * activation_bytes
+        if required > JAVA_HEAP_LIMIT_BYTES:
+            return FrameworkResult(
+                framework=self.name,
+                model=config.name,
+                device=self.device.soc,
+                status=RunStatus.OOM,
+                reason=(
+                    f"model needs {required / 2**20:.0f} MiB of Java heap, "
+                    f"limit is {JAVA_HEAP_LIMIT_BYTES / 2**20:.0f} MiB"
+                ),
+            )
+        return None
+
+
+class CnnDroidCpuRunner(_CnnDroidBase):
+    """CNNdroid running on the CPU (single-threaded, unvectorized)."""
+
+    name = "CNNdroid CPU"
+    unit = ExecutionUnit.CPU
+
+    def profile(self) -> EfficiencyProfile:
+        return EfficiencyProfile(
+            name=self.name,
+            compute_efficiency=0.020,
+            memory_efficiency=0.50,
+            launch_overhead_factor=5.0,
+            per_inference_overhead_s=30e-3,
+        )
+
+    def model_workloads(self, config: ModelConfig) -> List[LayerWorkload]:
+        return self._conventional_workloads(
+            config,
+            op_kind=OpKind.FP32,
+            threads=1,
+            fused_batchnorm=False,
+            separate_activation=True,
+            coalesced=True,
+            weight_reuse=4.0,
+            input_reuse=4.0,
+        )
+
+
+class CnnDroidGpuRunner(_CnnDroidBase):
+    """CNNdroid running through the RenderScript GPU path."""
+
+    name = "CNNdroid GPU"
+    unit = ExecutionUnit.GPU
+
+    def profile(self) -> EfficiencyProfile:
+        return EfficiencyProfile(
+            name=self.name,
+            compute_efficiency=0.025,
+            memory_efficiency=0.50,
+            launch_overhead_factor=12.0,
+            per_inference_overhead_s=40e-3,
+        )
+
+    def model_workloads(self, config: ModelConfig) -> List[LayerWorkload]:
+        return self._conventional_workloads(
+            config,
+            op_kind=OpKind.FP32,
+            threads=1,
+            fused_batchnorm=False,
+            separate_activation=True,
+            coalesced=True,
+            weight_reuse=4.0,
+            input_reuse=8.0,
+        )

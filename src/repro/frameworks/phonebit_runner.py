@@ -1,0 +1,95 @@
+"""PhoneBit framework runner.
+
+Builds the PhoneBit kernel workloads (fused binary convolutions, bit-plane
+first layer, packed pooling, float last layer) directly from a
+:class:`~repro.models.config.ModelConfig` — no weights are instantiated — so
+the full-size benchmark networks can be costed quickly.  The same kernel
+builders back :meth:`repro.core.engine.PhoneBitEngine.network_workloads`,
+which operates on instantiated networks.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core import kernels as kern
+from repro.core.engine import PHONEBIT_PROFILE
+from repro.frameworks.base import FrameworkRunner
+from repro.gpusim.cost_model import EfficiencyProfile
+from repro.gpusim.kernel import ExecutionUnit, LayerWorkload
+from repro.models.config import ModelConfig
+
+
+class PhoneBitRunner(FrameworkRunner):
+    """PhoneBit (this paper) running on the mobile GPU."""
+
+    name = "PhoneBit"
+    unit = ExecutionUnit.GPU
+
+    def __init__(self, device, word_size: int = 64, fused: bool = True,
+                 branchless: bool = True):
+        super().__init__(device)
+        self.word_size = word_size
+        self.fused = fused
+        self.branchless = branchless
+
+    def profile(self) -> EfficiencyProfile:
+        return PHONEBIT_PROFILE
+
+    def model_workloads(self, config: ModelConfig) -> List[LayerWorkload]:
+        workloads: List[LayerWorkload] = []
+        packed_stream = False
+        for shaped in config.shaped_layers():
+            layer = shaped.definition
+            in_shape = shaped.input_shape
+            if layer.kind == "conv":
+                geometry = shaped.conv_geometry
+                if not layer.binary:
+                    workloads.append(
+                        kern.phonebit_float_conv_workload(layer.name, geometry)
+                    )
+                    packed_stream = False
+                else:
+                    workloads.append(
+                        kern.phonebit_binary_conv_workload(
+                            layer.name, geometry, word_size=self.word_size,
+                            fused=self.fused, branchless=self.branchless,
+                            input_bitplanes=8 if layer.input_layer else 0,
+                            output_binary=layer.output_binary,
+                        )
+                    )
+                    packed_stream = layer.output_binary
+            elif layer.kind in ("maxpool", "avgpool"):
+                workloads.append(
+                    kern.phonebit_pool_workload(
+                        layer.name, in_shape[0], in_shape[1], in_shape[2],
+                        layer.pool_size, layer.stride, layer.padding,
+                        packed=packed_stream and layer.kind == "maxpool",
+                        word_size=self.word_size,
+                    )
+                )
+            elif layer.kind == "dense":
+                in_features = int(np.prod(in_shape))
+                if layer.binary:
+                    workloads.append(
+                        kern.phonebit_binary_dense_workload(
+                            layer.name, in_features, layer.out_features,
+                            word_size=self.word_size,
+                            output_binary=layer.output_binary,
+                        )
+                    )
+                    packed_stream = layer.output_binary
+                else:
+                    workloads.append(
+                        kern.phonebit_float_dense_workload(
+                            layer.name, in_features, layer.out_features
+                        )
+                    )
+                    packed_stream = False
+            elif layer.kind == "flatten":
+                continue
+            else:
+                raise ValueError(f"unknown layer kind {layer.kind!r}")
+        return workloads

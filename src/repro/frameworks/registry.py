@@ -1,0 +1,52 @@
+"""Framework registry: the six execution configurations of Table III."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.frameworks.base import FrameworkRunner
+from repro.frameworks.cnndroid import CnnDroidCpuRunner, CnnDroidGpuRunner
+from repro.frameworks.phonebit_runner import PhoneBitRunner
+from repro.frameworks.tflite import (
+    TfLiteCpuRunner,
+    TfLiteGpuRunner,
+    TfLiteQuantizedCpuRunner,
+)
+from repro.gpusim.device import DeviceSpec
+
+#: Table III column order.
+FRAMEWORK_ORDER = (
+    "CNNdroid CPU",
+    "CNNdroid GPU",
+    "Tensorflow Lite CPU",
+    "Tensorflow Lite GPU",
+    "Tensorflow Lite Quant",
+    "PhoneBit",
+)
+
+_RUNNER_CLASSES = {
+    "CNNdroid CPU": CnnDroidCpuRunner,
+    "CNNdroid GPU": CnnDroidGpuRunner,
+    "Tensorflow Lite CPU": TfLiteCpuRunner,
+    "Tensorflow Lite GPU": TfLiteGpuRunner,
+    "Tensorflow Lite Quant": TfLiteQuantizedCpuRunner,
+    "PhoneBit": PhoneBitRunner,
+}
+
+
+def get_runner(name: str, device: DeviceSpec) -> FrameworkRunner:
+    """Instantiate a framework runner by its Table III column name."""
+    for key, cls in _RUNNER_CLASSES.items():
+        if key.lower() == name.lower():
+            return cls(device)
+    raise KeyError(f"unknown framework {name!r}; available: {list(_RUNNER_CLASSES)}")
+
+
+def all_runners(device: DeviceSpec) -> List[FrameworkRunner]:
+    """All six framework runners for one device, in Table III column order."""
+    return [_RUNNER_CLASSES[name](device) for name in FRAMEWORK_ORDER]
+
+
+def runners_by_name(device: DeviceSpec) -> Dict[str, FrameworkRunner]:
+    """Mapping of framework name to runner for one device."""
+    return {runner.name: runner for runner in all_runners(device)}

@@ -1,0 +1,133 @@
+"""TensorFlow Lite baselines.
+
+Three execution modes are modeled, matching the paper's comparison:
+
+* **CPU float** — the NEON-optimized fp32 interpreter using the big CPU
+  cluster (XNNPACK-era kernels: fused activations, threaded GEMM).
+* **CPU 8-bit quantized** — the int8 interpreter ("Quant" column); roughly
+  3–4× faster than fp32 thanks to 8-bit NEON dot products.
+* **GPU delegate** — fp16 GL compute shaders.  The delegate serializes each
+  op into GL programs with per-op dispatch overhead and a costly CPU↔GPU
+  tensor upload per inference.  It rejects graphs containing very large
+  fully connected layers (shader storage/uniform limits), which is how the
+  paper's ``CRASH`` entries for AlexNet and VGG16 arise, while the fully
+  convolutional YOLOv2-Tiny runs fine.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.frameworks.base import FrameworkResult, FrameworkRunner, RunStatus
+from repro.gpusim.cost_model import EfficiencyProfile
+from repro.gpusim.kernel import ExecutionUnit, LayerWorkload, OpKind
+from repro.models.config import ModelConfig
+
+#: Largest fully connected layer (input features) the GL delegate accepts.
+GPU_DELEGATE_MAX_DENSE_INPUT = 8192
+
+
+class TfLiteCpuRunner(FrameworkRunner):
+    """TensorFlow Lite fp32 CPU interpreter."""
+
+    name = "Tensorflow Lite CPU"
+    unit = ExecutionUnit.CPU
+
+    def profile(self) -> EfficiencyProfile:
+        return EfficiencyProfile(
+            name=self.name,
+            compute_efficiency=0.55,
+            memory_efficiency=0.90,
+            launch_overhead_factor=2.0,
+            per_inference_overhead_s=5e-3,
+        )
+
+    def model_workloads(self, config: ModelConfig) -> List[LayerWorkload]:
+        return self._conventional_workloads(
+            config,
+            op_kind=OpKind.FP32,
+            threads=self.device.cpu.big_cores,
+            fused_batchnorm=True,
+            separate_activation=False,
+            coalesced=True,
+            input_reuse=64.0,
+            weight_reuse=16.0,
+        )
+
+
+class TfLiteQuantizedCpuRunner(FrameworkRunner):
+    """TensorFlow Lite 8-bit quantized CPU interpreter (the "Quant" column)."""
+
+    name = "Tensorflow Lite Quant"
+    unit = ExecutionUnit.CPU
+
+    def profile(self) -> EfficiencyProfile:
+        return EfficiencyProfile(
+            name=self.name,
+            compute_efficiency=0.50,
+            memory_efficiency=0.90,
+            launch_overhead_factor=2.0,
+            per_inference_overhead_s=5e-3,
+        )
+
+    def model_workloads(self, config: ModelConfig) -> List[LayerWorkload]:
+        return self._conventional_workloads(
+            config,
+            op_kind=OpKind.INT8,
+            threads=self.device.cpu.big_cores,
+            fused_batchnorm=True,
+            separate_activation=False,
+            coalesced=True,
+            input_reuse=64.0,
+            weight_reuse=16.0,
+        )
+
+
+class TfLiteGpuRunner(FrameworkRunner):
+    """TensorFlow Lite GPU (GL compute shader) delegate."""
+
+    name = "Tensorflow Lite GPU"
+    unit = ExecutionUnit.GPU
+
+    def profile(self) -> EfficiencyProfile:
+        return EfficiencyProfile(
+            name=self.name,
+            compute_efficiency=0.08,
+            memory_efficiency=0.55,
+            launch_overhead_factor=20.0,
+            per_inference_overhead_s=200e-3,
+        )
+
+    def check_feasibility(self, config: ModelConfig):
+        for shaped in config.shaped_layers():
+            layer = shaped.definition
+            if layer.kind != "dense":
+                continue
+            in_features = 1
+            for dim in shaped.input_shape:
+                in_features *= dim
+            if in_features > GPU_DELEGATE_MAX_DENSE_INPUT:
+                return FrameworkResult(
+                    framework=self.name,
+                    model=config.name,
+                    device=self.device.soc,
+                    status=RunStatus.CRASH,
+                    reason=(
+                        f"GL delegate rejects dense layer {layer.name!r} with "
+                        f"{in_features} input features "
+                        f"(limit {GPU_DELEGATE_MAX_DENSE_INPUT})"
+                    ),
+                )
+        return None
+
+    def model_workloads(self, config: ModelConfig) -> List[LayerWorkload]:
+        return self._conventional_workloads(
+            config,
+            op_kind=OpKind.FP16,
+            threads=1,
+            fused_batchnorm=True,
+            separate_activation=False,
+            coalesced=True,
+            weight_reuse=4.0,
+            input_reuse=8.0,
+        )

@@ -1,0 +1,42 @@
+"""Mobile SoC simulator substrate.
+
+The paper evaluates PhoneBit on two phones (Snapdragon 820 / Adreno 530 and
+Snapdragon 855 / Adreno 640).  This environment has neither the phones nor
+an OpenCL runtime, so the performance and energy experiments run against an
+analytic simulator instead:
+
+* :mod:`repro.gpusim.device` — device presets (GPU compute units, ALUs,
+  clock, memory bandwidth, CPU cores/SIMD, RAM) for both SoCs.
+* :mod:`repro.gpusim.kernel` — the kernel-launch descriptor produced by the
+  engine for every layer.
+* :mod:`repro.gpusim.memory` — coalescing / vectorized-access model.
+* :mod:`repro.gpusim.scheduler` — occupancy and latency-hiding model.
+* :mod:`repro.gpusim.divergence` — branch-divergence penalty model.
+* :mod:`repro.gpusim.cost_model` — the roofline-style timing model that
+  combines the above.
+* :mod:`repro.gpusim.energy`, :mod:`repro.gpusim.profiler` — power/energy
+  model and a Trepn-like sampling profiler.
+
+The simulator is deliberately analytic (not cycle-accurate): the paper's
+results are explained by op counts, memory traffic, fusion, packing width
+and divergence, which is exactly the level this model captures.
+"""
+
+from repro.gpusim.device import DeviceSpec, CpuSpec, GpuSpec, snapdragon_820, snapdragon_855
+from repro.gpusim.kernel import KernelLaunch, OpKind
+from repro.gpusim.cost_model import CostModel, KernelCost
+from repro.gpusim.energy import EnergyModel, EnergyReport
+
+__all__ = [
+    "DeviceSpec",
+    "CpuSpec",
+    "GpuSpec",
+    "snapdragon_820",
+    "snapdragon_855",
+    "KernelLaunch",
+    "OpKind",
+    "CostModel",
+    "KernelCost",
+    "EnergyModel",
+    "EnergyReport",
+]

@@ -1,0 +1,207 @@
+"""Device specifications for the simulated mobile SoCs.
+
+Table I of the paper lists the two evaluation devices:
+
+=========  ===============  ======  ===========  ==============  ===========
+Device     SoC              Memory  OS           OpenCL version  GPU ALUs
+=========  ===============  ======  ===========  ==============  ===========
+Xiaomi 5   Snapdragon 820   3 GB    Android 7.0  2.0             256
+Xiaomi 9   Snapdragon 855   8 GB    Android 9.0  2.0             384
+=========  ===============  ======  ===========  ==============  ===========
+
+The numbers below extend that table with the micro-architectural parameters
+the cost model needs (clock, bandwidth, CU count, wavefront size, cache).
+They follow public Qualcomm documentation for the Adreno 530/640 GPUs and
+Kryo CPUs; absolute accuracy is not required — the experiments only rely on
+the *relative* capabilities the paper discusses (hundreds of GPU ALUs, tens
+of GB/s of shared LPDDR bandwidth, a handful of CPU cores with 128-bit
+NEON).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Mobile GPU micro-architecture parameters."""
+
+    name: str
+    compute_units: int
+    alus_per_cu: int
+    clock_ghz: float
+    memory_bandwidth_gbs: float
+    graphics_memory_kb: int
+    wavefront_size: int = 64
+    #: fused multiply-add counts as 2 ops/cycle/ALU at fp32.
+    fp32_ops_per_alu_cycle: float = 2.0
+    #: fp16 rate relative to fp32 (Adreno 5xx/6xx double-rate half floats).
+    fp16_rate: float = 2.0
+    #: 32-bit integer/bitwise ops per ALU cycle (xor, popcount, and, or).
+    #: Adreno ALUs are optimized for fp32/fp16 MADs; integer/bit operations
+    #: issue at a fraction of that rate (popcount in particular expands to a
+    #: short instruction sequence), which is why BNN kernels do not reach
+    #: the naive 64× speedup over fp32.
+    bitwise_ops_per_alu_cycle: float = 0.25
+    #: kernel launch + host synchronization overhead per enqueue (seconds).
+    kernel_launch_overhead_s: float = 60e-6
+    #: maximum registers (bytes) of private memory per work item before
+    #: occupancy degrades; drives the workload-rule modelling.
+    private_memory_bytes: int = 1024
+
+    @property
+    def total_alus(self) -> int:
+        return self.compute_units * self.alus_per_cu
+
+    def peak_gflops(self, precision: str = "fp32") -> float:
+        """Peak arithmetic throughput in Gop/s for a precision / op class."""
+        base = self.total_alus * self.clock_ghz
+        if precision == "fp32":
+            return base * self.fp32_ops_per_alu_cycle
+        if precision == "fp16":
+            return base * self.fp32_ops_per_alu_cycle * self.fp16_rate
+        if precision in ("bitwise", "int32"):
+            return base * self.bitwise_ops_per_alu_cycle
+        if precision == "int8":
+            # Packed int8 dot products run at roughly 4× the int32 rate.
+            return base * self.bitwise_ops_per_alu_cycle * 4.0
+        raise ValueError(f"unknown precision {precision!r}")
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Mobile CPU (big-cluster) parameters."""
+
+    name: str
+    big_cores: int
+    little_cores: int
+    clock_ghz: float
+    simd_width_bits: int = 128
+    memory_bandwidth_gbs: float = 14.0
+    #: Sustained fraction of peak a well-tuned NEON GEMM reaches on-device.
+    sustained_efficiency: float = 0.45
+
+    def peak_gflops(self, precision: str = "fp32", threads: int | None = None) -> float:
+        """Peak arithmetic throughput of the big cluster in Gop/s."""
+        cores = self.big_cores if threads is None else min(threads, self.big_cores)
+        lanes = self.simd_width_bits // 32
+        if precision == "fp32":
+            per_core = lanes * 4.0  # two 128-bit FMA pipes per core
+        elif precision == "fp16":
+            per_core = lanes * 8.0
+        elif precision == "int8":
+            per_core = (self.simd_width_bits // 8) * 4.0
+        elif precision in ("bitwise", "int32"):
+            per_core = lanes * 2.0
+        else:
+            raise ValueError(f"unknown precision {precision!r}")
+        return cores * self.clock_ghz * per_core
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """A complete phone platform: SoC, memory, OS (Table I row)."""
+
+    name: str
+    soc: str
+    ram_gb: float
+    os_version: str
+    opencl_version: str
+    gpu: GpuSpec
+    cpu: CpuSpec
+    #: share of RAM a single app may allocate before Android kills it.
+    app_memory_budget_fraction: float = 0.5
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def app_memory_budget_bytes(self) -> float:
+        return self.ram_gb * (1024 ** 3) * self.app_memory_budget_fraction
+
+    def table_row(self) -> dict:
+        """The Table I row for this device."""
+        return {
+            "Device": self.name,
+            "SOC": self.soc,
+            "Memory": f"{self.ram_gb:.0f}GB",
+            "OS": self.os_version,
+            "OpenCL Version": self.opencl_version,
+            "ALUs in GPU": self.gpu.total_alus,
+        }
+
+
+def snapdragon_820() -> DeviceSpec:
+    """Xiaomi 5 — Snapdragon 820 with an Adreno 530 GPU (Table I)."""
+    gpu = GpuSpec(
+        name="Adreno 530",
+        compute_units=4,
+        alus_per_cu=64,
+        clock_ghz=0.624,
+        memory_bandwidth_gbs=29.8,
+        graphics_memory_kb=1024,
+        kernel_launch_overhead_s=80e-6,
+    )
+    cpu = CpuSpec(
+        name="Kryo",
+        big_cores=2,
+        little_cores=2,
+        clock_ghz=2.15,
+        memory_bandwidth_gbs=12.0,
+    )
+    return DeviceSpec(
+        name="Xiaomi 5",
+        soc="Snapdragon 820",
+        ram_gb=3.0,
+        os_version="Android 7.0",
+        opencl_version="2.0",
+        gpu=gpu,
+        cpu=cpu,
+    )
+
+
+def snapdragon_855() -> DeviceSpec:
+    """Xiaomi 9 — Snapdragon 855 with an Adreno 640 GPU (Table I)."""
+    gpu = GpuSpec(
+        name="Adreno 640",
+        compute_units=2,
+        alus_per_cu=192,
+        clock_ghz=0.585,
+        memory_bandwidth_gbs=34.1,
+        graphics_memory_kb=1024,
+        kernel_launch_overhead_s=60e-6,
+    )
+    cpu = CpuSpec(
+        name="Kryo 485",
+        big_cores=4,
+        little_cores=4,
+        clock_ghz=2.84,
+        memory_bandwidth_gbs=16.0,
+    )
+    return DeviceSpec(
+        name="Xiaomi 9",
+        soc="Snapdragon 855",
+        ram_gb=8.0,
+        os_version="Android 9.0",
+        opencl_version="2.0",
+        gpu=gpu,
+        cpu=cpu,
+    )
+
+
+_PRESETS = {
+    "snapdragon_820": snapdragon_820,
+    "snapdragon_855": snapdragon_855,
+    "sd820": snapdragon_820,
+    "sd855": snapdragon_855,
+}
+
+
+def get_device(name: str) -> DeviceSpec:
+    """Look up a device preset by name (``snapdragon_820`` / ``snapdragon_855``)."""
+    key = name.lower().replace(" ", "_")
+    try:
+        return _PRESETS[key]()
+    except KeyError:
+        raise KeyError(
+            f"unknown device {name!r}; available: {sorted(set(_PRESETS))}"
+        ) from None

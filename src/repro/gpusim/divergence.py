@@ -1,0 +1,30 @@
+"""Branch-divergence penalty model (Sec. VI-C).
+
+When work items of the same wavefront take different branches, the GPU
+serializes the paths and masks the inactive lanes.  The fused binarization
+of Eqn. (8) contains a four-way, data-dependent comparison; PhoneBit
+replaces it with the branch-free Eqn. (9).  The cost model charges divergent
+kernels a multiplicative compute-time penalty derived from the number of
+distinct paths and the fraction of the inner loop they cover.
+"""
+
+from __future__ import annotations
+
+from repro.gpusim.kernel import KernelLaunch
+
+#: Fraction of a fused conv kernel's work spent in the binarization epilogue
+#: (the part Eqn. 8/9 governs); only that fraction serializes.
+EPILOGUE_FRACTION = 0.15
+
+#: Number of distinct control-flow paths in the naive Eqn. (8) epilogue.
+NAIVE_BRANCH_PATHS = 4
+
+
+def divergence_penalty(kernel: KernelLaunch) -> float:
+    """Multiplicative compute-time factor (≥ 1) charged for divergence."""
+    if not kernel.divergent:
+        return 1.0
+    paths = int(kernel.metadata.get("branch_paths", NAIVE_BRANCH_PATHS))
+    fraction = float(kernel.metadata.get("divergent_fraction", EPILOGUE_FRACTION))
+    fraction = min(max(fraction, 0.0), 1.0)
+    return 1.0 + fraction * (paths - 1)

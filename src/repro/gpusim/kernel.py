@@ -1,0 +1,127 @@
+"""Kernel-launch descriptors consumed by the cost model.
+
+The engine does not hand real OpenCL kernels to the simulator; it hands a
+:class:`KernelLaunch` per enqueued kernel describing the *footprint* that
+determines its cost on a mobile GPU: how many work items run, how many
+arithmetic operations of which class each performs, how many bytes it moves,
+whether its accesses are coalesced/vectorized, whether its control flow
+diverges, and how many logical layers were fused into it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import List
+
+
+class OpKind(str, enum.Enum):
+    """Arithmetic class of a kernel's inner loop."""
+
+    FP32 = "fp32"
+    FP16 = "fp16"
+    INT8 = "int8"
+    BITWISE = "bitwise"
+
+
+class ExecutionUnit(str, enum.Enum):
+    """Where a kernel executes."""
+
+    GPU = "gpu"
+    CPU = "cpu"
+
+
+@dataclass(frozen=True)
+class KernelLaunch:
+    """Footprint of a single kernel enqueue.
+
+    Attributes
+    ----------
+    name:
+        Human-readable kernel identifier (layer name + kernel role).
+    work_items:
+        Number of global work items (threads) launched.
+    ops_per_item:
+        Arithmetic operations per work item, counted in units of ``op_kind``
+        operations (e.g. a 64-bit xor+popcount pair is 2 bitwise ops).
+    bytes_read_per_item / bytes_written_per_item:
+        Global-memory traffic per work item, before coalescing effects.
+    op_kind:
+        Arithmetic class of the inner loop.
+    vector_width:
+        Width (in elements) of the vectorized loads/stores and ALU ops the
+        kernel uses (OpenCL ``uchar``..``ulong16`` vector types).
+    coalesced:
+        Whether adjacent work items touch adjacent memory (NHWC channel-major
+        packing makes this true for PhoneBit kernels).
+    divergent:
+        Whether the kernel contains data-dependent branches (Eqn. 8 before
+        the branchless rewrite).
+    fused_layers:
+        Number of logical layers folded into this kernel (conv+BN+binarize
+        fusion makes this 3).
+    uses_private_packing:
+        Whether the workload rule keeps binarize+pack in thread-private
+        memory (Sec. VI-B); kernels above the channel limit launch an extra
+        packing kernel instead.
+    unit:
+        Execution unit (GPU or CPU).
+    threads:
+        For CPU kernels, the number of worker threads used.
+    """
+
+    name: str
+    work_items: int
+    ops_per_item: float
+    bytes_read_per_item: float
+    bytes_written_per_item: float
+    op_kind: OpKind = OpKind.FP32
+    vector_width: int = 1
+    coalesced: bool = True
+    divergent: bool = False
+    fused_layers: int = 1
+    uses_private_packing: bool = False
+    unit: ExecutionUnit = ExecutionUnit.GPU
+    threads: int = 1
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def total_ops(self) -> float:
+        return self.work_items * self.ops_per_item
+
+    @property
+    def total_bytes_read(self) -> float:
+        return self.work_items * self.bytes_read_per_item
+
+    @property
+    def total_bytes_written(self) -> float:
+        return self.work_items * self.bytes_written_per_item
+
+    @property
+    def total_bytes(self) -> float:
+        return self.total_bytes_read + self.total_bytes_written
+
+    def scaled(self, factor: float) -> "KernelLaunch":
+        """Return a copy with the per-item op count scaled by ``factor``."""
+        return replace(self, ops_per_item=self.ops_per_item * factor)
+
+
+@dataclass
+class LayerWorkload:
+    """All kernel launches needed to execute one logical layer."""
+
+    layer_name: str
+    layer_type: str
+    kernels: List[KernelLaunch] = field(default_factory=list)
+    #: Bytes of activations this layer must keep live (for OOM modelling).
+    activation_bytes: float = 0.0
+    #: Bytes of weights this layer streams from memory.
+    weight_bytes: float = 0.0
+
+    @property
+    def total_ops(self) -> float:
+        return sum(k.total_ops for k in self.kernels)
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(k.total_bytes for k in self.kernels)

@@ -1,0 +1,110 @@
+"""Trepn-like sampling power profiler.
+
+The paper measures on-device power with Qualcomm's Trepn profiler, which
+samples battery power at a fixed interval while the workload runs.  The
+simulator equivalent replays a :class:`~repro.gpusim.cost_model.RunCost`
+timeline (layer by layer), computes the instantaneous power of whichever
+kernel is active at each sample instant and returns the sampled trace plus
+the same averages Trepn would report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.gpusim.cost_model import RunCost
+from repro.gpusim.energy import EnergyModel
+
+
+@dataclass(frozen=True)
+class PowerSample:
+    """One profiler sample."""
+
+    time_s: float
+    power_mw: float
+    active_layer: str
+
+
+@dataclass
+class ProfileTrace:
+    """A sampled power trace over one or more back-to-back inferences."""
+
+    samples: List[PowerSample]
+    sample_interval_s: float
+
+    @property
+    def average_power_mw(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(s.power_mw for s in self.samples) / len(self.samples)
+
+    @property
+    def peak_power_mw(self) -> float:
+        return max((s.power_mw for s in self.samples), default=0.0)
+
+    @property
+    def duration_s(self) -> float:
+        return len(self.samples) * self.sample_interval_s
+
+
+class TrepnLikeProfiler:
+    """Samples simulated power while a run-cost timeline replays."""
+
+    def __init__(self, energy_model: EnergyModel, sample_interval_ms: float = 100.0):
+        if sample_interval_ms <= 0:
+            raise ValueError("sample interval must be positive")
+        self.energy_model = energy_model
+        self.sample_interval_s = sample_interval_ms / 1e3
+
+    def _timeline(self, run: RunCost) -> List[Tuple[float, float, str, float]]:
+        """(start, end, layer, power) segments of one inference."""
+        segments = []
+        cursor = 0.0
+        for layer in run.layer_costs:
+            for cost in layer.kernel_costs:
+                kernel = cost.kernel
+                power = self.energy_model.active_power_mw[(kernel.unit, kernel.op_kind)]
+                utilization = max(cost.occupancy, 0.3)
+                dram_mw = 0.0
+                if cost.total_s > 0:
+                    dram_mw = (
+                        kernel.total_bytes
+                        * self.energy_model.dram_pj_per_byte
+                        * 1e-9
+                        / cost.total_s
+                    )
+                total_mw = (
+                    self.energy_model.static_power_mw + power * utilization + dram_mw
+                )
+                segments.append((cursor, cursor + cost.total_s, layer.layer_name, total_mw))
+                cursor += cost.total_s
+        if run.per_inference_overhead_s > 0:
+            segments.append(
+                (
+                    cursor,
+                    cursor + run.per_inference_overhead_s,
+                    "host-overhead",
+                    self.energy_model.static_power_mw,
+                )
+            )
+        return segments
+
+    def profile(self, run: RunCost, duration_s: float = 1.0) -> ProfileTrace:
+        """Profile back-to-back inferences for approximately ``duration_s``."""
+        segments = self._timeline(run)
+        if not segments:
+            return ProfileTrace(samples=[], sample_interval_s=self.sample_interval_s)
+        period = segments[-1][1]
+        samples: List[PowerSample] = []
+        sample_count = max(1, int(round(duration_s / self.sample_interval_s)))
+        for index in range(sample_count):
+            t = index * self.sample_interval_s
+            phase = t % period if period > 0 else 0.0
+            active = segments[-1]
+            for segment in segments:
+                if segment[0] <= phase < segment[1]:
+                    active = segment
+                    break
+            samples.append(PowerSample(time_s=t, power_mw=active[3], active_layer=active[2]))
+        return ProfileTrace(samples=samples, sample_interval_s=self.sample_interval_s)

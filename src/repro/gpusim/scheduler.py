@@ -1,0 +1,62 @@
+"""Occupancy and latency-hiding model.
+
+Mobile GPUs hide memory latency by switching between resident wavefronts
+(Sec. VI-A3).  How well that works depends on how many wavefronts the launch
+provides relative to the machine's ALUs, and on how much thread-private
+memory each work item consumes (the workload rule of Sec. VI-B keeps eight
+filters' worth of accumulators in private memory, which is why it only
+applies below a channel-count limit).
+
+The model produces two scalars per kernel:
+
+``occupancy``
+    Fraction of the GPU's thread slots the launch can keep busy.
+``overlap``
+    Fraction of the smaller of (compute, memory) time that is hidden under
+    the larger one; 1.0 means perfect overlap (``max``), 0.0 means fully
+    serialized (``sum``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.device import GpuSpec
+from repro.gpusim.kernel import KernelLaunch
+
+#: Wavefronts each compute unit should keep resident to fully hide latency.
+TARGET_WAVES_PER_CU = 4
+
+
+@dataclass(frozen=True)
+class ScheduleEstimate:
+    """Occupancy / overlap estimate for one kernel launch."""
+
+    occupancy: float
+    overlap: float
+    resident_waves: float
+
+
+def estimate_schedule(gpu: GpuSpec, kernel: KernelLaunch) -> ScheduleEstimate:
+    """Estimate occupancy and memory/compute overlap for a kernel."""
+    waves = kernel.work_items / float(gpu.wavefront_size)
+    target_waves = gpu.compute_units * TARGET_WAVES_PER_CU
+    occupancy = min(1.0, waves / target_waves) if target_waves else 1.0
+
+    # Private-memory pressure reduces the number of resident wavefronts.
+    private_bytes = float(kernel.metadata.get("private_bytes", 64.0))
+    pressure = min(1.0, gpu.private_memory_bytes / max(private_bytes, 1.0))
+    occupancy *= max(0.25, pressure)
+
+    # Latency hiding improves with occupancy; even a single wave overlaps a
+    # little thanks to in-thread pipelining of vectorized loads.
+    overlap = 0.25 + 0.75 * occupancy
+    return ScheduleEstimate(occupancy=occupancy, overlap=overlap, resident_waves=waves)
+
+
+def combine_times(compute_s: float, memory_s: float, overlap: float) -> float:
+    """Combine compute and memory time under a given overlap fraction."""
+    overlap = min(max(overlap, 0.0), 1.0)
+    longer = max(compute_s, memory_s)
+    shorter = min(compute_s, memory_s)
+    return longer + (1.0 - overlap) * shorter

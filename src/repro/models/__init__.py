@@ -1,0 +1,43 @@
+"""Benchmark network definitions.
+
+The paper evaluates three networks (Sec. VII):
+
+* binarized **AlexNet** on CIFAR-10,
+* binarized **YOLOv2-Tiny** on VOC2007,
+* binarized **VGG16** on CIFAR-10.
+
+Each is described by a framework-neutral :class:`~repro.models.config.ModelConfig`
+from which the model zoo can build (a) a PhoneBit binary network, (b) a
+full-precision float network for the baseline frameworks, or (c) the kernel
+workloads used by the cost model without instantiating any weights.
+"""
+
+from repro.models.config import LayerDef, ModelConfig
+from repro.models.alexnet import alexnet_config
+from repro.models.yolov2_tiny import yolov2_tiny_config
+from repro.models.vgg16 import vgg16_config
+from repro.models.zoo import (
+    BENCHMARK_MODELS,
+    build_float_network,
+    build_phonebit_network,
+    get_model_config,
+    model_size_report,
+)
+from repro.models.yolo_head import Detection, decode_head, detect, non_maximum_suppression
+
+__all__ = [
+    "Detection",
+    "decode_head",
+    "detect",
+    "non_maximum_suppression",
+    "LayerDef",
+    "ModelConfig",
+    "alexnet_config",
+    "yolov2_tiny_config",
+    "vgg16_config",
+    "BENCHMARK_MODELS",
+    "get_model_config",
+    "build_phonebit_network",
+    "build_float_network",
+    "model_size_report",
+]

@@ -1,0 +1,58 @@
+"""Binarized AlexNet for CIFAR-10.
+
+The paper reports a 249.5 MB full-precision model, which corresponds to the
+classic ImageNet AlexNet topology (five convolutions, three fully connected
+layers, ~60 M parameters) applied to CIFAR-10 images upsampled to 227×227.
+Following the usual BNN practice (and the PhoneBit code snippet, where the
+first layer consumes the 8-bit image and the last layer stays in full
+precision):
+
+* ``conv1`` is the bit-plane input convolution;
+* ``conv2``–``conv5`` and ``fc6``/``fc7`` are fused binary layers;
+* ``fc8`` (the classifier) is full precision.
+"""
+
+from __future__ import annotations
+
+from repro.models.config import LayerDef, ModelConfig
+
+
+def alexnet_config(num_classes: int = 10, input_size: int = 227) -> ModelConfig:
+    """AlexNet topology used for the CIFAR-10 benchmark.
+
+    Parameters
+    ----------
+    num_classes:
+        Number of output classes (10 for CIFAR-10).
+    input_size:
+        Input resolution; CIFAR-10 images are upsampled to 227×227 as in the
+        original AlexNet.
+    """
+    layers = (
+        LayerDef("conv", "conv1", out_channels=96, kernel_size=11, stride=4,
+                 padding=0, binary=True, input_layer=True),
+        LayerDef("maxpool", "pool1", pool_size=3, stride=2),
+        LayerDef("conv", "conv2", out_channels=256, kernel_size=5, stride=1,
+                 padding=2, binary=True),
+        LayerDef("maxpool", "pool2", pool_size=3, stride=2),
+        LayerDef("conv", "conv3", out_channels=384, kernel_size=3, stride=1,
+                 padding=1, binary=True),
+        LayerDef("conv", "conv4", out_channels=384, kernel_size=3, stride=1,
+                 padding=1, binary=True),
+        LayerDef("conv", "conv5", out_channels=256, kernel_size=3, stride=1,
+                 padding=1, binary=True),
+        LayerDef("maxpool", "pool5", pool_size=3, stride=2),
+        LayerDef("flatten", "flatten"),
+        LayerDef("dense", "fc6", out_features=4096, binary=True),
+        LayerDef("dense", "fc7", out_features=4096, binary=True, output_binary=False),
+        LayerDef("dense", "fc8", out_features=num_classes, binary=False,
+                 activation=None),
+    )
+    return ModelConfig(
+        name="AlexNet",
+        dataset="CIFAR-10",
+        input_shape=(input_size, input_size, 3),
+        num_classes=num_classes,
+        layers=layers,
+        description="Binarized AlexNet (first layer bit-plane, last layer float)",
+    )

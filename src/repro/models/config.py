@@ -1,0 +1,176 @@
+"""Framework-neutral model descriptions.
+
+A :class:`ModelConfig` is the single source of truth for a benchmark
+network: the PhoneBit builder, the float builder and every framework runner
+derive their layer structure (and therefore their op counts, parameter
+counts and memory footprints) from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator, List, Optional, Tuple
+
+from repro.core.kernels import ConvGeometry
+from repro.core.tensor import conv_output_size
+
+
+@dataclass(frozen=True)
+class LayerDef:
+    """Definition of one layer in a benchmark model.
+
+    ``kind`` is one of ``"conv"``, ``"maxpool"``, ``"avgpool"``,
+    ``"flatten"``, ``"dense"``.
+    """
+
+    kind: str
+    name: str
+    out_channels: int = 0
+    kernel_size: int = 0
+    stride: int = 1
+    padding: int = 0
+    pool_size: int = 0
+    out_features: int = 0
+    binary: bool = True
+    input_layer: bool = False
+    output_binary: bool = True
+    activation: Optional[str] = None
+
+    def with_name(self, name: str) -> "LayerDef":
+        return replace(self, name=name)
+
+
+@dataclass(frozen=True)
+class ShapedLayer:
+    """A layer definition annotated with its input and output shapes."""
+
+    definition: LayerDef
+    input_shape: Tuple[int, ...]
+    output_shape: Tuple[int, ...]
+
+    @property
+    def conv_geometry(self) -> ConvGeometry:
+        if self.definition.kind != "conv":
+            raise ValueError(f"layer {self.definition.name} is not a convolution")
+        h, w, c = self.input_shape
+        return ConvGeometry(
+            in_height=h,
+            in_width=w,
+            in_channels=c,
+            out_channels=self.definition.out_channels,
+            kernel_size=self.definition.kernel_size,
+            stride=self.definition.stride,
+            padding=self.definition.padding,
+        )
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Complete description of a benchmark model."""
+
+    name: str
+    dataset: str
+    input_shape: Tuple[int, int, int]
+    num_classes: int
+    layers: Tuple[LayerDef, ...] = field(default_factory=tuple)
+    description: str = ""
+
+    # --------------------------------------------------------------- shapes
+    def shaped_layers(self) -> List[ShapedLayer]:
+        """Every layer annotated with its input/output shape."""
+        shaped: List[ShapedLayer] = []
+        shape: Tuple[int, ...] = self.input_shape
+        for layer in self.layers:
+            out_shape = _propagate(layer, shape)
+            shaped.append(ShapedLayer(layer, shape, out_shape))
+            shape = out_shape
+        return shaped
+
+    def output_shape(self) -> Tuple[int, ...]:
+        shape: Tuple[int, ...] = self.input_shape
+        for layer in self.layers:
+            shape = _propagate(layer, shape)
+        return shape
+
+    def conv_layers(self) -> Iterator[ShapedLayer]:
+        """Only the convolution layers (used for Fig. 5)."""
+        for shaped in self.shaped_layers():
+            if shaped.definition.kind == "conv":
+                yield shaped
+
+    # ------------------------------------------------------------- counting
+    def parameter_counts(self) -> dict:
+        """Binary / float parameter counts in the binarized model.
+
+        Binary layers contribute 1-bit weights plus per-channel float
+        thresholds; non-binary layers contribute float32 weights and biases.
+        """
+        binary = 0
+        float32 = 0
+        for shaped in self.shaped_layers():
+            layer = shaped.definition
+            if layer.kind == "conv":
+                h, w, c = shaped.input_shape
+                weights = layer.kernel_size ** 2 * c * layer.out_channels
+                if layer.binary:
+                    binary += weights + layer.out_channels
+                    float32 += layer.out_channels
+                else:
+                    float32 += weights + layer.out_channels
+            elif layer.kind == "dense":
+                in_features = 1
+                for dim in shaped.input_shape:
+                    in_features *= dim
+                weights = in_features * layer.out_features
+                if layer.binary:
+                    binary += weights + layer.out_features
+                    float32 += layer.out_features
+                else:
+                    float32 += weights + layer.out_features
+        return {"binary": binary, "float32": float32}
+
+    def full_precision_size_bytes(self) -> int:
+        """Model size with every weight stored as float32 (Table II left)."""
+        counts = self.parameter_counts()
+        return 4 * (counts["binary"] + counts["float32"])
+
+    def binarized_size_bytes(self) -> int:
+        """Model size in the compressed PhoneBit format (Table II right)."""
+        counts = self.parameter_counts()
+        return counts["binary"] // 8 + 4 * counts["float32"]
+
+    def multiply_accumulates(self) -> int:
+        """Total MACs of one full-precision inference."""
+        total = 0
+        for shaped in self.shaped_layers():
+            layer = shaped.definition
+            if layer.kind == "conv":
+                total += shaped.conv_geometry.macs
+            elif layer.kind == "dense":
+                in_features = 1
+                for dim in shaped.input_shape:
+                    in_features *= dim
+                total += in_features * layer.out_features
+        return total
+
+
+def _propagate(layer: LayerDef, shape: Tuple[int, ...]) -> Tuple[int, ...]:
+    """Shape inference for one layer definition."""
+    if layer.kind == "conv":
+        h, w, _ = shape
+        oh = conv_output_size(h, layer.kernel_size, layer.stride, layer.padding)
+        ow = conv_output_size(w, layer.kernel_size, layer.stride, layer.padding)
+        return (oh, ow, layer.out_channels)
+    if layer.kind in ("maxpool", "avgpool"):
+        h, w, c = shape
+        oh = conv_output_size(h, layer.pool_size, layer.stride, layer.padding)
+        ow = conv_output_size(w, layer.pool_size, layer.stride, layer.padding)
+        return (oh, ow, c)
+    if layer.kind == "flatten":
+        total = 1
+        for dim in shape:
+            total *= dim
+        return (total,)
+    if layer.kind == "dense":
+        return (layer.out_features,)
+    raise ValueError(f"unknown layer kind {layer.kind!r}")

@@ -1,0 +1,57 @@
+"""Binarized VGG16 for CIFAR-10.
+
+Thirteen 3×3 convolutions in five blocks followed by three fully connected
+layers.  The paper's 553.4 MB full-precision size matches the classic
+ImageNet VGG16 (~138 M parameters); CIFAR-10 images are upsampled to
+224×224.  As with the other benchmarks, the first convolution consumes the
+8-bit image via bit-planes and the final classifier stays in full precision.
+"""
+
+from __future__ import annotations
+
+from repro.models.config import LayerDef, ModelConfig
+
+_BLOCKS = (
+    (64, 2),
+    (128, 2),
+    (256, 3),
+    (512, 3),
+    (512, 3),
+)
+
+
+def vgg16_config(num_classes: int = 10, input_size: int = 224,
+                 classifier_width: int = 4096) -> ModelConfig:
+    """VGG16 topology used for the CIFAR-10 benchmark."""
+    layers = []
+    conv_index = 0
+    for block_index, (channels, repeats) in enumerate(_BLOCKS, start=1):
+        for _ in range(repeats):
+            conv_index += 1
+            layers.append(
+                LayerDef(
+                    "conv",
+                    f"conv{conv_index}",
+                    out_channels=channels,
+                    kernel_size=3,
+                    padding=1,
+                    binary=True,
+                    input_layer=(conv_index == 1),
+                )
+            )
+        layers.append(LayerDef("maxpool", f"pool{block_index}", pool_size=2, stride=2))
+    layers.append(LayerDef("flatten", "flatten"))
+    layers.append(LayerDef("dense", "fc1", out_features=classifier_width, binary=True))
+    layers.append(
+        LayerDef("dense", "fc2", out_features=classifier_width, binary=True,
+                 output_binary=False)
+    )
+    layers.append(LayerDef("dense", "fc3", out_features=num_classes, binary=False))
+    return ModelConfig(
+        name="VGG16",
+        dataset="CIFAR-10",
+        input_shape=(input_size, input_size, 3),
+        num_classes=num_classes,
+        layers=tuple(layers),
+        description="Binarized VGG16 (first layer bit-plane, classifier head float)",
+    )

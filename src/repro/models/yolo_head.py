@@ -1,0 +1,144 @@
+"""YOLOv2 detection head decoding.
+
+The last (full-precision) layer of the binarized YOLOv2-Tiny network
+produces a ``(13, 13, 125)`` tensor — 5 anchor boxes × (4 box coordinates +
+objectness + 20 VOC class scores) per grid cell.  This module turns that raw
+head into detections: sigmoid/exponential box decoding against the anchor
+priors, class softmax, score thresholding and greedy non-maximum
+suppression.  It is used by the detection example and exercised directly by
+the test-suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.detection import BoundingBox, iou
+
+#: Anchor boxes (width, height in grid-cell units) of YOLOv2-Tiny on VOC.
+VOC_ANCHORS: Tuple[Tuple[float, float], ...] = (
+    (1.08, 1.19), (3.42, 4.41), (6.63, 11.38), (9.42, 5.11), (16.62, 10.52),
+)
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One decoded detection."""
+
+    box: BoundingBox
+    score: float
+
+    @property
+    def class_index(self) -> int:
+        return self.box.class_index
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically safe logistic function."""
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30, 30)))
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Softmax along ``axis``."""
+    shifted = x - x.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def decode_head(
+    head: np.ndarray,
+    num_classes: int = 20,
+    anchors: Sequence[Tuple[float, float]] = VOC_ANCHORS,
+    score_threshold: float = 0.35,
+) -> List[Detection]:
+    """Decode a raw YOLOv2 head into scored, normalized bounding boxes.
+
+    Parameters
+    ----------
+    head:
+        Array of shape ``(H, W, len(anchors) * (5 + num_classes))``.
+    num_classes:
+        Number of object classes (20 for VOC).
+    anchors:
+        Anchor priors in grid-cell units.
+    score_threshold:
+        Minimum ``objectness × class`` score for a detection to be kept.
+    """
+    head = np.asarray(head, dtype=np.float64)
+    if head.ndim != 3:
+        raise ValueError(f"expected an (H, W, C) head, got shape {head.shape}")
+    grid_h, grid_w, channels = head.shape
+    expected = len(anchors) * (5 + num_classes)
+    if channels != expected:
+        raise ValueError(
+            f"head has {channels} channels, expected {expected} "
+            f"({len(anchors)} anchors x (5 + {num_classes}))"
+        )
+    predictions = head.reshape(grid_h, grid_w, len(anchors), 5 + num_classes)
+
+    xy = sigmoid(predictions[..., 0:2])
+    wh = np.exp(np.clip(predictions[..., 2:4], -8, 8))
+    objectness = sigmoid(predictions[..., 4])
+    class_probs = softmax(predictions[..., 5:], axis=-1)
+
+    detections: List[Detection] = []
+    for row in range(grid_h):
+        for col in range(grid_w):
+            for anchor_index, (anchor_w, anchor_h) in enumerate(anchors):
+                best_class = int(np.argmax(class_probs[row, col, anchor_index]))
+                score = float(
+                    objectness[row, col, anchor_index]
+                    * class_probs[row, col, anchor_index, best_class]
+                )
+                if score < score_threshold:
+                    continue
+                x_center = (col + float(xy[row, col, anchor_index, 0])) / grid_w
+                y_center = (row + float(xy[row, col, anchor_index, 1])) / grid_h
+                width = min(anchor_w * float(wh[row, col, anchor_index, 0]) / grid_w, 1.0)
+                height = min(anchor_h * float(wh[row, col, anchor_index, 1]) / grid_h, 1.0)
+                detections.append(
+                    Detection(
+                        box=BoundingBox(best_class, x_center, y_center, width, height),
+                        score=score,
+                    )
+                )
+    return detections
+
+
+def non_maximum_suppression(
+    detections: Sequence[Detection],
+    iou_threshold: float = 0.45,
+    per_class: bool = True,
+) -> List[Detection]:
+    """Greedy non-maximum suppression over decoded detections."""
+    ordered = sorted(detections, key=lambda d: d.score, reverse=True)
+    kept: List[Detection] = []
+    for candidate in ordered:
+        suppressed = False
+        for existing in kept:
+            if per_class and existing.class_index != candidate.class_index:
+                continue
+            if iou(candidate.box, existing.box) >= iou_threshold:
+                suppressed = True
+                break
+        if not suppressed:
+            kept.append(candidate)
+    return kept
+
+
+def detect(
+    head: np.ndarray,
+    num_classes: int = 20,
+    anchors: Sequence[Tuple[float, float]] = VOC_ANCHORS,
+    score_threshold: float = 0.35,
+    iou_threshold: float = 0.45,
+) -> List[Detection]:
+    """Decode + NMS in one call."""
+    return non_maximum_suppression(
+        decode_head(head, num_classes=num_classes, anchors=anchors,
+                    score_threshold=score_threshold),
+        iou_threshold=iou_threshold,
+    )

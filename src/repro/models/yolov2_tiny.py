@@ -1,0 +1,57 @@
+"""Binarized YOLOv2-Tiny for VOC2007.
+
+Nine convolution layers on a 416×416 input.  The paper's Fig. 5 discusses
+exactly this structure: conv1 consumes the 8-bit image via bit-planes,
+conv2–conv8 are fused binary layers, and conv9 (the 1×1 prediction head
+producing 5 anchors × (20 classes + 5) = 125 channels) stays in full
+precision.
+
+Darknet's sixth max-pool uses a 2×2 window with stride 1 and asymmetric
+("same") padding to keep the 13×13 resolution; the reproduction uses a 3×3
+window with stride 1 and symmetric padding 1 instead, which preserves the
+spatial size and the layer's negligible cost (documented in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from repro.models.config import LayerDef, ModelConfig
+
+
+def yolov2_tiny_config(num_classes: int = 20, num_anchors: int = 5,
+                       input_size: int = 416) -> ModelConfig:
+    """YOLOv2-Tiny topology used for the VOC2007 benchmark."""
+    head_channels = num_anchors * (num_classes + 5)
+    layers = (
+        LayerDef("conv", "conv1", out_channels=16, kernel_size=3, padding=1,
+                 binary=True, input_layer=True),
+        LayerDef("maxpool", "pool1", pool_size=2, stride=2),
+        LayerDef("conv", "conv2", out_channels=32, kernel_size=3, padding=1,
+                 binary=True),
+        LayerDef("maxpool", "pool2", pool_size=2, stride=2),
+        LayerDef("conv", "conv3", out_channels=64, kernel_size=3, padding=1,
+                 binary=True),
+        LayerDef("maxpool", "pool3", pool_size=2, stride=2),
+        LayerDef("conv", "conv4", out_channels=128, kernel_size=3, padding=1,
+                 binary=True),
+        LayerDef("maxpool", "pool4", pool_size=2, stride=2),
+        LayerDef("conv", "conv5", out_channels=256, kernel_size=3, padding=1,
+                 binary=True),
+        LayerDef("maxpool", "pool5", pool_size=2, stride=2),
+        LayerDef("conv", "conv6", out_channels=512, kernel_size=3, padding=1,
+                 binary=True),
+        LayerDef("maxpool", "pool6", pool_size=3, stride=1, padding=1),
+        LayerDef("conv", "conv7", out_channels=1024, kernel_size=3, padding=1,
+                 binary=True),
+        LayerDef("conv", "conv8", out_channels=1024, kernel_size=3, padding=1,
+                 binary=True, output_binary=False),
+        LayerDef("conv", "conv9", out_channels=head_channels, kernel_size=1,
+                 binary=False, activation=None),
+    )
+    return ModelConfig(
+        name="YOLOv2 Tiny",
+        dataset="VOC2007",
+        input_shape=(input_size, input_size, 3),
+        num_classes=num_classes,
+        layers=layers,
+        description="Binarized YOLOv2-Tiny (conv1 bit-plane, conv9 float head)",
+    )

@@ -1,0 +1,202 @@
+"""Model zoo: named benchmark configs and network builders.
+
+``build_phonebit_network`` instantiates a binary network with synthetic
+(random ±1) weights and randomly generated batch-norm statistics, mirroring
+what the converter would produce from a trained model.  It is used for the
+functional examples and tests; the benchmark harness works from the config
+alone (no weights) through the framework runners.
+
+``build_float_network`` instantiates the corresponding full-precision
+network (float convolutions, batch-norm, ReLU) used for baseline
+correctness checks on reduced input sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.core.fusion import BatchNormParams
+from repro.core.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    BinaryConv2d,
+    BinaryDense,
+    Dense,
+    Flatten,
+    FloatConv2d,
+    InputConv2d,
+    MaxPool2d,
+    Relu,
+)
+from repro.core.network import Network
+from repro.models.alexnet import alexnet_config
+from repro.models.config import LayerDef, ModelConfig
+from repro.models.vgg16 import vgg16_config
+from repro.models.yolov2_tiny import yolov2_tiny_config
+
+#: The three networks evaluated in the paper, keyed by their Table II names.
+BENCHMARK_MODELS: Dict[str, Callable[[], ModelConfig]] = {
+    "AlexNet": alexnet_config,
+    "YOLOv2 Tiny": yolov2_tiny_config,
+    "VGG16": vgg16_config,
+}
+
+
+def get_model_config(name: str, **kwargs) -> ModelConfig:
+    """Look up a benchmark model config by (case-insensitive) name."""
+    for key, factory in BENCHMARK_MODELS.items():
+        if key.lower() == name.lower():
+            return factory(**kwargs)
+    raise KeyError(f"unknown model {name!r}; available: {sorted(BENCHMARK_MODELS)}")
+
+
+def _random_batchnorm(rng: np.random.Generator, channels: int) -> BatchNormParams:
+    """Plausible batch-norm statistics for synthetic-weight networks."""
+    gamma = rng.uniform(0.5, 1.5, size=channels) * rng.choice([-1.0, 1.0], size=channels)
+    return BatchNormParams(
+        gamma=gamma,
+        beta=rng.normal(0.0, 0.5, size=channels),
+        mean=rng.normal(0.0, 2.0, size=channels),
+        var=rng.uniform(0.5, 4.0, size=channels),
+    )
+
+
+def build_phonebit_network(
+    config: ModelConfig,
+    rng=0,
+    word_size: int = 64,
+    randomize_batchnorm: bool = True,
+) -> Network:
+    """Instantiate the binarized PhoneBit network described by ``config``."""
+    rng = np.random.default_rng(rng)
+    network = Network(
+        config.name,
+        input_shape=config.input_shape,
+        input_dtype="uint8",
+        metadata={"dataset": config.dataset, "num_classes": config.num_classes},
+    )
+    for shaped in config.shaped_layers():
+        layer = shaped.definition
+        in_shape = shaped.input_shape
+        if layer.kind == "conv":
+            in_channels = in_shape[2]
+            bn = (
+                _random_batchnorm(rng, layer.out_channels)
+                if randomize_batchnorm and layer.binary
+                else None
+            )
+            if not layer.binary:
+                network.add(
+                    FloatConv2d(
+                        in_channels, layer.out_channels, layer.kernel_size,
+                        stride=layer.stride, padding=layer.padding,
+                        activation=layer.activation, rng=rng, name=layer.name,
+                    )
+                )
+            elif layer.input_layer:
+                network.add(
+                    InputConv2d(
+                        in_channels, layer.out_channels, layer.kernel_size,
+                        stride=layer.stride, padding=layer.padding,
+                        word_size=word_size, output_binary=layer.output_binary,
+                        batchnorm=bn, rng=rng, name=layer.name,
+                    )
+                )
+            else:
+                network.add(
+                    BinaryConv2d(
+                        in_channels, layer.out_channels, layer.kernel_size,
+                        stride=layer.stride, padding=layer.padding,
+                        word_size=word_size, output_binary=layer.output_binary,
+                        batchnorm=bn, rng=rng, name=layer.name,
+                    )
+                )
+        elif layer.kind == "maxpool":
+            network.add(MaxPool2d(layer.pool_size, layer.stride,
+                                  padding=layer.padding, name=layer.name))
+        elif layer.kind == "avgpool":
+            network.add(AvgPool2d(layer.pool_size, layer.stride, name=layer.name))
+        elif layer.kind == "flatten":
+            network.add(Flatten(word_size=word_size, name=layer.name))
+        elif layer.kind == "dense":
+            in_features = int(np.prod(in_shape))
+            bn = (
+                _random_batchnorm(rng, layer.out_features)
+                if randomize_batchnorm and layer.binary
+                else None
+            )
+            if layer.binary:
+                network.add(
+                    BinaryDense(
+                        in_features, layer.out_features, word_size=word_size,
+                        output_binary=layer.output_binary, batchnorm=bn,
+                        rng=rng, name=layer.name,
+                    )
+                )
+            else:
+                network.add(
+                    Dense(in_features, layer.out_features,
+                          activation=layer.activation, rng=rng, name=layer.name)
+                )
+        else:
+            raise ValueError(f"unknown layer kind {layer.kind!r}")
+    return network
+
+
+def build_float_network(config: ModelConfig, rng=0) -> Network:
+    """Instantiate the full-precision reference network for ``config``."""
+    rng = np.random.default_rng(rng)
+    network = Network(
+        f"{config.name}-float",
+        input_shape=config.input_shape,
+        input_dtype="float32",
+        metadata={"dataset": config.dataset, "num_classes": config.num_classes},
+    )
+    for shaped in config.shaped_layers():
+        layer = shaped.definition
+        in_shape = shaped.input_shape
+        if layer.kind == "conv":
+            network.add(
+                FloatConv2d(
+                    in_shape[2], layer.out_channels, layer.kernel_size,
+                    stride=layer.stride, padding=layer.padding,
+                    activation="relu" if layer.binary else layer.activation,
+                    rng=rng, name=layer.name,
+                )
+            )
+            network.add(BatchNorm2d.identity(layer.out_channels,
+                                             name=f"{layer.name}_bn"))
+        elif layer.kind == "maxpool":
+            network.add(MaxPool2d(layer.pool_size, layer.stride,
+                                  padding=layer.padding, name=layer.name))
+        elif layer.kind == "avgpool":
+            network.add(AvgPool2d(layer.pool_size, layer.stride, name=layer.name))
+        elif layer.kind == "flatten":
+            network.add(Flatten(name=layer.name))
+        elif layer.kind == "dense":
+            in_features = int(np.prod(in_shape))
+            activation = "relu" if layer.binary else layer.activation
+            network.add(
+                Dense(in_features, layer.out_features, activation=activation,
+                      rng=rng, name=layer.name)
+            )
+        else:
+            raise ValueError(f"unknown layer kind {layer.kind!r}")
+    return network
+
+
+def model_size_report(config: ModelConfig) -> dict:
+    """Model-size numbers for one Table II row (computed from the config)."""
+    full_mb = config.full_precision_size_bytes() / 2**20
+    binary_mb = config.binarized_size_bytes() / 2**20
+    return {
+        "model": config.name,
+        "dataset": config.dataset,
+        "full_precision_mb": full_mb,
+        "bnn_mb": binary_mb,
+        "compression_ratio": full_mb / binary_mb if binary_mb else float("inf"),
+        "parameters": config.parameter_counts(),
+        "macs": config.multiply_accumulates(),
+    }

@@ -1,0 +1,22 @@
+"""Straight-through-estimator BNN training.
+
+Training full-size binarized AlexNet/VGG16/YOLOv2 is far outside the compute
+budget of this reproduction, so the accuracy column of Table II is
+reproduced in *shape* with a small binarized network trained on the
+synthetic classification data: the float model reaches a higher accuracy,
+its binarized counterpart loses a few points, and both comfortably beat
+chance.  The trainer also produces real weights + batch-norm statistics that
+the converter turns into a PhoneBit network, closing the loop of Fig. 2
+(train → convert → deploy → infer).
+"""
+
+from repro.training.ste import sign_ste_backward, sign_ste_forward
+from repro.training.trainer import BinaryMlpClassifier, TrainingResult, train_classifier
+
+__all__ = [
+    "sign_ste_forward",
+    "sign_ste_backward",
+    "BinaryMlpClassifier",
+    "TrainingResult",
+    "train_classifier",
+]

@@ -1,0 +1,35 @@
+"""Straight-through estimator (STE) primitives.
+
+Binarized networks [Courbariaux et al., 2016] keep latent float weights and
+activations during training, binarize them with ``sign`` in the forward
+pass, and propagate gradients through the non-differentiable ``sign`` with
+the straight-through estimator: the gradient passes unchanged where the
+input magnitude is below 1 and is clipped to zero elsewhere (the "hard tanh"
+window).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sign_ste_forward(x: np.ndarray) -> np.ndarray:
+    """Forward binarization to ±1 (zero maps to +1, matching Eqn. 7)."""
+    return np.where(np.asarray(x) >= 0, 1.0, -1.0)
+
+
+def sign_ste_backward(x: np.ndarray, grad_output: np.ndarray, clip: float = 1.0) -> np.ndarray:
+    """STE gradient of ``sign``: pass-through inside ``|x| <= clip``."""
+    x = np.asarray(x)
+    mask = (np.abs(x) <= clip).astype(grad_output.dtype)
+    return grad_output * mask
+
+
+def binarize_weights_ste(weights: np.ndarray) -> np.ndarray:
+    """Binarize latent weights for the forward pass."""
+    return sign_ste_forward(weights)
+
+
+def clip_latent_weights(weights: np.ndarray, clip: float = 1.0) -> np.ndarray:
+    """Clip latent weights into [-clip, clip] after each update."""
+    return np.clip(weights, -clip, clip)

@@ -1,0 +1,302 @@
+"""Small binarized classifier trainer (accuracy-gap proxy for Table II).
+
+The trainer implements the standard BNN recipe [Courbariaux et al., 2016]
+for a multi-layer perceptron:
+
+* latent float weights, binarized with ``sign`` in the forward pass;
+* batch normalization after every binary matrix product;
+* sign activations with straight-through gradients;
+* a full-precision classifier head;
+* SGD with momentum, latent weights clipped to [−1, 1] after every step.
+
+Setting ``binary=False`` trains the float counterpart (same widths, ReLU
+activations, no binarization), which provides the "full-precision CNN"
+column of the Table II accuracy comparison on the synthetic data.
+
+The trained binary model exports :class:`~repro.core.converter.LayerSpec`
+records, so the converter → ``.pbit`` → PhoneBit-engine path can be driven
+end-to-end with *real* trained weights (the Fig. 2 deployment flow).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.converter import LayerSpec
+from repro.core.fusion import BatchNormParams
+from repro.training.ste import clip_latent_weights, sign_ste_backward, sign_ste_forward
+
+_EPS = 1e-5
+
+
+@dataclass
+class _HiddenLayer:
+    """Latent parameters and optimizer state of one hidden layer."""
+
+    weights: np.ndarray
+    gamma: np.ndarray
+    beta: np.ndarray
+    running_mean: np.ndarray
+    running_var: np.ndarray
+    weight_momentum: np.ndarray = field(init=False)
+    gamma_momentum: np.ndarray = field(init=False)
+    beta_momentum: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.weight_momentum = np.zeros_like(self.weights)
+        self.gamma_momentum = np.zeros_like(self.gamma)
+        self.beta_momentum = np.zeros_like(self.beta)
+
+
+@dataclass
+class TrainingResult:
+    """Summary of one training run."""
+
+    train_accuracy: float
+    test_accuracy: float
+    losses: List[float]
+    epochs: int
+    binary: bool
+
+
+class BinaryMlpClassifier:
+    """A small (binarized) MLP classifier trained with SGD + STE."""
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dims: Sequence[int],
+        num_classes: int,
+        binary: bool = True,
+        seed: int = 0,
+    ) -> None:
+        if not hidden_dims:
+            raise ValueError("at least one hidden layer is required")
+        self.input_dim = input_dim
+        self.hidden_dims = tuple(hidden_dims)
+        self.num_classes = num_classes
+        self.binary = binary
+        rng = np.random.default_rng(seed)
+
+        self.hidden: List[_HiddenLayer] = []
+        previous = input_dim
+        for width in hidden_dims:
+            scale = 1.0 / np.sqrt(previous)
+            self.hidden.append(
+                _HiddenLayer(
+                    weights=rng.uniform(-scale, scale, size=(previous, width)),
+                    gamma=np.ones(width),
+                    beta=np.zeros(width),
+                    running_mean=np.zeros(width),
+                    running_var=np.ones(width),
+                )
+            )
+            previous = width
+        scale = 1.0 / np.sqrt(previous)
+        self.out_weights = rng.uniform(-scale, scale, size=(previous, num_classes))
+        self.out_bias = np.zeros(num_classes)
+        self.out_weight_momentum = np.zeros_like(self.out_weights)
+        self.out_bias_momentum = np.zeros_like(self.out_bias)
+
+    # ------------------------------------------------------------- forward
+    def _prepare_input(self, images: np.ndarray) -> np.ndarray:
+        flat = np.asarray(images, dtype=np.float64).reshape(len(images), -1)
+        centered = flat / 255.0 - 0.5
+        if self.binary:
+            return sign_ste_forward(centered)
+        return centered
+
+    def _forward(self, x: np.ndarray, training: bool):
+        """Forward pass returning logits plus a cache for backprop."""
+        cache = {"inputs": [], "pre_bn": [], "bn_hat": [], "bn_std": [],
+                 "bn_mean": [], "post_bn": [], "activations": x}
+        current = x
+        for layer in self.hidden:
+            effective = sign_ste_forward(layer.weights) if self.binary else layer.weights
+            pre_bn = current @ effective
+            if training:
+                mean = pre_bn.mean(axis=0)
+                var = pre_bn.var(axis=0)
+                layer.running_mean = 0.9 * layer.running_mean + 0.1 * mean
+                layer.running_var = 0.9 * layer.running_var + 0.1 * var
+            else:
+                mean = layer.running_mean
+                var = layer.running_var
+            std = np.sqrt(var + _EPS)
+            hat = (pre_bn - mean) / std
+            post_bn = layer.gamma * hat + layer.beta
+            activated = sign_ste_forward(post_bn) if self.binary else np.maximum(post_bn, 0.0)
+            cache["inputs"].append(current)
+            cache["pre_bn"].append(pre_bn)
+            cache["bn_hat"].append(hat)
+            cache["bn_std"].append(std)
+            cache["bn_mean"].append(mean)
+            cache["post_bn"].append(post_bn)
+            current = activated
+        logits = current @ self.out_weights + self.out_bias
+        cache["head_input"] = current
+        return logits, cache
+
+    @staticmethod
+    def _softmax(logits: np.ndarray) -> np.ndarray:
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+    # ------------------------------------------------------------ training
+    def train_epoch(self, images: np.ndarray, labels: np.ndarray,
+                    batch_size: int, learning_rate: float, momentum: float,
+                    rng: np.random.Generator) -> float:
+        """One epoch of SGD; returns the mean minibatch loss."""
+        order = rng.permutation(len(images))
+        losses = []
+        for start in range(0, len(order), batch_size):
+            index = order[start:start + batch_size]
+            loss = self._train_step(images[index], labels[index],
+                                    learning_rate, momentum)
+            losses.append(loss)
+        return float(np.mean(losses))
+
+    def _train_step(self, images: np.ndarray, labels: np.ndarray,
+                    learning_rate: float, momentum: float) -> float:
+        x = self._prepare_input(images)
+        logits, cache = self._forward(x, training=True)
+        probabilities = self._softmax(logits)
+        batch = len(images)
+        one_hot = np.zeros_like(probabilities)
+        one_hot[np.arange(batch), labels] = 1.0
+        loss = float(-np.log(probabilities[np.arange(batch), labels] + 1e-12).mean())
+
+        # ---- classifier head
+        dlogits = (probabilities - one_hot) / batch
+        head_input = cache["head_input"]
+        d_out_weights = head_input.T @ dlogits
+        d_out_bias = dlogits.sum(axis=0)
+        dcurrent = dlogits @ self.out_weights.T
+
+        self.out_weight_momentum = momentum * self.out_weight_momentum - learning_rate * d_out_weights
+        self.out_bias_momentum = momentum * self.out_bias_momentum - learning_rate * d_out_bias
+        self.out_weights += self.out_weight_momentum
+        self.out_bias += self.out_bias_momentum
+
+        # ---- hidden layers, last to first
+        for index in range(len(self.hidden) - 1, -1, -1):
+            layer = self.hidden[index]
+            post_bn = cache["post_bn"][index]
+            if self.binary:
+                dpost = sign_ste_backward(post_bn, dcurrent)
+            else:
+                dpost = dcurrent * (post_bn > 0)
+
+            hat = cache["bn_hat"][index]
+            std = cache["bn_std"][index]
+            pre_bn = cache["pre_bn"][index]
+            mean = cache["bn_mean"][index]
+            n = len(pre_bn)
+
+            dgamma = (dpost * hat).sum(axis=0)
+            dbeta = dpost.sum(axis=0)
+            dhat = dpost * layer.gamma
+            dvar = (dhat * (pre_bn - mean) * -0.5 * std**-3).sum(axis=0)
+            dmean = (dhat * -1.0 / std).sum(axis=0) + dvar * (-2.0 * (pre_bn - mean)).mean(axis=0)
+            dpre = dhat / std + dvar * 2.0 * (pre_bn - mean) / n + dmean / n
+
+            inputs = cache["inputs"][index]
+            effective = sign_ste_forward(layer.weights) if self.binary else layer.weights
+            dweights = inputs.T @ dpre
+            if self.binary:
+                dweights = sign_ste_backward(layer.weights, dweights)
+            dcurrent = dpre @ effective.T
+
+            layer.weight_momentum = momentum * layer.weight_momentum - learning_rate * dweights
+            layer.gamma_momentum = momentum * layer.gamma_momentum - learning_rate * dgamma
+            layer.beta_momentum = momentum * layer.beta_momentum - learning_rate * dbeta
+            layer.weights += layer.weight_momentum
+            layer.gamma += layer.gamma_momentum
+            layer.beta += layer.beta_momentum
+            if self.binary:
+                layer.weights = clip_latent_weights(layer.weights)
+        return loss
+
+    # ----------------------------------------------------------- inference
+    def predict(self, images: np.ndarray) -> np.ndarray:
+        """Class predictions using the running batch-norm statistics."""
+        x = self._prepare_input(images)
+        logits, _ = self._forward(x, training=False)
+        return np.argmax(logits, axis=1)
+
+    def accuracy(self, images: np.ndarray, labels: np.ndarray) -> float:
+        return float((self.predict(images) == np.asarray(labels)).mean())
+
+    # ------------------------------------------------------------- export
+    def export_layer_specs(self) -> List[LayerSpec]:
+        """Export the trained model as converter layer specs (binary only)."""
+        if not self.binary:
+            raise ValueError("only binarized models are exported to PhoneBit format")
+        specs: List[LayerSpec] = []
+        for index, layer in enumerate(self.hidden, start=1):
+            specs.append(
+                LayerSpec(
+                    kind="dense",
+                    name=f"bfc{index}",
+                    weights=layer.weights.copy(),
+                    batchnorm=BatchNormParams(
+                        gamma=layer.gamma.copy(),
+                        beta=layer.beta.copy(),
+                        mean=layer.running_mean.copy(),
+                        var=layer.running_var.copy(),
+                        eps=_EPS,
+                    ),
+                    binary=True,
+                    output_binary=True,
+                )
+            )
+        specs.append(
+            LayerSpec(
+                kind="dense",
+                name="classifier",
+                weights=self.out_weights.copy(),
+                bias=self.out_bias.copy(),
+                binary=False,
+            )
+        )
+        return specs
+
+    def prepared_input(self, images: np.ndarray) -> np.ndarray:
+        """Input exactly as the exported PhoneBit network expects it (±1)."""
+        return self._prepare_input(images).astype(np.float32)
+
+
+def train_classifier(
+    dataset,
+    hidden_dims: Sequence[int] = (128, 128),
+    binary: bool = True,
+    epochs: int = 10,
+    batch_size: int = 64,
+    learning_rate: float = 0.05,
+    momentum: float = 0.9,
+    seed: int = 0,
+):
+    """Train a (binary) MLP on a :class:`SyntheticClassification` dataset."""
+    rng = np.random.default_rng(seed)
+    input_dim = int(np.prod(dataset.image_shape))
+    model = BinaryMlpClassifier(
+        input_dim, hidden_dims, dataset.num_classes, binary=binary, seed=seed
+    )
+    losses = []
+    for _ in range(epochs):
+        losses.append(
+            model.train_epoch(dataset.train_images, dataset.train_labels,
+                              batch_size, learning_rate, momentum, rng)
+        )
+    result = TrainingResult(
+        train_accuracy=model.accuracy(dataset.train_images, dataset.train_labels),
+        test_accuracy=model.accuracy(dataset.test_images, dataset.test_labels),
+        losses=losses,
+        epochs=epochs,
+        binary=binary,
+    )
+    return model, result

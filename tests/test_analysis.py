@@ -1,0 +1,145 @@
+"""Tests for metrics, reporting and the experiment drivers."""
+
+import pytest
+
+from repro.analysis import ablations, experiments
+from repro.analysis.metrics import (
+    accuracy_drop,
+    compression_ratio,
+    fps,
+    fps_per_watt,
+    geometric_mean,
+    speedup_summary,
+)
+from repro.analysis.reporting import format_bar_chart, format_table, paper_vs_measured
+from repro.gpusim.device import snapdragon_855
+
+
+class TestMetrics:
+    def test_speedup_summary_skips_failures(self):
+        summary = speedup_summary(
+            "baseline",
+            {"a": 100.0, "b": None, "c": 300.0},
+            {"a": 10.0, "b": 5.0, "c": 30.0},
+        )
+        assert summary.per_model == {"a": 10.0, "c": 10.0}
+        assert summary.mean == pytest.approx(10.0)
+        assert summary.maximum == pytest.approx(10.0)
+
+    def test_compression_and_accuracy(self):
+        assert compression_ratio(100, 5) == 20
+        assert accuracy_drop(92.5, 87.8) == pytest.approx(4.7)
+        with pytest.raises(ValueError):
+            compression_ratio(10, 0)
+
+    def test_fps_and_fps_per_watt(self):
+        assert fps(50.0) == 20.0
+        assert fps_per_watt(50.0, 500.0) == pytest.approx(40.0)
+        with pytest.raises(ValueError):
+            fps(0)
+        with pytest.raises(ValueError):
+            fps_per_watt(10, 0)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 100]) == pytest.approx(10.0)
+        assert geometric_mean([]) != geometric_mean([])  # NaN
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [30, 4.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "2.5" in text and "4.2" in text
+
+    def test_format_bar_chart(self):
+        chart = format_bar_chart({"conv1": 5.0, "conv2": 50.0}, title="fig")
+        assert chart.startswith("fig")
+        assert chart.count("#") > 0
+
+    def test_paper_vs_measured(self):
+        text = paper_vs_measured([["t3", 10, 12]])
+        assert "t3" in text
+
+
+class TestExperiments:
+    def test_table1(self):
+        table = experiments.table1_devices()
+        text = table.table()
+        assert "Snapdragon 820" in text and "384" in text
+
+    def test_table2_model_size(self):
+        table = experiments.table2_model_size()
+        assert {row["model"] for row in table.rows} == {"AlexNet", "YOLOv2 Tiny", "VGG16"}
+        assert all(row["compression_ratio"] > 15 for row in table.rows)
+        assert "Table II" in table.table()
+
+    def test_table3_runtime_structure(self):
+        table = experiments.table3_runtime(models=("YOLOv2 Tiny",))
+        assert set(table.results) == {"Snapdragon 820", "Snapdragon 855"}
+        phonebit = table.runtime_ms("Snapdragon 855", "YOLOv2 Tiny", "PhoneBit")
+        cnndroid = table.runtime_ms("Snapdragon 855", "YOLOv2 Tiny", "CNNdroid GPU")
+        assert phonebit is not None and cnndroid is not None
+        assert cnndroid > phonebit
+        speedups = table.speedups("Snapdragon 855")
+        assert speedups["CNNdroid CPU"] > speedups["Tensorflow Lite Quant"] > 1
+        assert "Table III" in table.table()
+
+    def test_table3_reports_oom_and_crash(self):
+        table = experiments.table3_runtime(models=("VGG16",))
+        text = table.table("Snapdragon 855")
+        assert "OOM" in text and "CRASH" in text
+
+    def test_table4_energy_shape(self):
+        table = experiments.table4_energy()
+        phonebit = table.reports["PhoneBit"]
+        assert phonebit is not None
+        others = [r for name, r in table.reports.items()
+                  if r is not None and name != "PhoneBit"]
+        assert all(phonebit.fps_per_watt > r.fps_per_watt for r in others)
+        assert all(phonebit.average_power_mw < r.average_power_mw
+                   for name, r in table.reports.items()
+                   if r is not None and "CPU" in name)
+        assert "Table IV" in table.table()
+
+    def test_figure5_shape(self):
+        figure = experiments.figure5_layer_speedup()
+        speedups = figure.speedups
+        assert set(speedups) == {f"conv{i}" for i in range(1, 10)}
+        middle = [speedups[f"conv{i}"] for i in range(2, 9)]
+        # Binary middle layers: tens of ×; first layer smaller (bit-planes);
+        # float last layer only a few ×.
+        assert min(middle) > 10
+        assert speedups["conv1"] < max(middle)
+        assert speedups["conv9"] < 10
+        assert "Figure 5" in figure.chart()
+
+    def test_run_all_returns_every_experiment(self):
+        results = experiments.run_all()
+        assert {"table1", "table2", "table3", "table4", "figure5"} <= set(results)
+
+
+class TestAblations:
+    def test_fusion_ablation_direction(self):
+        result = ablations.fusion_ablation()
+        assert result.runtimes_ms["unfused conv/BN/binarize"] > result.runtimes_ms["fused (PhoneBit)"]
+        assert "Fusion" in result.table("Fusion ablation")
+
+    def test_branchless_ablation_direction(self):
+        result = ablations.branchless_ablation()
+        assert result.runtimes_ms["divergent (Eqn. 8)"] > result.runtimes_ms["branchless (Eqn. 9)"]
+
+    def test_packing_width_monotone(self):
+        result = ablations.packing_width_ablation(word_sizes=(8, 32, 64))
+        times = list(result.runtimes_ms.values())
+        assert times[0] > times[1] > times[2]
+
+    def test_workload_rule_ablation(self):
+        result = ablations.workload_rule_ablation()
+        assert result.runtimes_ms["separate packing pass"] >= result.runtimes_ms[
+            "integrated packing (<=256 ch)"
+        ]
+
+    def test_ablation_on_other_device(self):
+        result = ablations.fusion_ablation(device=snapdragon_855())
+        assert result.device == "Snapdragon 855"

@@ -1,0 +1,46 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro import cli
+from repro.core import model_format
+
+
+class TestCli:
+    def test_devices(self, capsys):
+        assert cli.main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "Snapdragon 820" in out and "Snapdragon 855" in out
+
+    def test_sizes(self, capsys):
+        assert cli.main(["sizes"]) == 0
+        assert "VGG16" in capsys.readouterr().out
+
+    def test_runtime_single_model(self, capsys):
+        assert cli.main(["runtime", "--model", "YOLOv2 Tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "PhoneBit" in out and "Snapdragon 855" in out
+
+    def test_energy(self, capsys):
+        assert cli.main(["energy", "--device", "sd820"]) == 0
+        assert "FPS/W" in capsys.readouterr().out
+
+    def test_figure5(self, capsys):
+        assert cli.main(["figure5", "--device", "sd855"]) == 0
+        assert "conv9" in capsys.readouterr().out
+
+    def test_summary(self, tmp_path, capsys, tiny_bnn_network):
+        path = tmp_path / "tiny.pbit"
+        model_format.save_network(tiny_bnn_network, str(path))
+        assert cli.main(["summary", str(path)]) == 0
+        assert "conv2" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main(["frobnicate"])
+
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            cli.main([])

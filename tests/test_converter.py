@@ -1,0 +1,113 @@
+"""Tests for float-model → PhoneBit conversion."""
+
+import numpy as np
+import pytest
+
+from repro.core.binarize import bits_to_values
+from repro.core.converter import (
+    ConversionReport,
+    LayerSpec,
+    binarize_weights,
+    convert_model,
+    convert_with_report,
+)
+from repro.core.fusion import BatchNormParams
+from repro.core.layers import BinaryConv2d, Dense, FloatConv2d, InputConv2d
+from repro.core.tensor import Tensor
+
+
+def _bn(rng, channels):
+    gamma = rng.uniform(0.3, 1.5, channels) * rng.choice([-1.0, 1.0], channels)
+    return BatchNormParams(
+        gamma=gamma,
+        beta=rng.normal(size=channels),
+        mean=rng.normal(size=channels),
+        var=rng.uniform(0.2, 2.0, channels),
+    )
+
+
+class TestWeightBinarization:
+    def test_sign_convention(self):
+        weights = np.array([[-0.5, 0.0], [0.3, -2.0]])
+        np.testing.assert_array_equal(binarize_weights(weights), [[0, 1], [1, 0]])
+
+
+class TestConvertModel:
+    def test_layer_classes(self, rng):
+        specs = [
+            LayerSpec("conv", weights=rng.normal(size=(3, 3, 3, 8)),
+                      batchnorm=_bn(rng, 8), input_layer=True, padding=1),
+            LayerSpec("maxpool", pool_size=2, pool_stride=2),
+            LayerSpec("conv", weights=rng.normal(size=(3, 3, 8, 16)),
+                      batchnorm=_bn(rng, 16), padding=1),
+            LayerSpec("flatten"),
+            LayerSpec("dense", weights=rng.normal(size=(4 * 4 * 16, 10)),
+                      bias=rng.normal(size=10), binary=False),
+        ]
+        net = convert_model("converted", (8, 8, 3), specs)
+        classes = [type(layer) for layer in net]
+        assert classes[0] is InputConv2d
+        assert classes[2] is BinaryConv2d
+        assert classes[-1] is Dense
+
+    def test_non_binary_conv_stays_float(self, rng):
+        specs = [
+            LayerSpec("conv", weights=rng.normal(size=(1, 1, 4, 6)), binary=False),
+        ]
+        net = convert_model("float-conv", (5, 5, 4), specs, input_dtype="float32")
+        assert isinstance(net.layers[0], FloatConv2d)
+
+    def test_binarized_conv_uses_sign_of_weights(self, rng):
+        weights = rng.normal(size=(3, 3, 4, 6))
+        specs = [LayerSpec("conv", weights=weights, input_layer=True, padding=1)]
+        net = convert_model("signs", (6, 6, 4), specs)
+        np.testing.assert_array_equal(net.layers[0].weight_bits, binarize_weights(weights))
+
+    def test_converted_dense_matches_float_bnn_forward(self, rng):
+        """Converted BinaryDense must equal sign(BN(x·sign(W))) computed in float."""
+        in_features, out_features = 30, 12
+        weights = rng.normal(size=(in_features, out_features))
+        bn = _bn(rng, out_features)
+        specs = [LayerSpec("dense", weights=weights, batchnorm=bn, binary=True)]
+        net = convert_model("bdense", (in_features,), specs, input_dtype="float32")
+
+        x_values = rng.choice([-1.0, 1.0], size=(5, in_features))
+        out = net.forward(x_values.astype(np.float32))
+        from repro.core import bitpack
+
+        produced = bitpack.unpack_bits(out.data, out_features, axis=1)
+
+        w_values = bits_to_values(binarize_weights(weights))
+        x1 = x_values @ w_values
+        normalized = bn.gamma * (x1 - bn.mean) / bn.sigma + bn.beta
+        expected = (normalized >= 0).astype(np.uint8)
+        np.testing.assert_array_equal(produced, expected)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            convert_model("bad", (4,), [LayerSpec("lstm")])
+
+    def test_conv_weight_rank_checked(self, rng):
+        with pytest.raises(ValueError):
+            convert_model("bad", (4, 4, 2),
+                          [LayerSpec("conv", weights=rng.normal(size=(3, 3, 2)))])
+
+    def test_dense_weight_rank_checked(self, rng):
+        with pytest.raises(ValueError):
+            convert_model("bad", (4,), [LayerSpec("dense", weights=rng.normal(size=(4,)))])
+
+
+class TestConversionReport:
+    def test_report_counts_layers_and_sizes(self, rng):
+        specs = [
+            LayerSpec("conv", weights=rng.normal(size=(3, 3, 3, 8)),
+                      batchnorm=_bn(rng, 8), input_layer=True, padding=1),
+            LayerSpec("flatten"),
+            LayerSpec("dense", weights=rng.normal(size=(8 * 8 * 8, 10)), binary=False),
+        ]
+        report = convert_with_report("reported", (8, 8, 3), specs)
+        assert isinstance(report, ConversionReport)
+        assert report.binary_layers == 1
+        assert report.float_layers == 1
+        assert report.compression_ratio > 1.0
+        assert report.network.output_shape() == (10,)

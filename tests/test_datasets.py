@@ -1,0 +1,94 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import synthetic_cifar10, synthetic_image_batch, synthetic_voc_detection
+from repro.datasets.detection import BoundingBox, iou
+
+
+class TestSyntheticCifar10:
+    def test_shapes_and_dtype(self):
+        data = synthetic_cifar10(train_size=64, test_size=16, image_size=32)
+        assert data.train_images.shape == (64, 32, 32, 3)
+        assert data.test_images.shape == (16, 32, 32, 3)
+        assert data.train_images.dtype == np.uint8
+        assert data.image_shape == (32, 32, 3)
+        assert data.num_classes == 10
+
+    def test_deterministic_for_seed(self):
+        a = synthetic_cifar10(train_size=16, test_size=8, image_size=16, seed=5)
+        b = synthetic_cifar10(train_size=16, test_size=8, image_size=16, seed=5)
+        np.testing.assert_array_equal(a.train_images, b.train_images)
+        np.testing.assert_array_equal(a.train_labels, b.train_labels)
+
+    def test_different_seeds_differ(self):
+        a = synthetic_cifar10(train_size=16, test_size=8, image_size=16, seed=1)
+        b = synthetic_cifar10(train_size=16, test_size=8, image_size=16, seed=2)
+        assert not np.array_equal(a.train_images, b.train_images)
+
+    def test_labels_in_range(self):
+        data = synthetic_cifar10(train_size=64, test_size=16, image_size=16)
+        assert data.train_labels.min() >= 0
+        assert data.train_labels.max() < 10
+
+    def test_classes_are_visually_distinct(self):
+        """Same-class images are more alike than different-class images."""
+        data = synthetic_cifar10(train_size=256, test_size=16, image_size=16, noise=20)
+        images = data.train_images.astype(np.float64)
+        labels = data.train_labels
+        class_means = np.stack([images[labels == c].mean(axis=0)
+                                for c in range(10) if (labels == c).any()])
+        spread_between = np.std(class_means, axis=0).mean()
+        spread_within = np.mean([
+            images[labels == c].std(axis=0).mean()
+            for c in range(10) if (labels == c).sum() > 1
+        ])
+        assert spread_between > spread_within
+
+    def test_batches_cover_dataset(self):
+        data = synthetic_cifar10(train_size=50, test_size=8, image_size=16)
+        total = sum(len(labels) for _, labels in data.batches(batch_size=16))
+        assert total == 50
+
+    def test_image_size_must_be_multiple_of_four(self):
+        with pytest.raises(ValueError):
+            synthetic_cifar10(image_size=30)
+
+    def test_image_batch_shape(self):
+        batch = synthetic_image_batch(batch_size=2, image_size=64)
+        assert batch.shape == (2, 64, 64, 3)
+        assert batch.dtype == np.uint8
+
+
+class TestSyntheticDetection:
+    def test_sample_structure(self):
+        samples = synthetic_voc_detection(count=3, image_size=128, seed=1)
+        assert len(samples) == 3
+        for sample in samples:
+            assert sample.image.shape == (128, 128, 3)
+            assert sample.image.dtype == np.uint8
+            assert 1 <= len(sample.boxes) <= 3
+            for box in sample.boxes:
+                assert 0 <= box.class_index < 20
+                x0, y0, x1, y1 = box.corners(128)
+                assert 0 <= x0 < x1 <= 128
+                assert 0 <= y0 < y1 <= 128
+
+    def test_boxes_are_painted_into_image(self):
+        sample = synthetic_voc_detection(count=1, image_size=64, seed=3)[0]
+        box = sample.boxes[0]
+        x0, y0, x1, y1 = box.corners(64)
+        patch = sample.image[y0:y1, x0:x1]
+        assert patch.std(axis=(0, 1)).max() < 40  # solid-ish colour block
+
+    def test_iou_identity_and_disjoint(self):
+        a = BoundingBox(0, 0.5, 0.5, 0.2, 0.2)
+        b = BoundingBox(0, 0.9, 0.9, 0.1, 0.1)
+        assert iou(a, a) == pytest.approx(1.0)
+        assert iou(a, b) == 0.0
+
+    def test_iou_partial_overlap(self):
+        a = BoundingBox(0, 0.5, 0.5, 0.4, 0.4)
+        b = BoundingBox(0, 0.6, 0.5, 0.4, 0.4)
+        assert 0.0 < iou(a, b) < 1.0

@@ -1,0 +1,150 @@
+"""Tests for the simulated deployment frameworks (Table III behaviours)."""
+
+import pytest
+
+from repro.frameworks import all_runners, get_runner
+from repro.frameworks.base import RunStatus
+from repro.frameworks.cnndroid import CnnDroidCpuRunner, CnnDroidGpuRunner
+from repro.frameworks.phonebit_runner import PhoneBitRunner
+from repro.frameworks.registry import FRAMEWORK_ORDER, runners_by_name
+from repro.frameworks.tflite import (
+    TfLiteCpuRunner,
+    TfLiteGpuRunner,
+    TfLiteQuantizedCpuRunner,
+)
+from repro.gpusim.device import snapdragon_820, snapdragon_855
+from repro.models import get_model_config
+
+
+@pytest.fixture(scope="module")
+def device():
+    return snapdragon_855()
+
+
+@pytest.fixture(scope="module")
+def yolo():
+    return get_model_config("YOLOv2 Tiny")
+
+
+@pytest.fixture(scope="module")
+def alexnet():
+    return get_model_config("AlexNet")
+
+
+@pytest.fixture(scope="module")
+def vgg16():
+    return get_model_config("VGG16")
+
+
+class TestRegistry:
+    def test_all_runners_in_table_order(self, device):
+        runners = all_runners(device)
+        assert [r.name for r in runners] == list(FRAMEWORK_ORDER)
+
+    def test_get_runner_case_insensitive(self, device):
+        assert isinstance(get_runner("phonebit", device), PhoneBitRunner)
+        with pytest.raises(KeyError):
+            get_runner("NCNN", device)
+
+    def test_runners_by_name(self, device):
+        mapping = runners_by_name(device)
+        assert set(mapping) == set(FRAMEWORK_ORDER)
+
+
+class TestFailureModes:
+    def test_cnndroid_oom_on_vgg16(self, device, vgg16):
+        for cls in (CnnDroidCpuRunner, CnnDroidGpuRunner):
+            result = cls(device).run_model(vgg16)
+            assert result.status == RunStatus.OOM
+            assert result.runtime_ms is None
+            assert "heap" in result.reason
+
+    def test_cnndroid_oom_independent_of_ram(self, vgg16):
+        """The paper reports OOM on both the 3 GB and the 8 GB phone."""
+        for device in (snapdragon_820(), snapdragon_855()):
+            assert CnnDroidGpuRunner(device).run_model(vgg16).status == RunStatus.OOM
+
+    def test_cnndroid_runs_alexnet_and_yolo(self, device, alexnet, yolo):
+        for config in (alexnet, yolo):
+            assert CnnDroidGpuRunner(device).run_model(config).succeeded
+
+    def test_tflite_gpu_crashes_on_large_dense_layers(self, device, alexnet, vgg16):
+        for config in (alexnet, vgg16):
+            result = TfLiteGpuRunner(device).run_model(config)
+            assert result.status == RunStatus.CRASH
+            assert "dense" in result.reason
+
+    def test_tflite_gpu_runs_yolo(self, device, yolo):
+        assert TfLiteGpuRunner(device).run_model(yolo).succeeded
+
+    def test_result_cell_formatting(self, device, yolo, vgg16):
+        ok = PhoneBitRunner(device).run_model(yolo)
+        oom = CnnDroidGpuRunner(device).run_model(vgg16)
+        assert ok.cell().replace(".", "").isdigit()
+        assert oom.cell() == "OOM"
+
+
+class TestRelativePerformance:
+    def test_phonebit_is_fastest_on_every_model(self, device):
+        for model in ("AlexNet", "YOLOv2 Tiny", "VGG16"):
+            config = get_model_config(model)
+            results = {r.name: r.run_model(config) for r in all_runners(device)}
+            phonebit_ms = results["PhoneBit"].runtime_ms
+            for name, result in results.items():
+                if name == "PhoneBit" or not result.succeeded:
+                    continue
+                assert result.runtime_ms > phonebit_ms, (model, name)
+
+    def test_cnndroid_cpu_is_slowest(self, device, yolo):
+        results = {r.name: r.run_model(yolo) for r in all_runners(device)}
+        slowest = max(
+            (r for r in results.values() if r.succeeded), key=lambda r: r.runtime_ms
+        )
+        assert slowest.framework == "CNNdroid CPU"
+
+    def test_quantization_beats_float_cpu(self, device, yolo):
+        cpu = TfLiteCpuRunner(device).run_model(yolo)
+        quant = TfLiteQuantizedCpuRunner(device).run_model(yolo)
+        assert quant.runtime_ms < cpu.runtime_ms
+
+    def test_newer_soc_is_faster(self, yolo):
+        for name in FRAMEWORK_ORDER:
+            old = get_runner(name, snapdragon_820()).run_model(yolo)
+            new = get_runner(name, snapdragon_855()).run_model(yolo)
+            if old.succeeded and new.succeeded:
+                assert new.runtime_ms < old.runtime_ms, name
+
+    def test_phonebit_speedup_over_cnndroid_gpu_is_tens_of_x(self, device, yolo):
+        phonebit = PhoneBitRunner(device).run_model(yolo)
+        cnndroid = CnnDroidGpuRunner(device).run_model(yolo)
+        speedup = cnndroid.runtime_ms / phonebit.runtime_ms
+        assert 10 < speedup < 200
+
+    def test_phonebit_speedup_over_tflite_is_around_10x(self, device, yolo):
+        phonebit = PhoneBitRunner(device).run_model(yolo)
+        tflite_cpu = TfLiteCpuRunner(device).run_model(yolo)
+        tflite_gpu = TfLiteGpuRunner(device).run_model(yolo)
+        assert 3 < tflite_cpu.runtime_ms / phonebit.runtime_ms < 40
+        assert 5 < tflite_gpu.runtime_ms / phonebit.runtime_ms < 60
+
+    def test_layer_times_cover_conv_layers(self, device, yolo):
+        result = PhoneBitRunner(device).run_model(yolo)
+        for index in range(1, 10):
+            assert f"conv{index}" in result.layer_times_ms
+
+
+class TestPhoneBitRunnerOptions:
+    def test_unfused_slower_than_fused(self, device, yolo):
+        fused = PhoneBitRunner(device, fused=True).run_model(yolo)
+        unfused = PhoneBitRunner(device, fused=False).run_model(yolo)
+        assert unfused.runtime_ms > fused.runtime_ms
+
+    def test_narrow_packing_slower(self, device, yolo):
+        wide = PhoneBitRunner(device, word_size=64).run_model(yolo)
+        narrow = PhoneBitRunner(device, word_size=8).run_model(yolo)
+        assert narrow.runtime_ms > wide.runtime_ms
+
+    def test_workloads_skip_flatten(self, device, alexnet):
+        workloads = PhoneBitRunner(device).model_workloads(alexnet)
+        assert all(w.layer_type != "flatten" for w in workloads)
+        assert any(w.layer_type == "binary_dense" for w in workloads)

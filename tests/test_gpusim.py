@@ -1,0 +1,259 @@
+"""Tests for the mobile-GPU simulator: devices, cost model, memory, energy."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.cost_model import CostModel, EfficiencyProfile
+from repro.gpusim.device import get_device, snapdragon_820, snapdragon_855
+from repro.gpusim.divergence import divergence_penalty
+from repro.gpusim.energy import EnergyModel
+from repro.gpusim.kernel import ExecutionUnit, KernelLaunch, LayerWorkload, OpKind
+from repro.gpusim.memory import MemoryTracker, OutOfMemoryError, access_efficiency
+from repro.gpusim.profiler import TrepnLikeProfiler
+from repro.gpusim.scheduler import combine_times, estimate_schedule
+
+
+def _kernel(**overrides) -> KernelLaunch:
+    defaults = dict(
+        name="k",
+        work_items=100_000,
+        ops_per_item=100.0,
+        bytes_read_per_item=64.0,
+        bytes_written_per_item=4.0,
+        op_kind=OpKind.FP32,
+        vector_width=4,
+    )
+    defaults.update(overrides)
+    return KernelLaunch(**defaults)
+
+
+class TestDevices:
+    def test_table1_rows(self):
+        row_820 = snapdragon_820().table_row()
+        row_855 = snapdragon_855().table_row()
+        assert row_820["ALUs in GPU"] == 256
+        assert row_855["ALUs in GPU"] == 384
+        assert row_820["Memory"] == "3GB"
+        assert row_855["Memory"] == "8GB"
+
+    def test_855_gpu_faster_than_820(self):
+        assert snapdragon_855().gpu.peak_gflops("fp32") > snapdragon_820().gpu.peak_gflops("fp32")
+
+    def test_fp16_rate_doubles_fp32(self):
+        gpu = snapdragon_855().gpu
+        assert gpu.peak_gflops("fp16") == pytest.approx(2 * gpu.peak_gflops("fp32"))
+
+    def test_unknown_precision_rejected(self):
+        with pytest.raises(ValueError):
+            snapdragon_855().gpu.peak_gflops("fp8")
+        with pytest.raises(ValueError):
+            snapdragon_855().cpu.peak_gflops("fp8")
+
+    def test_cpu_threads_capped_at_big_cores(self):
+        cpu = snapdragon_855().cpu
+        assert cpu.peak_gflops("fp32", threads=100) == cpu.peak_gflops("fp32")
+        assert cpu.peak_gflops("fp32", threads=1) < cpu.peak_gflops("fp32", threads=4)
+
+    def test_get_device_lookup(self):
+        assert get_device("snapdragon_820").soc == "Snapdragon 820"
+        assert get_device("SD855").soc == "Snapdragon 855"
+        with pytest.raises(KeyError):
+            get_device("snapdragon_999")
+
+    def test_memory_budget(self):
+        device = snapdragon_820()
+        assert device.app_memory_budget_bytes == pytest.approx(1.5 * 1024**3)
+
+
+class TestKernelLaunch:
+    def test_totals(self):
+        kernel = _kernel(work_items=10, ops_per_item=5, bytes_read_per_item=2,
+                         bytes_written_per_item=1)
+        assert kernel.total_ops == 50
+        assert kernel.total_bytes == 30
+
+    def test_scaled(self):
+        kernel = _kernel(ops_per_item=10)
+        assert kernel.scaled(2.0).ops_per_item == 20
+
+    def test_layer_workload_totals(self):
+        workload = LayerWorkload("l", "conv", kernels=[_kernel(), _kernel()])
+        assert workload.total_ops == 2 * _kernel().total_ops
+
+
+class TestEfficiencyProfile:
+    def test_defaults_valid(self):
+        EfficiencyProfile()
+
+    @pytest.mark.parametrize("field,value", [("compute_efficiency", 0.0),
+                                             ("compute_efficiency", 1.5),
+                                             ("memory_efficiency", 0.0)])
+    def test_invalid_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            EfficiencyProfile(**{field: value})
+
+
+class TestCostModel:
+    def test_kernel_cost_positive_and_bounded(self):
+        model = CostModel(snapdragon_855())
+        cost = model.kernel_cost(_kernel())
+        assert cost.total_s > 0
+        assert cost.combined_s <= cost.compute_s + cost.memory_s + 1e-12
+        assert cost.combined_s >= max(cost.compute_s, cost.memory_s) - 1e-12
+
+    def test_compute_bound_vs_memory_bound(self):
+        model = CostModel(snapdragon_855())
+        compute_heavy = model.kernel_cost(_kernel(ops_per_item=1e5, bytes_read_per_item=1))
+        memory_heavy = model.kernel_cost(_kernel(ops_per_item=1, bytes_read_per_item=1e5))
+        assert compute_heavy.bound == "compute"
+        assert memory_heavy.bound == "memory"
+
+    def test_lower_efficiency_is_slower(self):
+        fast = CostModel(snapdragon_855(), EfficiencyProfile(compute_efficiency=1.0))
+        slow = CostModel(snapdragon_855(), EfficiencyProfile(compute_efficiency=0.1))
+        kernel = _kernel(ops_per_item=1e4)
+        assert slow.kernel_cost(kernel).compute_s > fast.kernel_cost(kernel).compute_s
+
+    def test_divergent_kernel_is_slower(self):
+        model = CostModel(snapdragon_855())
+        straight = model.kernel_cost(_kernel())
+        divergent = model.kernel_cost(_kernel(divergent=True))
+        assert divergent.compute_s > straight.compute_s
+
+    def test_cpu_kernel_uses_cpu_speed(self):
+        model = CostModel(snapdragon_855())
+        one_thread = model.kernel_cost(_kernel(unit=ExecutionUnit.CPU, threads=1,
+                                               ops_per_item=1e4))
+        four_threads = model.kernel_cost(_kernel(unit=ExecutionUnit.CPU, threads=4,
+                                                 ops_per_item=1e4))
+        assert one_thread.compute_s > four_threads.compute_s
+
+    def test_run_cost_aggregates_layers(self):
+        model = CostModel(snapdragon_855(), EfficiencyProfile(per_inference_overhead_s=0.01))
+        workloads = [LayerWorkload("a", "conv", [_kernel()]),
+                     LayerWorkload("b", "conv", [_kernel()])]
+        run = model.run_cost(workloads)
+        assert run.total_ms == pytest.approx(
+            sum(l.total_s for l in run.layer_costs) * 1e3 + 10.0
+        )
+        assert set(run.layer_times_ms()) == {"a", "b"}
+
+    def test_bitwise_kernels_cheaper_per_op_than_fp32_per_mac(self):
+        """64 MACs collapse into a few word ops: binary conv wins per MAC."""
+        model = CostModel(snapdragon_855())
+        macs = 64 * 1000
+        fp32 = _kernel(work_items=1000, ops_per_item=2 * 64, op_kind=OpKind.FP32)
+        binary = _kernel(work_items=1000, ops_per_item=6, op_kind=OpKind.BITWISE)
+        assert model.kernel_cost(binary).compute_s < model.kernel_cost(fp32).compute_s
+        assert macs > 0
+
+
+class TestMemoryModel:
+    def test_coalesced_beats_uncoalesced(self):
+        assert access_efficiency(True, 4) > access_efficiency(False, 4)
+
+    def test_vectorized_beats_scalar(self):
+        assert access_efficiency(True, 4) > access_efficiency(True, 1)
+
+    def test_memory_tracker_oom(self):
+        tracker = MemoryTracker(budget_bytes=1000)
+        tracker.allocate("weights", 800)
+        with pytest.raises(OutOfMemoryError):
+            tracker.allocate("activations", 300)
+
+    def test_memory_tracker_free(self):
+        tracker = MemoryTracker(budget_bytes=1000)
+        tracker.allocate("weights", 800)
+        tracker.free("weights")
+        tracker.allocate("activations", 900)
+        assert tracker.total_bytes == 900
+
+    def test_negative_allocation_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryTracker(budget_bytes=10).allocate("x", -1)
+
+
+class TestScheduler:
+    def test_occupancy_increases_with_work(self):
+        gpu = snapdragon_855().gpu
+        small = estimate_schedule(gpu, _kernel(work_items=64))
+        large = estimate_schedule(gpu, _kernel(work_items=1_000_000))
+        assert large.occupancy > small.occupancy
+        assert large.overlap > small.overlap
+
+    def test_private_memory_pressure_reduces_occupancy(self):
+        gpu = snapdragon_855().gpu
+        light = estimate_schedule(gpu, _kernel(metadata={"private_bytes": 32}))
+        heavy = estimate_schedule(gpu, _kernel(metadata={"private_bytes": 65536}))
+        assert heavy.occupancy < light.occupancy
+
+    def test_combine_times_limits(self):
+        assert combine_times(3.0, 1.0, overlap=1.0) == 3.0
+        assert combine_times(3.0, 1.0, overlap=0.0) == 4.0
+        assert 3.0 < combine_times(3.0, 1.0, overlap=0.5) < 4.0
+
+
+class TestDivergence:
+    def test_no_penalty_for_straight_line_code(self):
+        assert divergence_penalty(_kernel()) == 1.0
+
+    def test_penalty_for_divergent_kernel(self):
+        assert divergence_penalty(_kernel(divergent=True)) > 1.0
+
+    def test_penalty_scales_with_paths(self):
+        two = divergence_penalty(_kernel(divergent=True, metadata={"branch_paths": 2}))
+        eight = divergence_penalty(_kernel(divergent=True, metadata={"branch_paths": 8}))
+        assert eight > two
+
+
+class TestEnergyAndProfiler:
+    def _run(self, device):
+        model = CostModel(device)
+        workloads = [
+            LayerWorkload("conv", "conv", [_kernel(op_kind=OpKind.BITWISE)]),
+            LayerWorkload("head", "conv", [_kernel(op_kind=OpKind.FP32)]),
+        ]
+        return model.run_cost(workloads)
+
+    def test_energy_report_consistency(self):
+        device = snapdragon_820()
+        run = self._run(device)
+        report = EnergyModel(device).report(run)
+        assert report.runtime_ms == pytest.approx(run.total_ms)
+        assert report.average_power_mw > 0
+        assert report.energy_per_frame_mj == pytest.approx(
+            report.average_power_mw * run.total_s, rel=1e-6
+        )
+        assert report.fps_per_watt == pytest.approx(
+            report.fps / (report.average_power_mw / 1000.0)
+        )
+
+    def test_binary_workload_uses_less_power_than_float(self):
+        device = snapdragon_820()
+        model = CostModel(device)
+        binary = model.run_cost([LayerWorkload("b", "conv",
+                                               [_kernel(op_kind=OpKind.BITWISE)])])
+        floaty = model.run_cost([LayerWorkload("f", "conv",
+                                               [_kernel(op_kind=OpKind.FP32)])])
+        energy = EnergyModel(device)
+        assert energy.report(binary).average_power_mw < energy.report(floaty).average_power_mw
+
+    def test_profiler_samples_cover_duration(self):
+        device = snapdragon_820()
+        run = self._run(device)
+        profiler = TrepnLikeProfiler(EnergyModel(device), sample_interval_ms=50)
+        trace = profiler.profile(run, duration_s=0.5)
+        assert len(trace.samples) == 10
+        assert trace.average_power_mw > 0
+        assert trace.peak_power_mw >= trace.average_power_mw
+        assert {s.active_layer for s in trace.samples} <= {"conv", "head", "host-overhead"}
+
+    def test_profiler_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            TrepnLikeProfiler(EnergyModel(snapdragon_820()), sample_interval_ms=0)
+
+    def test_energy_report_rejects_empty_run(self):
+        device = snapdragon_820()
+        run = CostModel(device).run_cost([])
+        with pytest.raises(ValueError):
+            EnergyModel(device).report(run)

@@ -1,0 +1,92 @@
+"""End-to-end integration tests across the whole stack."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.core import model_format
+from repro.core.engine import PhoneBitEngine
+from repro.core.layers import BinaryConv2d, InputConv2d
+from repro.datasets import synthetic_image_batch
+from repro.gpusim.device import snapdragon_820, snapdragon_855
+from repro.gpusim.energy import EnergyModel
+from repro.models import build_phonebit_network, yolov2_tiny_config
+
+
+class TestSmallNetworkEndToEnd:
+    def test_run_save_load_rerun(self, tiny_bnn_network, tiny_images):
+        """forward → cost estimate → serialize → reload → identical forward."""
+        engine = PhoneBitEngine(snapdragon_855())
+        report = engine.run(tiny_bnn_network, tiny_images)
+        assert report.latency_ms > 0
+
+        buffer = io.BytesIO()
+        model_format.save_network(tiny_bnn_network, buffer)
+        buffer.seek(0)
+        restored = model_format.load_network(buffer)
+        report2 = engine.run(restored, tiny_images)
+        np.testing.assert_allclose(report.output.data, report2.output.data,
+                                   rtol=1e-4, atol=1e-3)
+        assert report2.latency_ms == pytest.approx(report.latency_ms, rel=1e-6)
+
+    def test_binary_pipeline_equals_float_simulation(self, rng, random_batchnorm):
+        """The packed engine must agree with an all-float simulation of a BNN."""
+        from repro.core import binary_conv
+        from repro.core.branchless import branchless_binarize
+        from repro.core.fusion import compute_threshold
+        from repro.core.network import Network
+
+        bn1 = random_batchnorm(8, seed=21)
+        bn2 = random_batchnorm(12, seed=22)
+        net = Network("two-conv", input_shape=(10, 10, 3), input_dtype="uint8")
+        conv1 = InputConv2d(3, 8, 3, padding=1, batchnorm=bn1, rng=31, name="c1")
+        conv2 = BinaryConv2d(8, 12, 3, padding=1, batchnorm=bn2, rng=32,
+                             output_binary=False, name="c2")
+        net.add(conv1)
+        net.add(conv2)
+
+        image = rng.integers(0, 256, size=(1, 10, 10, 3)).astype(np.uint8)
+        packed_out = net.forward(image)
+
+        # Float simulation of the same BNN.
+        x1 = binary_conv.input_conv2d_reference(image, conv1.weight_bits, 3, padding=1)
+        bits1 = branchless_binarize(x1, compute_threshold(bn1), bn1.gamma)
+        x2 = binary_conv.binary_conv2d_reference(bits1, conv2.weight_bits, 3, padding=1)
+        expected = bn2.gamma * (x2 - bn2.mean) / bn2.sigma + bn2.beta
+        np.testing.assert_allclose(packed_out.data, expected, rtol=1e-4, atol=1e-3)
+
+
+class TestFullSizeModelsCostOnly:
+    def test_yolo_estimate_matches_runner(self):
+        """Engine estimate on an instantiated YOLO agrees with the spec runner."""
+        from repro.frameworks.phonebit_runner import PhoneBitRunner
+
+        config = yolov2_tiny_config(input_size=128)
+        network = build_phonebit_network(config, rng=0)
+        engine_report = PhoneBitEngine(snapdragon_855()).estimate(network)
+
+        runner = PhoneBitRunner(snapdragon_855())
+        runner_result = runner.run_model(config)
+        # Same kernels, same cost model: the two paths must agree closely.
+        assert engine_report.latency_ms == pytest.approx(runner_result.runtime_ms,
+                                                         rel=0.05)
+
+    def test_reduced_yolo_functional_run(self):
+        config = yolov2_tiny_config(input_size=64)
+        network = build_phonebit_network(config, rng=0)
+        image = synthetic_image_batch(batch_size=1, image_size=64, seed=2)
+        engine = PhoneBitEngine(snapdragon_855())
+        report = engine.run(network, image)
+        assert report.output.shape == (1, 2, 2, 125)
+        assert np.isfinite(report.output.data).all()
+
+    def test_energy_consistent_with_runtime_across_devices(self):
+        config = yolov2_tiny_config()
+        from repro.frameworks.phonebit_runner import PhoneBitRunner
+
+        for device in (snapdragon_820(), snapdragon_855()):
+            result = PhoneBitRunner(device).run_model(config)
+            report = EnergyModel(device).report(result.run_cost)
+            assert report.runtime_ms == pytest.approx(result.runtime_ms)
+            assert 50 < report.average_power_mw < 2000

@@ -1,0 +1,132 @@
+"""Tests for the kernel workload builders."""
+
+import pytest
+
+from repro.core import kernels as kern
+from repro.core.kernels import ConvGeometry
+from repro.gpusim.kernel import ExecutionUnit, OpKind
+
+
+@pytest.fixture
+def geometry():
+    return ConvGeometry(in_height=26, in_width=26, in_channels=128,
+                        out_channels=256, kernel_size=3, stride=1, padding=1)
+
+
+class TestConvGeometry:
+    def test_output_shape(self, geometry):
+        assert geometry.output_shape() == (26, 26, 256)
+
+    def test_macs(self):
+        g = ConvGeometry(4, 4, 2, 3, kernel_size=3, padding=1)
+        assert g.macs == 4 * 4 * 3 * 9 * 2
+
+    def test_weight_count(self, geometry):
+        assert geometry.weight_count == 3 * 3 * 128 * 256
+
+
+class TestPhoneBitConvWorkload:
+    def test_fused_single_kernel(self, geometry):
+        workload = kern.phonebit_binary_conv_workload("conv", geometry)
+        assert len(workload.kernels) == 1
+        kernel = workload.kernels[0]
+        assert kernel.op_kind is OpKind.BITWISE
+        assert kernel.fused_layers == 3
+        assert not kernel.divergent
+        # one thread computes 8 filters
+        assert kernel.work_items == geometry.output_pixels * geometry.out_channels // 8
+
+    def test_unfused_adds_bn_and_binarize_kernels(self, geometry):
+        workload = kern.phonebit_binary_conv_workload("conv", geometry, fused=False)
+        names = [k.name for k in workload.kernels]
+        assert any("batchnorm" in n for n in names)
+        assert any("binarize" in n for n in names)
+
+    def test_branchy_kernel_marked_divergent(self, geometry):
+        workload = kern.phonebit_binary_conv_workload("conv", geometry, branchless=False)
+        assert workload.kernels[0].divergent
+
+    def test_packing_word_width_scales_ops(self, geometry):
+        wide = kern.phonebit_binary_conv_workload("conv", geometry, word_size=64)
+        narrow = kern.phonebit_binary_conv_workload("conv", geometry, word_size=8)
+        assert narrow.total_ops > wide.total_ops
+        assert narrow.total_ops == pytest.approx(8 * wide.kernels[0].total_ops, rel=0.2)
+
+    def test_workload_rule_separate_packing_above_limit(self):
+        big = ConvGeometry(13, 13, 1024, 1024, kernel_size=3, padding=1)
+        workload = kern.phonebit_binary_conv_workload("conv8", big)
+        assert any("pack" in k.name for k in workload.kernels[1:])
+        assert not workload.kernels[0].uses_private_packing
+
+    def test_workload_rule_integrated_below_limit(self, geometry):
+        workload = kern.phonebit_binary_conv_workload("conv", geometry)
+        assert workload.kernels[0].uses_private_packing
+        assert len(workload.kernels) == 1
+
+    def test_input_layer_adds_bitplane_split_and_scales_ops(self):
+        g = ConvGeometry(416, 416, 3, 16, kernel_size=3, padding=1)
+        bitplane = kern.phonebit_binary_conv_workload("conv1", g, input_bitplanes=8)
+        assert any("bitplane-split" in k.name for k in bitplane.kernels)
+        assert bitplane.layer_type == "input_conv"
+        conv_kernel = next(k for k in bitplane.kernels if "bconv" in k.name)
+        # The fused conv kernel processes all 8 bit-planes of the packed
+        # 3×3×3 window for each of its 8 filters.
+        window_words = kern.words_per_channel(3 * 3 * 3, 64)
+        assert conv_kernel.ops_per_item >= 8 * window_words * kern.OPS_PER_WORD * 8
+
+    def test_non_binary_output_writes_float(self, geometry):
+        workload = kern.phonebit_binary_conv_workload("conv", geometry,
+                                                      output_binary=False)
+        assert workload.kernels[0].bytes_written_per_item == 4.0
+
+
+class TestOtherPhoneBitWorkloads:
+    def test_float_conv_is_fp32(self, geometry):
+        workload = kern.phonebit_float_conv_workload("conv9", geometry)
+        assert workload.kernels[0].op_kind is OpKind.FP32
+        assert workload.total_ops == pytest.approx(2 * geometry.macs)
+
+    def test_pool_packed_vs_float_items(self):
+        packed = kern.phonebit_pool_workload("pool", 104, 104, 32, 2, 2, packed=True)
+        floaty = kern.phonebit_pool_workload("pool", 104, 104, 32, 2, 2, packed=False)
+        assert packed.kernels[0].work_items < floaty.kernels[0].work_items
+
+    def test_binary_dense_workload(self):
+        workload = kern.phonebit_binary_dense_workload("fc", 9216, 4096)
+        assert workload.kernels[0].op_kind is OpKind.BITWISE
+        assert workload.weight_bytes == pytest.approx(9216 * 4096 / 8)
+
+    def test_float_dense_workload(self):
+        workload = kern.phonebit_float_dense_workload("fc8", 4096, 10)
+        assert workload.kernels[0].work_items == 10
+        assert workload.weight_bytes == pytest.approx(4 * 4096 * 10)
+
+
+class TestBaselineWorkloads:
+    def test_precision_changes_bytes(self, geometry):
+        fp32 = kern.float_conv_workload("c", geometry, op_kind=OpKind.FP32)
+        int8 = kern.float_conv_workload("c", geometry, op_kind=OpKind.INT8)
+        assert fp32.weight_bytes == 4 * int8.weight_bytes
+
+    def test_unfused_batchnorm_and_activation_add_kernels(self, geometry):
+        plain = kern.float_conv_workload("c", geometry)
+        unfused = kern.float_conv_workload("c", geometry, fused_batchnorm=False,
+                                           separate_activation=True)
+        assert len(unfused.kernels) == len(plain.kernels) + 2
+
+    def test_cpu_unit_and_threads_propagate(self, geometry):
+        workload = kern.float_conv_workload("c", geometry, unit=ExecutionUnit.CPU,
+                                            threads=4)
+        assert workload.kernels[0].unit is ExecutionUnit.CPU
+        assert workload.kernels[0].threads == 4
+
+    def test_input_reuse_reduces_traffic(self, geometry):
+        low = kern.float_conv_workload("c", geometry, input_reuse=1.0)
+        high = kern.float_conv_workload("c", geometry, input_reuse=64.0)
+        assert high.kernels[0].bytes_read_per_item < low.kernels[0].bytes_read_per_item
+
+    def test_pool_and_dense_builders(self):
+        pool = kern.float_pool_workload("p", 26, 26, 256, 2, 2)
+        dense = kern.float_dense_workload("d", 9216, 4096)
+        assert pool.kernels[0].work_items == 13 * 13 * 256
+        assert dense.kernels[0].ops_per_item == 2 * 9216

@@ -1,0 +1,149 @@
+"""Tests for the convolution layers (fused binary, bit-plane input, float)."""
+
+import numpy as np
+import pytest
+
+from repro.core import binary_conv, bitpack
+from repro.core.branchless import branchless_binarize
+from repro.core.fusion import compute_threshold
+from repro.core.layers import BinaryConv2d, FloatConv2d, InputConv2d
+from repro.core.tensor import Layout, Tensor
+
+
+def _unpack(tensor: Tensor) -> np.ndarray:
+    return bitpack.unpack_bits(tensor.data, tensor.true_channels, axis=-1)
+
+
+class TestInputConv2d:
+    def test_output_matches_manual_pipeline(self, rng, random_batchnorm):
+        bn = random_batchnorm(6, seed=2)
+        layer = InputConv2d(3, 6, 3, padding=1, batchnorm=bn, rng=5, name="conv1")
+        image = rng.integers(0, 256, size=(2, 8, 8, 3)).astype(np.uint8)
+        out = layer.forward(Tensor(image, Layout.NHWC))
+        assert out.packed and out.true_channels == 6
+
+        x1 = binary_conv.input_conv2d_reference(image, layer.weight_bits, 3, padding=1)
+        expected_bits = branchless_binarize(x1, compute_threshold(bn), bn.gamma)
+        np.testing.assert_array_equal(_unpack(out), expected_bits)
+
+    def test_rejects_float_input(self, rng):
+        layer = InputConv2d(3, 4, 3, rng=0)
+        with pytest.raises(ValueError):
+            layer.forward(Tensor(rng.normal(size=(1, 8, 8, 3)).astype(np.float32)))
+
+    def test_rejects_packed_input(self):
+        layer = InputConv2d(3, 4, 3, rng=0)
+        packed = Tensor(np.zeros((1, 8, 8, 1), dtype=np.uint64), packed=True,
+                        true_channels=3)
+        with pytest.raises(ValueError):
+            layer.forward(packed)
+
+    def test_output_shape(self):
+        layer = InputConv2d(3, 96, 11, stride=4, rng=0)
+        assert layer.output_shape((227, 227, 3)) == (55, 55, 96)
+
+    def test_param_count(self):
+        layer = InputConv2d(3, 16, 3, rng=0)
+        count = layer.param_count()
+        assert count.binary == 3 * 3 * 3 * 16 + 16
+        assert count.float32 == 16
+
+
+class TestBinaryConv2d:
+    def test_output_matches_manual_pipeline(self, rng, random_batchnorm):
+        bn = random_batchnorm(10, seed=4)
+        layer = BinaryConv2d(16, 10, 3, padding=1, batchnorm=bn, rng=6)
+        bits = rng.integers(0, 2, size=(2, 6, 6, 16), dtype=np.uint8)
+        packed = binary_conv.pack_activations(bits)
+        out = layer.forward(Tensor(packed, packed=True, true_channels=16))
+
+        x1 = binary_conv.binary_conv2d_reference(bits, layer.weight_bits, 3, padding=1)
+        expected = branchless_binarize(x1, compute_threshold(bn), bn.gamma)
+        np.testing.assert_array_equal(_unpack(out), expected)
+
+    def test_accepts_unpacked_float_input(self, rng):
+        layer = BinaryConv2d(8, 4, 3, padding=1, rng=3)
+        values = rng.normal(size=(1, 5, 5, 8)).astype(np.float32)
+        out_from_float = layer.forward(Tensor(values))
+        bits = (values >= 0).astype(np.uint8)
+        out_from_packed = layer.forward(
+            Tensor(binary_conv.pack_activations(bits), packed=True, true_channels=8)
+        )
+        np.testing.assert_array_equal(out_from_float.data, out_from_packed.data)
+
+    def test_output_binary_false_returns_float_bn_output(self, rng, random_batchnorm):
+        bn = random_batchnorm(5, seed=8)
+        layer = BinaryConv2d(8, 5, 3, padding=1, batchnorm=bn, rng=9,
+                             output_binary=False)
+        bits = rng.integers(0, 2, size=(1, 4, 4, 8), dtype=np.uint8)
+        out = layer.forward(Tensor(binary_conv.pack_activations(bits),
+                                   packed=True, true_channels=8))
+        assert not out.packed and out.dtype == np.float32
+        x1 = binary_conv.binary_conv2d_reference(bits, layer.weight_bits, 3, padding=1)
+        expected = bn.gamma * (x1 - bn.mean) / bn.sigma + bn.beta
+        np.testing.assert_allclose(out.data, expected, rtol=1e-5, atol=1e-4)
+
+    def test_channel_mismatch_rejected(self, rng):
+        layer = BinaryConv2d(16, 4, 3, rng=0)
+        bits = rng.integers(0, 2, size=(1, 5, 5, 8), dtype=np.uint8)
+        with pytest.raises(ValueError):
+            layer.forward(Tensor(binary_conv.pack_activations(bits),
+                                 packed=True, true_channels=8))
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            BinaryConv2d(0, 4, 3)
+        with pytest.raises(ValueError):
+            BinaryConv2d(4, 4, 3, stride=0)
+        with pytest.raises(ValueError):
+            BinaryConv2d(4, 4, 3, padding=-1)
+
+    def test_wrong_weight_shape_rejected(self, rng):
+        with pytest.raises(ValueError):
+            BinaryConv2d(4, 4, 3, weight_bits=rng.integers(0, 2, size=(3, 3, 4, 5)))
+
+    def test_workload_rule_flag(self):
+        assert BinaryConv2d(64, 64, 3, rng=0).uses_integrated_packing
+        assert not BinaryConv2d(512, 64, 3, rng=0).uses_integrated_packing
+
+    def test_output_shape_validates_channels(self):
+        layer = BinaryConv2d(16, 8, 3, padding=1)
+        with pytest.raises(ValueError):
+            layer.output_shape((8, 8, 32))
+
+
+class TestFloatConv2d:
+    def test_matches_reference_conv(self, rng):
+        layer = FloatConv2d(4, 6, 3, padding=1, rng=2)
+        x = rng.normal(size=(2, 5, 5, 4)).astype(np.float32)
+        out = layer.forward(Tensor(x))
+        expected = binary_conv.conv2d_float_nhwc(x, layer.weights, padding=1,
+                                                 bias=layer.bias)
+        np.testing.assert_allclose(out.data, expected, rtol=1e-5, atol=1e-5)
+
+    def test_relu_activation(self, rng):
+        layer = FloatConv2d(2, 3, 1, activation="relu", rng=4)
+        out = layer.forward(Tensor(rng.normal(size=(1, 4, 4, 2)).astype(np.float32)))
+        assert out.data.min() >= 0.0
+
+    def test_leaky_relu_activation(self, rng):
+        layer = FloatConv2d(2, 3, 1, activation="leaky_relu", rng=4)
+        x = rng.normal(size=(1, 4, 4, 2)).astype(np.float32)
+        out = layer.forward(Tensor(x))
+        raw = binary_conv.conv2d_float_nhwc(x, layer.weights, bias=layer.bias)
+        np.testing.assert_allclose(out.data, np.where(raw > 0, raw, 0.1 * raw),
+                                   rtol=1e-5, atol=1e-5)
+
+    def test_unknown_activation_rejected(self):
+        with pytest.raises(ValueError):
+            FloatConv2d(2, 2, 1, activation="gelu")
+
+    def test_rejects_packed_input(self):
+        layer = FloatConv2d(2, 2, 1, rng=0)
+        with pytest.raises(ValueError):
+            layer.forward(Tensor(np.zeros((1, 2, 2, 1), dtype=np.uint64),
+                                 packed=True, true_channels=2))
+
+    def test_param_count_counts_float_weights(self):
+        layer = FloatConv2d(4, 8, 3, rng=0)
+        assert layer.param_count().float32 == 3 * 3 * 4 * 8 + 8

@@ -1,0 +1,202 @@
+"""Tests for pooling, dense, normalization and activation layers."""
+
+import numpy as np
+import pytest
+
+from repro.core import bitpack
+from repro.core.binarize import bits_to_values
+from repro.core.branchless import branchless_binarize
+from repro.core.fusion import BatchNormParams, compute_threshold
+from repro.core.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Binarize,
+    BinaryDense,
+    Dense,
+    Flatten,
+    MaxPool2d,
+    Relu,
+    Softmax,
+)
+from repro.core.tensor import Tensor
+
+
+class TestMaxPool:
+    def test_float_pooling(self, rng):
+        x = rng.normal(size=(1, 4, 4, 3)).astype(np.float32)
+        out = MaxPool2d(2).forward(Tensor(x))
+        assert out.shape == (1, 2, 2, 3)
+        assert out.data[0, 0, 0, 0] == x[0, :2, :2, 0].max()
+
+    def test_packed_pooling_equals_float_pooling_on_values(self, rng):
+        bits = rng.integers(0, 2, size=(1, 4, 4, 20), dtype=np.uint8)
+        packed = bitpack.pack_bits(bits, axis=3)
+        pooled_packed = MaxPool2d(2).forward(Tensor(packed, packed=True, true_channels=20))
+        pooled_bits = bitpack.unpack_bits(pooled_packed.data, 20, axis=-1)
+
+        values = bits_to_values(bits)
+        pooled_values = MaxPool2d(2).forward(Tensor(values))
+        np.testing.assert_array_equal(bits_to_values(pooled_bits), pooled_values.data)
+
+    def test_padding_preserves_resolution(self, rng):
+        bits = rng.integers(0, 2, size=(1, 13, 13, 8), dtype=np.uint8)
+        packed = bitpack.pack_bits(bits, axis=3)
+        out = MaxPool2d(3, stride=1, padding=1).forward(
+            Tensor(packed, packed=True, true_channels=8)
+        )
+        assert out.shape[1:3] == (13, 13)
+
+    def test_float_padding_uses_minus_infinity(self):
+        x = -np.ones((1, 2, 2, 1), dtype=np.float32)
+        out = MaxPool2d(2, stride=1, padding=1).forward(Tensor(x))
+        # Every window contains at least one real -1; padding never wins.
+        assert out.data.max() == -1.0
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            MaxPool2d(0)
+        with pytest.raises(ValueError):
+            MaxPool2d(2, stride=0)
+        with pytest.raises(ValueError):
+            MaxPool2d(2, padding=-1)
+
+    def test_output_shape(self):
+        assert MaxPool2d(3, 2).output_shape((55, 55, 96)) == (27, 27, 96)
+
+
+class TestAvgPool:
+    def test_average(self, rng):
+        x = rng.normal(size=(1, 4, 4, 2)).astype(np.float32)
+        out = AvgPool2d(2).forward(Tensor(x))
+        np.testing.assert_allclose(out.data[0, 0, 0], x[0, :2, :2].mean(axis=(0, 1)),
+                                   rtol=1e-6)
+
+    def test_rejects_packed(self):
+        with pytest.raises(ValueError):
+            AvgPool2d(2).forward(Tensor(np.zeros((1, 2, 2, 1), dtype=np.uint64),
+                                        packed=True, true_channels=4))
+
+
+class TestBinaryDense:
+    def test_matches_manual_reference(self, rng, random_batchnorm):
+        bn = random_batchnorm(12, seed=5)
+        layer = BinaryDense(40, 12, batchnorm=bn, rng=7)
+        bits = rng.integers(0, 2, size=(3, 40), dtype=np.uint8)
+        packed = bitpack.pack_bits(bits, axis=1)
+        out = layer.forward(Tensor(packed, packed=True, true_channels=40))
+
+        x1 = (bits_to_values(bits) @ bits_to_values(layer.weight_bits)).astype(np.int64)
+        expected = branchless_binarize(x1, compute_threshold(bn), bn.gamma)
+        np.testing.assert_array_equal(
+            bitpack.unpack_bits(out.data, 12, axis=1), expected
+        )
+
+    def test_output_binary_false_returns_float(self, rng):
+        layer = BinaryDense(16, 4, output_binary=False, rng=1)
+        out = layer.forward(Tensor(rng.normal(size=(2, 16)).astype(np.float32)))
+        assert not out.packed and out.dtype == np.float32
+
+    def test_feature_mismatch_rejected(self, rng):
+        layer = BinaryDense(16, 4, rng=1)
+        with pytest.raises(ValueError):
+            layer.forward(Tensor(rng.normal(size=(2, 20)).astype(np.float32)))
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            BinaryDense(0, 4)
+
+    def test_param_count(self):
+        layer = BinaryDense(100, 10, rng=0)
+        count = layer.param_count()
+        assert count.binary == 1000 + 10
+        assert count.float32 == 10
+
+
+class TestDense:
+    def test_matches_matmul(self, rng):
+        layer = Dense(8, 5, rng=3)
+        x = rng.normal(size=(4, 8)).astype(np.float32)
+        out = layer.forward(Tensor(x))
+        expected = x.astype(np.float64) @ layer.weights.astype(np.float64) + layer.bias
+        np.testing.assert_allclose(out.data, expected, rtol=1e-5, atol=1e-5)
+
+    def test_consumes_packed_input_as_plus_minus_one(self, rng):
+        layer = Dense(24, 3, rng=2)
+        bits = rng.integers(0, 2, size=(2, 24), dtype=np.uint8)
+        packed = bitpack.pack_bits(bits, axis=1)
+        out_packed = layer.forward(Tensor(packed, packed=True, true_channels=24))
+        out_values = layer.forward(Tensor(bits_to_values(bits)))
+        np.testing.assert_allclose(out_packed.data, out_values.data, rtol=1e-5)
+
+    def test_softmax_activation_sums_to_one(self, rng):
+        layer = Dense(6, 4, activation="softmax", rng=5)
+        out = layer.forward(Tensor(rng.normal(size=(3, 6)).astype(np.float32)))
+        np.testing.assert_allclose(out.data.sum(axis=1), np.ones(3), rtol=1e-5)
+
+    def test_relu_activation(self, rng):
+        layer = Dense(6, 4, activation="relu", rng=5)
+        out = layer.forward(Tensor(rng.normal(size=(3, 6)).astype(np.float32)))
+        assert out.data.min() >= 0
+
+    def test_unknown_activation_rejected(self):
+        with pytest.raises(ValueError):
+            Dense(4, 2, activation="swish")
+
+
+class TestBatchNormLayer:
+    def test_identity(self, rng):
+        layer = BatchNorm2d.identity(5)
+        x = rng.normal(size=(2, 3, 3, 5)).astype(np.float32)
+        np.testing.assert_allclose(layer.forward(Tensor(x)).data, x, rtol=1e-4, atol=1e-4)
+
+    def test_channel_mismatch_rejected(self):
+        layer = BatchNorm2d.identity(5)
+        with pytest.raises(ValueError):
+            layer.output_shape((4, 4, 3))
+
+    def test_rejects_packed(self):
+        layer = BatchNorm2d.identity(4)
+        with pytest.raises(ValueError):
+            layer.forward(Tensor(np.zeros((1, 2, 2, 1), dtype=np.uint64),
+                                 packed=True, true_channels=4))
+
+    def test_param_count(self):
+        assert BatchNorm2d.identity(8).param_count().float32 == 32
+
+
+class TestActivationsAndFlatten:
+    def test_binarize_packs_channels(self, rng):
+        x = rng.normal(size=(1, 4, 4, 20)).astype(np.float32)
+        out = Binarize().forward(Tensor(x))
+        assert out.packed and out.true_channels == 20
+        bits = bitpack.unpack_bits(out.data, 20, axis=-1)
+        np.testing.assert_array_equal(bits, (x >= 0).astype(np.uint8))
+
+    def test_binarize_passthrough_for_packed(self):
+        packed = Tensor(np.zeros((1, 2, 2, 1), dtype=np.uint64), packed=True,
+                        true_channels=3)
+        assert Binarize().forward(packed) is packed
+
+    def test_flatten_float(self, rng):
+        x = rng.normal(size=(2, 3, 3, 4)).astype(np.float32)
+        out = Flatten().forward(Tensor(x))
+        assert out.shape == (2, 36)
+
+    def test_flatten_packed_preserves_bit_order(self, rng):
+        bits = rng.integers(0, 2, size=(1, 2, 2, 10), dtype=np.uint8)
+        packed = bitpack.pack_bits(bits, axis=3)
+        out = Flatten().forward(Tensor(packed, packed=True, true_channels=10))
+        assert out.packed and out.true_channels == 40
+        recovered = bitpack.unpack_bits(out.data, 40, axis=1)
+        np.testing.assert_array_equal(recovered.reshape(1, 2, 2, 10), bits)
+
+    def test_relu_and_softmax(self, rng):
+        x = rng.normal(size=(2, 5)).astype(np.float32)
+        assert Relu().forward(Tensor(x)).data.min() >= 0
+        probs = Softmax().forward(Tensor(x)).data
+        np.testing.assert_allclose(probs.sum(axis=-1), np.ones(2), rtol=1e-5)
+
+    def test_relu_rejects_packed(self):
+        with pytest.raises(ValueError):
+            Relu().forward(Tensor(np.zeros((1, 2), dtype=np.uint64), packed=True,
+                                  true_channels=8))

@@ -1,0 +1,93 @@
+"""Tests for the compressed ``.pbit`` model format."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.core import model_format
+from repro.core.layers import BatchNorm2d, Dense, FloatConv2d
+from repro.core.network import Network
+
+
+class TestRoundTrip:
+    def test_bytes_roundtrip_preserves_outputs(self, tiny_bnn_network, tiny_images):
+        buffer = io.BytesIO()
+        payload_bytes = model_format.save_network(tiny_bnn_network, buffer)
+        assert payload_bytes > 0
+        buffer.seek(0)
+        restored = model_format.load_network(buffer)
+        original = tiny_bnn_network.forward(tiny_images)
+        roundtripped = restored.forward(tiny_images)
+        np.testing.assert_allclose(original.data, roundtripped.data, rtol=1e-4, atol=1e-3)
+
+    def test_file_roundtrip(self, tmp_path, tiny_bnn_network, tiny_images):
+        path = tmp_path / "tiny.pbit"
+        model_format.save_network(tiny_bnn_network, str(path))
+        restored = model_format.load_network(str(path))
+        np.testing.assert_allclose(
+            tiny_bnn_network.forward(tiny_images).data,
+            restored.forward(tiny_images).data,
+            rtol=1e-4, atol=1e-3,
+        )
+
+    def test_metadata_and_names_preserved(self, tiny_bnn_network):
+        tiny_bnn_network.metadata["dataset"] = "synthetic"
+        buffer = io.BytesIO()
+        model_format.save_network(tiny_bnn_network, buffer)
+        buffer.seek(0)
+        restored = model_format.load_network(buffer)
+        assert restored.name == tiny_bnn_network.name
+        assert restored.metadata["dataset"] == "synthetic"
+        assert [l.name for l in restored] == [l.name for l in tiny_bnn_network]
+
+    def test_compressed_file_is_much_smaller_than_float(self, tiny_bnn_network):
+        buffer = io.BytesIO()
+        model_format.save_network(tiny_bnn_network, buffer)
+        file_size = len(buffer.getvalue())
+        assert file_size < tiny_bnn_network.full_precision_size_bytes() / 4
+
+    def test_float_layers_roundtrip(self, rng):
+        net = Network("float", input_shape=(6, 6, 3), input_dtype="float32")
+        net.add(FloatConv2d(3, 4, 3, padding=1, activation="relu", rng=1, name="conv"))
+        net.add(BatchNorm2d.identity(4, name="bn"))
+        from repro.core.layers import Flatten
+
+        net.add(Flatten(name="flat"))
+        net.add(Dense(6 * 6 * 4, 5, activation="softmax", rng=2, name="head"))
+        buffer = io.BytesIO()
+        model_format.save_network(net, buffer)
+        buffer.seek(0)
+        restored = model_format.load_network(buffer)
+        x = rng.normal(size=(2, 6, 6, 3)).astype(np.float32)
+        np.testing.assert_allclose(net.forward(x).data, restored.forward(x).data,
+                                   rtol=1e-5, atol=1e-5)
+
+
+class TestErrorHandling:
+    def test_bad_magic_rejected(self):
+        with pytest.raises(model_format.ModelFormatError):
+            model_format.load_network(io.BytesIO(b"NOPE" + b"\x00" * 32))
+
+    def test_bad_version_rejected(self, tiny_bnn_network):
+        buffer = io.BytesIO()
+        model_format.save_network(tiny_bnn_network, buffer)
+        raw = bytearray(buffer.getvalue())
+        raw[4] = 99
+        with pytest.raises(model_format.ModelFormatError):
+            model_format.load_network(io.BytesIO(bytes(raw)))
+
+    def test_unserializable_layer_rejected(self):
+        from repro.core.layers.base import Layer
+
+        class Custom(Layer):
+            def output_shape(self, input_shape):
+                return input_shape
+
+            def forward(self, x):
+                return x
+
+        net = Network("custom", input_shape=(4, 4, 1))
+        net.add(Custom())
+        with pytest.raises(model_format.ModelFormatError):
+            model_format.save_network(net, io.BytesIO())

@@ -1,0 +1,127 @@
+"""Tests for the benchmark model configs and the model zoo builders."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    BENCHMARK_MODELS,
+    alexnet_config,
+    build_float_network,
+    build_phonebit_network,
+    get_model_config,
+    model_size_report,
+    vgg16_config,
+    yolov2_tiny_config,
+)
+from repro.models.config import LayerDef, ModelConfig
+
+
+class TestConfigs:
+    def test_registry_contains_paper_models(self):
+        assert set(BENCHMARK_MODELS) == {"AlexNet", "YOLOv2 Tiny", "VGG16"}
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_model_config("alexnet").name == "AlexNet"
+        with pytest.raises(KeyError):
+            get_model_config("ResNet50")
+
+    def test_alexnet_shapes(self):
+        config = alexnet_config()
+        assert config.input_shape == (227, 227, 3)
+        assert config.output_shape() == (10,)
+        shaped = {s.definition.name: s.output_shape for s in config.shaped_layers()}
+        assert shaped["conv1"] == (55, 55, 96)
+        assert shaped["pool5"] == (6, 6, 256)
+
+    def test_yolov2_tiny_shapes(self):
+        config = yolov2_tiny_config()
+        assert config.output_shape() == (13, 13, 125)
+        conv_names = [s.definition.name for s in config.conv_layers()]
+        assert conv_names == [f"conv{i}" for i in range(1, 10)]
+
+    def test_vgg16_has_thirteen_convs(self):
+        config = vgg16_config()
+        assert len(list(config.conv_layers())) == 13
+        assert config.output_shape() == (10,)
+
+    def test_first_layer_is_input_layer_and_last_is_float(self):
+        for name in BENCHMARK_MODELS:
+            config = get_model_config(name)
+            convs_and_denses = [l for l in config.layers if l.kind in ("conv", "dense")]
+            assert convs_and_denses[0].input_layer
+            assert convs_and_denses[0].binary
+            assert not convs_and_denses[-1].binary
+
+    def test_model_sizes_match_paper_scale(self):
+        """Full-precision sizes should be within ~15% of Table II."""
+        expectations = {"AlexNet": 249.5, "YOLOv2 Tiny": 63.4, "VGG16": 553.4}
+        for name, paper_mb in expectations.items():
+            measured = get_model_config(name).full_precision_size_bytes() / 2**20
+            assert measured == pytest.approx(paper_mb, rel=0.15)
+
+    def test_binarized_sizes_much_smaller(self):
+        for name in BENCHMARK_MODELS:
+            report = model_size_report(get_model_config(name))
+            assert report["compression_ratio"] > 15
+
+    def test_yolo_macs_match_published_value(self):
+        macs = yolov2_tiny_config().multiply_accumulates()
+        assert macs == pytest.approx(3.49e9, rel=0.05)
+
+    def test_unknown_layer_kind_rejected(self):
+        config = ModelConfig(
+            name="bad", dataset="x", input_shape=(8, 8, 3), num_classes=2,
+            layers=(LayerDef("recurrent", "r"),),
+        )
+        with pytest.raises(ValueError):
+            config.output_shape()
+
+    def test_layer_def_with_name(self):
+        layer = LayerDef("conv", "a", out_channels=4, kernel_size=3)
+        assert layer.with_name("b").name == "b"
+
+    def test_conv_geometry_only_for_convs(self):
+        config = yolov2_tiny_config()
+        pool = next(s for s in config.shaped_layers() if s.definition.kind == "maxpool")
+        with pytest.raises(ValueError):
+            _ = pool.conv_geometry
+
+
+class TestZooBuilders:
+    def test_phonebit_network_runs_on_reduced_input(self):
+        config = yolov2_tiny_config(input_size=64)
+        network = build_phonebit_network(config, rng=0)
+        image = np.random.default_rng(0).integers(
+            0, 256, size=(1, 64, 64, 3)
+        ).astype(np.uint8)
+        out = network.forward(image)
+        assert out.shape == (1, 2, 2, 125)
+
+    def test_float_network_runs_on_reduced_input(self):
+        config = yolov2_tiny_config(input_size=64)
+        network = build_float_network(config, rng=0)
+        image = np.random.default_rng(1).normal(size=(1, 64, 64, 3)).astype(np.float32)
+        out = network.forward(image)
+        assert out.shape == (1, 2, 2, 125)
+
+    def test_phonebit_network_parameter_split(self):
+        config = alexnet_config(input_size=67)
+        network = build_phonebit_network(config, rng=0)
+        count = network.param_count()
+        assert count.binary > count.float32
+
+    def test_builders_are_deterministic(self):
+        config = yolov2_tiny_config(input_size=64)
+        first = build_phonebit_network(config, rng=7)
+        second = build_phonebit_network(config, rng=7)
+        np.testing.assert_array_equal(first.layers[0].weight_bits,
+                                      second.layers[0].weight_bits)
+
+    def test_unknown_kind_rejected_by_builders(self):
+        config = ModelConfig(
+            name="bad", dataset="x", input_shape=(8, 8, 3), num_classes=2,
+            layers=(LayerDef("conv", "c", out_channels=4, kernel_size=3, padding=1),
+                    LayerDef("gru", "g")),
+        )
+        with pytest.raises(ValueError):
+            build_phonebit_network(config)

@@ -1,0 +1,143 @@
+"""Tests for the Network container and the PhoneBit engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import PhoneBitEngine
+from repro.core.layers import BinaryConv2d, Dense, MaxPool2d, Relu
+from repro.core.network import Network
+from repro.gpusim.device import snapdragon_820, snapdragon_855
+from repro.gpusim.kernel import OpKind
+
+
+class TestNetwork:
+    def test_forward_shapes(self, tiny_bnn_network, tiny_images):
+        out = tiny_bnn_network.forward(tiny_images)
+        assert out.shape == (2, 10)
+        assert out.dtype == np.float32
+
+    def test_forward_is_deterministic(self, tiny_bnn_network, tiny_images):
+        first = tiny_bnn_network.forward(tiny_images)
+        second = tiny_bnn_network.forward(tiny_images)
+        np.testing.assert_array_equal(first.data, second.data)
+
+    def test_collect_activations(self, tiny_bnn_network, tiny_images):
+        out, activations = tiny_bnn_network.forward(tiny_images, collect_activations=True)
+        assert len(activations) == len(tiny_bnn_network)
+        np.testing.assert_array_equal(activations[-1].data, out.data)
+
+    def test_layer_shapes(self, tiny_bnn_network):
+        shapes = tiny_bnn_network.layer_shapes()
+        assert shapes[0][1] == (16, 16, 3)
+        assert shapes[-1][2] == (10,)
+
+    def test_input_shape_validated(self, tiny_bnn_network, rng):
+        with pytest.raises(ValueError):
+            tiny_bnn_network.forward(rng.integers(0, 256, size=(1, 8, 8, 3)).astype(np.uint8))
+
+    def test_add_rejects_non_layer(self):
+        net = Network("x", input_shape=(8, 8, 3))
+        with pytest.raises(TypeError):
+            net.add("not a layer")
+
+    def test_add_rolls_back_on_shape_error(self):
+        net = Network("x", input_shape=(8, 8, 3))
+        with pytest.raises(ValueError):
+            net.add(BinaryConv2d(16, 8, 3, rng=0))  # channel mismatch
+        assert len(net) == 0
+
+    def test_param_accounting(self, tiny_bnn_network):
+        count = tiny_bnn_network.param_count()
+        assert count.binary > 0 and count.float32 > 0
+        assert tiny_bnn_network.compressed_size_bytes() < tiny_bnn_network.full_precision_size_bytes()
+        assert tiny_bnn_network.compression_ratio() > 10
+
+    def test_summary_mentions_every_layer(self, tiny_bnn_network):
+        summary = tiny_bnn_network.summary()
+        for layer in tiny_bnn_network:
+            assert layer.name in summary
+
+    def test_iteration_and_len(self, tiny_bnn_network):
+        assert len(list(tiny_bnn_network)) == len(tiny_bnn_network) == 7
+
+
+class TestEngineEstimation:
+    def test_estimate_produces_per_layer_times(self, tiny_bnn_network):
+        engine = PhoneBitEngine(snapdragon_855())
+        report = engine.estimate(tiny_bnn_network)
+        assert report.latency_ms > 0
+        # Flatten emits no kernel; every other layer is timed.
+        assert len(report.layer_times_ms) == len(tiny_bnn_network) - 1
+        assert report.fps == pytest.approx(1000.0 / report.latency_ms)
+
+    def test_run_attaches_output(self, tiny_bnn_network, tiny_images):
+        engine = PhoneBitEngine(snapdragon_855())
+        report = engine.run(tiny_bnn_network, tiny_images)
+        assert report.output is not None
+        assert report.output.shape == (2, 10)
+
+    def test_workloads_use_bitwise_kernels_for_binary_layers(self, tiny_bnn_network):
+        engine = PhoneBitEngine(snapdragon_855())
+        workloads = engine.network_workloads(tiny_bnn_network)
+        by_name = {w.layer_name: w for w in workloads}
+        assert by_name["conv2"].kernels[0].op_kind is OpKind.BITWISE
+        assert by_name["conv2"].kernels[0].fused_layers == 3
+        assert by_name["fc2"].layer_type == "binary_dense"
+
+    def test_input_layer_emits_bitplane_split(self, tiny_bnn_network):
+        engine = PhoneBitEngine(snapdragon_855())
+        workloads = engine.network_workloads(tiny_bnn_network)
+        conv1 = next(w for w in workloads if w.layer_name == "conv1")
+        assert any("bitplane" in k.name for k in conv1.kernels)
+
+    def test_unfused_engine_emits_more_kernels(self, tiny_bnn_network):
+        fused = PhoneBitEngine(snapdragon_855(), fused=True)
+        unfused = PhoneBitEngine(snapdragon_855(), fused=False)
+        fused_kernels = sum(len(w.kernels) for w in fused.network_workloads(tiny_bnn_network))
+        unfused_kernels = sum(len(w.kernels) for w in unfused.network_workloads(tiny_bnn_network))
+        assert unfused_kernels > fused_kernels
+
+    def test_unfused_is_slower(self, tiny_bnn_network):
+        fused = PhoneBitEngine(snapdragon_855(), fused=True).estimate(tiny_bnn_network)
+        unfused = PhoneBitEngine(snapdragon_855(), fused=False).estimate(tiny_bnn_network)
+        assert unfused.latency_ms > fused.latency_ms
+
+    def test_divergent_is_slower(self, tiny_bnn_network):
+        fast = PhoneBitEngine(snapdragon_855(), branchless=True).estimate(tiny_bnn_network)
+        slow = PhoneBitEngine(snapdragon_855(), branchless=False).estimate(tiny_bnn_network)
+        assert slow.latency_ms > fast.latency_ms
+
+    def test_older_device_is_slower(self, tiny_bnn_network):
+        new = PhoneBitEngine(snapdragon_855()).estimate(tiny_bnn_network)
+        old = PhoneBitEngine(snapdragon_820()).estimate(tiny_bnn_network)
+        assert old.latency_ms > new.latency_ms
+
+    def test_float_head_network(self, rng):
+        net = Network("float-head", input_shape=(8, 8, 4), input_dtype="float32")
+        net.add(BinaryConv2d(4, 8, 3, padding=1, rng=1, output_binary=False, name="bconv"))
+        net.add(Relu(name="relu"))
+        net.add(MaxPool2d(2, name="pool"))
+        from repro.core.layers import Flatten
+
+        net.add(Flatten(name="flat"))
+        net.add(Dense(4 * 4 * 8, 3, rng=2, name="head"))
+        x = rng.normal(size=(2, 8, 8, 4)).astype(np.float32)
+        out = net.forward(x)
+        assert out.shape == (2, 3)
+        report = PhoneBitEngine(snapdragon_855()).estimate(net)
+        assert report.latency_ms > 0
+
+    def test_unknown_layer_type_rejected(self):
+        from repro.core.layers.base import Layer
+
+        class Mystery(Layer):
+            def output_shape(self, input_shape):
+                return input_shape
+
+            def forward(self, x):
+                return x
+
+        net = Network("mystery", input_shape=(4, 4, 2))
+        net.add(Mystery())
+        with pytest.raises(TypeError):
+            PhoneBitEngine(snapdragon_855()).network_workloads(net)

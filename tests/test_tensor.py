@@ -1,0 +1,92 @@
+"""Tests for tensor layout utilities."""
+
+import numpy as np
+import pytest
+
+from repro.core.tensor import (
+    Layout,
+    Tensor,
+    conv_output_size,
+    convert_layout,
+    nchw_to_nhwc,
+    nhwc_to_nchw,
+    pad_spatial_nhwc,
+)
+
+
+class TestLayout:
+    def test_channel_axis(self):
+        assert Layout.NHWC.channel_axis == 3
+        assert Layout.NCHW.channel_axis == 1
+
+    def test_roundtrip_conversion(self, rng):
+        nchw = rng.normal(size=(2, 3, 4, 5))
+        nhwc = nchw_to_nhwc(nchw)
+        assert nhwc.shape == (2, 4, 5, 3)
+        np.testing.assert_array_equal(nhwc_to_nchw(nhwc), nchw)
+
+    def test_convert_layout_identity(self, rng):
+        x = rng.normal(size=(1, 2, 3, 4))
+        assert convert_layout(x, Layout.NHWC, Layout.NHWC) is x
+
+    def test_convert_layout_between(self, rng):
+        x = rng.normal(size=(1, 3, 8, 8))
+        converted = convert_layout(x, Layout.NCHW, Layout.NHWC)
+        assert converted.shape == (1, 8, 8, 3)
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ValueError):
+            nchw_to_nhwc(np.zeros((2, 3)))
+
+
+class TestTensor:
+    def test_basic_properties(self, rng):
+        data = rng.normal(size=(2, 4, 4, 8)).astype(np.float32)
+        tensor = Tensor(data)
+        assert tensor.shape == (2, 4, 4, 8)
+        assert tensor.channels == 8
+        assert tensor.nbytes == data.nbytes
+        assert tensor.numpy() is tensor.data
+
+    def test_packed_requires_true_channels(self):
+        with pytest.raises(ValueError):
+            Tensor(np.zeros((1, 2, 2, 1), dtype=np.uint64), packed=True)
+
+    def test_packed_channels_reports_unpadded(self):
+        tensor = Tensor(np.zeros((1, 2, 2, 1), dtype=np.uint64), packed=True,
+                        true_channels=37)
+        assert tensor.channels == 37
+
+    def test_to_layout(self, rng):
+        data = rng.normal(size=(1, 4, 5, 3))
+        converted = Tensor(data, Layout.NHWC).to_layout(Layout.NCHW)
+        assert converted.layout is Layout.NCHW
+        assert converted.shape == (1, 3, 4, 5)
+
+
+class TestGeometryHelpers:
+    def test_pad_spatial(self):
+        x = np.ones((1, 2, 2, 1))
+        padded = pad_spatial_nhwc(x, 1, value=-1)
+        assert padded.shape == (1, 4, 4, 1)
+        assert padded[0, 0, 0, 0] == -1
+        assert padded[0, 1, 1, 0] == 1
+
+    def test_pad_zero_is_identity(self):
+        x = np.ones((1, 2, 2, 1))
+        assert pad_spatial_nhwc(x, 0) is x
+
+    def test_pad_negative_rejected(self):
+        with pytest.raises(ValueError):
+            pad_spatial_nhwc(np.ones((1, 2, 2, 1)), -1)
+
+    @pytest.mark.parametrize(
+        "size,kernel,stride,padding,expected",
+        [(32, 3, 1, 1, 32), (32, 3, 2, 1, 16), (227, 11, 4, 0, 55), (13, 3, 1, 1, 13)],
+    )
+    def test_conv_output_size(self, size, kernel, stride, padding, expected):
+        assert conv_output_size(size, kernel, stride, padding) == expected
+
+    def test_conv_output_size_rejects_too_small(self):
+        with pytest.raises(ValueError):
+            conv_output_size(2, 5, 1, 0)

@@ -1,0 +1,115 @@
+"""Tests for the STE trainer and the train→convert→deploy loop."""
+
+import numpy as np
+import pytest
+
+from repro.core.converter import convert_model
+from repro.datasets import synthetic_cifar10
+from repro.training import (
+    BinaryMlpClassifier,
+    sign_ste_backward,
+    sign_ste_forward,
+    train_classifier,
+)
+from repro.training.ste import binarize_weights_ste, clip_latent_weights
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return synthetic_cifar10(train_size=192, test_size=64, image_size=8, noise=25,
+                             seed=3)
+
+
+@pytest.fixture(scope="module")
+def trained_binary(dataset):
+    return train_classifier(dataset, hidden_dims=(64,), binary=True, epochs=12,
+                            learning_rate=0.05, seed=1)
+
+
+class TestSte:
+    def test_forward_sign_convention(self):
+        np.testing.assert_array_equal(
+            sign_ste_forward(np.array([-2.0, 0.0, 3.0])), [-1.0, 1.0, 1.0]
+        )
+
+    def test_backward_clips_outside_window(self):
+        x = np.array([-2.0, -0.5, 0.5, 2.0])
+        grad = np.ones(4)
+        np.testing.assert_array_equal(sign_ste_backward(x, grad), [0, 1, 1, 0])
+
+    def test_weight_helpers(self):
+        weights = np.array([-3.0, 0.2, 4.0])
+        np.testing.assert_array_equal(binarize_weights_ste(weights), [-1, 1, 1])
+        np.testing.assert_array_equal(clip_latent_weights(weights), [-1, 0.2, 1])
+
+
+class TestTrainer:
+    def test_requires_hidden_layers(self):
+        with pytest.raises(ValueError):
+            BinaryMlpClassifier(10, [], 3)
+
+    def test_binary_model_learns_above_chance(self, dataset, trained_binary):
+        _, result = trained_binary
+        assert result.binary
+        assert result.test_accuracy > 2.5 / dataset.num_classes
+        assert result.train_accuracy >= result.test_accuracy - 0.25
+
+    def test_float_model_learns_above_chance(self, dataset):
+        _, result = train_classifier(dataset, hidden_dims=(64,), binary=False,
+                                     epochs=12, learning_rate=0.05, seed=1)
+        assert result.test_accuracy > 2.5 / dataset.num_classes
+
+    def test_losses_decrease(self, trained_binary):
+        _, result = trained_binary
+        assert result.losses[-1] < result.losses[0]
+
+    def test_float_export_rejected(self, dataset):
+        model, _ = train_classifier(dataset, hidden_dims=(32,), binary=False,
+                                    epochs=1, seed=0)
+        with pytest.raises(ValueError):
+            model.export_layer_specs()
+
+    def test_predictions_shape(self, dataset, trained_binary):
+        model, _ = trained_binary
+        predictions = model.predict(dataset.test_images)
+        assert predictions.shape == (len(dataset.test_images),)
+        assert predictions.min() >= 0 and predictions.max() < dataset.num_classes
+
+
+class TestTrainConvertDeploy:
+    def test_converted_network_matches_trainer_forward(self, dataset, trained_binary):
+        """The Fig. 2 flow: trained weights → converter → PhoneBit inference."""
+        model, _ = trained_binary
+        specs = model.export_layer_specs()
+        input_dim = int(np.prod(dataset.image_shape))
+        network = convert_model("trained-mlp", (input_dim,), specs,
+                                input_dtype="float32")
+
+        images = dataset.test_images[:32]
+        prepared = model.prepared_input(images)
+        logits = network.forward(prepared)
+        phonebit_predictions = np.argmax(logits.data, axis=1)
+        trainer_predictions = model.predict(images)
+        np.testing.assert_array_equal(phonebit_predictions, trainer_predictions)
+
+    def test_converted_network_roundtrips_through_pbit_format(self, dataset,
+                                                              trained_binary):
+        import io
+
+        from repro.core import model_format
+
+        model, _ = trained_binary
+        specs = model.export_layer_specs()
+        input_dim = int(np.prod(dataset.image_shape))
+        network = convert_model("trained-mlp", (input_dim,), specs,
+                                input_dtype="float32")
+        buffer = io.BytesIO()
+        model_format.save_network(network, buffer)
+        buffer.seek(0)
+        restored = model_format.load_network(buffer)
+
+        prepared = model.prepared_input(dataset.test_images[:16])
+        np.testing.assert_array_equal(
+            np.argmax(network.forward(prepared).data, axis=1),
+            np.argmax(restored.forward(prepared).data, axis=1),
+        )

@@ -1,0 +1,113 @@
+"""Tests for YOLOv2 head decoding and non-maximum suppression."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.detection import BoundingBox
+from repro.models.yolo_head import (
+    Detection,
+    VOC_ANCHORS,
+    decode_head,
+    detect,
+    non_maximum_suppression,
+    sigmoid,
+    softmax,
+)
+
+
+def _head_with_one_object(grid=13, num_classes=20, anchor_index=1,
+                          row=6, col=6, class_index=7, logit=8.0):
+    """A synthetic head with exactly one confident detection."""
+    head = np.full((grid, grid, len(VOC_ANCHORS) * (5 + num_classes)), -10.0)
+    head = head.reshape(grid, grid, len(VOC_ANCHORS), 5 + num_classes)
+    head[row, col, anchor_index, 0:2] = 0.0      # center of the cell
+    head[row, col, anchor_index, 2:4] = 0.0      # anchor-sized box
+    head[row, col, anchor_index, 4] = logit      # objectness
+    head[row, col, anchor_index, 5 + class_index] = logit
+    return head.reshape(grid, grid, -1)
+
+
+class TestMathHelpers:
+    def test_sigmoid_range_and_midpoint(self):
+        assert sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+        values = sigmoid(np.array([-1000.0, 1000.0]))
+        assert 0.0 <= values[0] < 1e-6 and 1 - 1e-6 < values[1] <= 1.0
+
+    def test_softmax_sums_to_one(self, rng):
+        probs = softmax(rng.normal(size=(4, 7)))
+        np.testing.assert_allclose(probs.sum(axis=-1), np.ones(4), rtol=1e-9)
+
+
+class TestDecode:
+    def test_single_confident_object(self):
+        head = _head_with_one_object()
+        detections = decode_head(head, score_threshold=0.5)
+        assert len(detections) == 1
+        detection = detections[0]
+        assert detection.class_index == 7
+        assert detection.score > 0.9
+        assert detection.box.x_center == pytest.approx((6 + 0.5) / 13)
+        assert detection.box.y_center == pytest.approx((6 + 0.5) / 13)
+        expected_w = VOC_ANCHORS[1][0] / 13
+        assert detection.box.width == pytest.approx(expected_w, rel=1e-6)
+
+    def test_empty_head_yields_no_detections(self):
+        head = np.full((13, 13, 125), -12.0)
+        assert decode_head(head) == []
+
+    def test_threshold_filters(self):
+        head = _head_with_one_object(logit=1.0)  # weakly confident
+        strict = decode_head(head, score_threshold=0.9)
+        lenient = decode_head(head, score_threshold=0.1)
+        assert len(strict) <= len(lenient)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            decode_head(np.zeros((13, 13)))
+        with pytest.raises(ValueError):
+            decode_head(np.zeros((13, 13, 100)))
+
+    def test_boxes_stay_normalized(self, rng):
+        head = rng.normal(scale=3.0, size=(13, 13, 125))
+        for detection in decode_head(head, score_threshold=0.2):
+            box = detection.box
+            assert 0.0 <= box.x_center <= 1.0
+            assert 0.0 <= box.y_center <= 1.0
+            assert 0.0 < box.width <= 1.0
+            assert 0.0 < box.height <= 1.0
+
+
+class TestNms:
+    def _detection(self, score, x=0.5, cls=0):
+        return Detection(BoundingBox(cls, x, 0.5, 0.2, 0.2), score)
+
+    def test_overlapping_boxes_suppressed(self):
+        kept = non_maximum_suppression(
+            [self._detection(0.9), self._detection(0.8, x=0.51)]
+        )
+        assert len(kept) == 1
+        assert kept[0].score == 0.9
+
+    def test_distant_boxes_kept(self):
+        kept = non_maximum_suppression(
+            [self._detection(0.9, x=0.2), self._detection(0.8, x=0.8)]
+        )
+        assert len(kept) == 2
+
+    def test_per_class_nms_keeps_different_classes(self):
+        kept = non_maximum_suppression(
+            [self._detection(0.9, cls=0), self._detection(0.8, x=0.51, cls=1)],
+            per_class=True,
+        )
+        assert len(kept) == 2
+        kept_global = non_maximum_suppression(
+            [self._detection(0.9, cls=0), self._detection(0.8, x=0.51, cls=1)],
+            per_class=False,
+        )
+        assert len(kept_global) == 1
+
+    def test_detect_end_to_end(self):
+        head = _head_with_one_object()
+        detections = detect(head, score_threshold=0.5)
+        assert len(detections) == 1
+        assert detections[0].class_index == 7
