@@ -1,76 +1,375 @@
 """Micro-benchmarks of the actual NumPy kernels (wall-clock, not simulated).
 
 These complement the cost-model benchmarks with real measurements on this
-machine: the packed xor/popcount convolution versus the float reference
-convolution on the same layer, and bit packing / fused binarization
-throughput.  The binary kernel operates on 64× fewer words than the float
-kernel has MACs, which is the mechanism behind the paper's speedups; the
-wall-clock ratio here depends on NumPy/BLAS, so only the direction is
-asserted, not a factor.
+machine.  Every fast-path kernel is timed against the seed's naive
+formulation (byte-LUT popcount gather, shift-and-sum bit packing, broadcast
+xor/popcount convolution, per-pixel pooling loops), and the outputs are
+asserted bit-exact before timing, so a speedup here is never bought with a
+correctness regression.
+
+Two entry points:
+
+* ``pytest benchmarks/bench_kernels_micro.py`` — pytest-benchmark fixtures
+  for interactive comparison runs.
+* ``python benchmarks/bench_kernels_micro.py --json out.json`` — standalone
+  runner emitting machine-readable JSON records
+  ``{op, shape, ns_per_op, naive_ns_per_op, speedup_vs_naive}`` so the
+  BENCH_*.json trajectory can track kernel performance across PRs.
 """
 
+import argparse
+import json
+import sys
+import time
+
 import numpy as np
-import pytest
 
 from repro.core import binary_conv, bitpack
 from repro.core.branchless import branchless_binarize
 from repro.core.fusion import fused_binarize
+from repro.core.tensor import conv_output_size, pad_spatial_nhwc
 
 _CHANNELS = 256
 _COUT = 64
 _SIZE = 14
 
 
-@pytest.fixture(scope="module")
-def conv_inputs():
+# --------------------------------------------------------------------------
+# Naive (seed) reference implementations the fast paths are measured against.
+# --------------------------------------------------------------------------
+
+def naive_pack_bits(bits: np.ndarray, word_size: int = 64, axis: int = -1) -> np.ndarray:
+    """Seed packing: expand to uint64, 64-wide shift, then sum-reduce."""
+    dtype = bitpack.word_dtype(word_size)
+    moved = np.moveaxis(np.asarray(bits), axis, -1)
+    length = moved.shape[-1]
+    n_words = bitpack.words_per_channel(length, word_size)
+    padded_len = n_words * word_size
+    if padded_len != length:
+        pad = np.zeros(moved.shape[:-1] + (padded_len - length,), dtype=moved.dtype)
+        moved = np.concatenate([moved, pad], axis=-1)
+    grouped = moved.reshape(moved.shape[:-1] + (n_words, word_size)).astype(np.uint64)
+    shifts = np.arange(word_size, dtype=np.uint64)
+    packed = (grouped << shifts).sum(axis=-1, dtype=np.uint64).astype(dtype)
+    return np.ascontiguousarray(np.moveaxis(packed, -1, axis))
+
+
+def naive_im2col(x: np.ndarray, kernel_size: int, stride: int, padding: int) -> np.ndarray:
+    """Seed im2col: one strided-copy assignment per (kh, kw) tap."""
+    n, h, w, c = x.shape
+    oh = conv_output_size(h, kernel_size, stride, padding)
+    ow = conv_output_size(w, kernel_size, stride, padding)
+    padded = pad_spatial_nhwc(x, padding, value=0)
+    patches = np.empty((n, oh, ow, kernel_size, kernel_size, c), dtype=x.dtype)
+    for kh in range(kernel_size):
+        for kw in range(kernel_size):
+            patches[:, :, :, kh, kw, :] = padded[
+                :, kh:kh + stride * oh:stride, kw:kw + stride * ow:stride, :
+            ]
+    return patches.reshape(n, oh, ow, kernel_size * kernel_size * c)
+
+
+def naive_binary_conv2d_packed(
+    x_packed: np.ndarray,
+    weights_packed: np.ndarray,
+    true_channels: int,
+    kernel_size: int,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Seed binary conv: full-broadcast temporaries + LUT popcount."""
+    cout = weights_packed.shape[0]
+    n = x_packed.shape[0]
+    patches = naive_im2col(x_packed, kernel_size, stride, padding)
+    _, oh, ow, k = patches.shape
+    flat_patches = patches.reshape(-1, k)
+    flat_filters = weights_packed.reshape(cout, -1)
+    length = kernel_size * kernel_size * true_channels
+    out = np.empty((flat_patches.shape[0], cout), dtype=np.int64)
+    for start in range(0, cout, 64):
+        stop = min(start + 64, cout)
+        disagree = bitpack.popcount_lut(
+            np.bitwise_xor(
+                flat_patches[:, None, :], flat_filters[None, start:stop, :]
+            )
+        ).sum(axis=-1, dtype=np.int64)
+        out[:, start:stop] = length - 2 * disagree
+    return out.reshape(n, oh, ow, cout)
+
+
+def naive_max_pool_packed(data: np.ndarray, pool_size: int, stride: int) -> np.ndarray:
+    """Seed pooling: a Python loop per output pixel."""
+    n, h, w, c = data.shape
+    oh = conv_output_size(h, pool_size, stride, 0)
+    ow = conv_output_size(w, pool_size, stride, 0)
+    out = np.empty((n, oh, ow, c), dtype=data.dtype)
+    for i in range(oh):
+        for j in range(ow):
+            window = data[:, i * stride:i * stride + pool_size,
+                          j * stride:j * stride + pool_size, :]
+            out[:, i, j, :] = np.bitwise_or.reduce(window.reshape(n, -1, c), axis=1)
+    return out
+
+
+def fast_max_pool_packed(data: np.ndarray, pool_size: int, stride: int) -> np.ndarray:
+    """The shipped pooling kernel (window view + one OR reduction)."""
+    from repro.core.layers.pooling import _pool_windows
+
+    return np.bitwise_or.reduce(
+        _pool_windows(data, pool_size, stride), axis=(-2, -1)
+    )
+
+
+# --------------------------------------------------------------------------
+# pytest-benchmark fixtures (interactive comparison runs).
+# --------------------------------------------------------------------------
+
+try:
+    import pytest
+except ImportError:  # pragma: no cover - standalone runner without pytest
+    pytest = None
+
+if pytest is not None:
+
+    @pytest.fixture(scope="module")
+    def conv_inputs():
+        rng = np.random.default_rng(0)
+        x_bits = rng.integers(0, 2, size=(1, _SIZE, _SIZE, _CHANNELS), dtype=np.uint8)
+        w_bits = rng.integers(0, 2, size=(3, 3, _CHANNELS, _COUT), dtype=np.uint8)
+        return x_bits, w_bits
+
+    def test_binary_conv_kernel(benchmark, conv_inputs):
+        x_bits, w_bits = conv_inputs
+        x_packed = binary_conv.pack_activations(x_bits)
+        w_packed = binary_conv.pack_weights(w_bits)
+        out = benchmark(
+            binary_conv.binary_conv2d_packed, x_packed, w_packed, _CHANNELS, 3, 1, 1
+        )
+        assert out.shape == (1, _SIZE, _SIZE, _COUT)
+
+    def test_binary_conv_kernel_naive(benchmark, conv_inputs):
+        x_bits, w_bits = conv_inputs
+        x_packed = binary_conv.pack_activations(x_bits)
+        w_packed = binary_conv.pack_weights(w_bits)
+        out = benchmark(
+            naive_binary_conv2d_packed, x_packed, w_packed, _CHANNELS, 3, 1, 1
+        )
+        assert out.shape == (1, _SIZE, _SIZE, _COUT)
+
+    def test_float_conv_reference(benchmark, conv_inputs):
+        x_bits, w_bits = conv_inputs
+        x_values = 2.0 * x_bits.astype(np.float64) - 1.0
+        w_values = 2.0 * w_bits.astype(np.float64) - 1.0
+        out = benchmark(
+            binary_conv.conv2d_float_nhwc, x_values, w_values, 1, 1, -1.0
+        )
+        assert out.shape == (1, _SIZE, _SIZE, _COUT)
+
+    def test_bit_packing_throughput(benchmark):
+        rng = np.random.default_rng(1)
+        bits = rng.integers(0, 2, size=(1, 52, 52, 512), dtype=np.uint8)
+        packed = benchmark(bitpack.pack_bits, bits, 64, 3)
+        assert packed.shape == (1, 52, 52, 8)
+
+    def test_popcount_throughput(benchmark):
+        rng = np.random.default_rng(4)
+        words = rng.integers(0, 2**63, size=(1 << 20,), dtype=np.uint64)
+        counts = benchmark(bitpack.popcount, words)
+        assert counts.shape == words.shape
+
+    def test_branchless_binarize_throughput(benchmark):
+        rng = np.random.default_rng(2)
+        x1 = rng.integers(-200, 200, size=(1, 52, 52, 512)).astype(np.float64)
+        threshold = rng.normal(size=512)
+        gamma = rng.choice([-1.0, 1.0], size=512)
+        bits = benchmark(branchless_binarize, x1, threshold, gamma)
+        np.testing.assert_array_equal(bits, fused_binarize(x1, threshold, gamma))
+
+    def test_input_bitplane_conv_kernel(benchmark):
+        rng = np.random.default_rng(3)
+        image = rng.integers(0, 256, size=(1, 32, 32, 3)).astype(np.uint8)
+        w_bits = rng.integers(0, 2, size=(3, 3, 3, 16), dtype=np.uint8)
+        w_packed = binary_conv.pack_weights(w_bits, word_size=32)
+        out = benchmark(
+            binary_conv.input_conv2d_bitplanes, image, w_packed, 3, 3, 1, 1
+        )
+        assert out.shape == (1, 32, 32, 16)
+
+
+# --------------------------------------------------------------------------
+# Standalone JSON runner (BENCH trajectory + CI smoke test).
+# --------------------------------------------------------------------------
+
+def _time_ns(func, *args, repeats: int = 10) -> float:
+    """Median wall-clock nanoseconds per call."""
+    func(*args)  # warm-up
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter_ns()
+        func(*args)
+        samples.append(time.perf_counter_ns() - t0)
+    return float(np.median(samples))
+
+
+def run_suite(repeats: int = 10, quick: bool = False) -> list:
+    """Measure every fast kernel against its naive baseline.
+
+    Returns JSON-serializable records; asserts fast/naive agreement first.
+    """
     rng = np.random.default_rng(0)
-    x_bits = rng.integers(0, 2, size=(1, _SIZE, _SIZE, _CHANNELS), dtype=np.uint8)
+    size = 10 if quick else _SIZE
+    records = []
+
+    def record(op, shape, fast, naive, fast_args, naive_args):
+        fast_out = fast(*fast_args)
+        naive_out = naive(*naive_args)
+        np.testing.assert_array_equal(fast_out, naive_out)
+        fast_ns = _time_ns(fast, *fast_args, repeats=repeats)
+        naive_ns = _time_ns(naive, *naive_args, repeats=repeats)
+        records.append(
+            {
+                "op": op,
+                "shape": list(shape),
+                "ns_per_op": fast_ns,
+                "naive_ns_per_op": naive_ns,
+                "speedup_vs_naive": naive_ns / fast_ns if fast_ns else float("inf"),
+            }
+        )
+
+    # popcount: hardware/SWAR vs byte-LUT gather.
+    n_words = 1 << (16 if quick else 20)
+    words = rng.integers(0, 2**63, size=(n_words,), dtype=np.uint64)
+    record(
+        "popcount_u64", (n_words,),
+        bitpack.popcount, bitpack.popcount_lut, (words,), (words,),
+    )
+
+    # pack_bits: packbits+view vs shift-and-sum.
+    bits = rng.integers(0, 2, size=(1, 52, 52, 512), dtype=np.uint8)
+    record(
+        "pack_bits_w64", bits.shape,
+        lambda b: bitpack.pack_bits(b, 64, 3), lambda b: naive_pack_bits(b, 64, 3),
+        (bits,), (bits,),
+    )
+
+    # packed binary conv: tiled GEMM + strided patches vs broadcast + LUT.
+    x_bits = rng.integers(0, 2, size=(1, size, size, _CHANNELS), dtype=np.uint8)
     w_bits = rng.integers(0, 2, size=(3, 3, _CHANNELS, _COUT), dtype=np.uint8)
-    return x_bits, w_bits
-
-
-def test_binary_conv_kernel(benchmark, conv_inputs):
-    x_bits, w_bits = conv_inputs
     x_packed = binary_conv.pack_activations(x_bits)
     w_packed = binary_conv.pack_weights(w_bits)
-    out = benchmark(
-        binary_conv.binary_conv2d_packed, x_packed, w_packed, _CHANNELS, 3, 1, 1
+    record(
+        "binary_conv2d_packed_3x3", x_bits.shape,
+        binary_conv.binary_conv2d_packed, naive_binary_conv2d_packed,
+        (x_packed, w_packed, _CHANNELS, 3, 1, 1),
+        (x_packed, w_packed, _CHANNELS, 3, 1, 1),
     )
-    assert out.shape == (1, _SIZE, _SIZE, _COUT)
 
-
-def test_float_conv_reference(benchmark, conv_inputs):
-    x_bits, w_bits = conv_inputs
-    x_values = 2.0 * x_bits.astype(np.float64) - 1.0
-    w_values = 2.0 * w_bits.astype(np.float64) - 1.0
-    out = benchmark(
-        binary_conv.conv2d_float_nhwc, x_values, w_values, 1, 1, -1.0
+    # pointwise conv: zero-copy patch path.
+    w1_bits = rng.integers(0, 2, size=(1, 1, _CHANNELS, _COUT), dtype=np.uint8)
+    w1_packed = binary_conv.pack_weights(w1_bits)
+    record(
+        "binary_conv2d_packed_1x1", x_bits.shape,
+        binary_conv.binary_conv2d_packed, naive_binary_conv2d_packed,
+        (x_packed, w1_packed, _CHANNELS, 1, 1, 0),
+        (x_packed, w1_packed, _CHANNELS, 1, 1, 0),
     )
-    assert out.shape == (1, _SIZE, _SIZE, _COUT)
 
-
-def test_bit_packing_throughput(benchmark):
-    rng = np.random.default_rng(1)
-    bits = rng.integers(0, 2, size=(1, 52, 52, 512), dtype=np.uint8)
-    packed = benchmark(bitpack.pack_bits, bits, 64, 3)
-    assert packed.shape == (1, 52, 52, 8)
-
-
-def test_branchless_binarize_throughput(benchmark):
-    rng = np.random.default_rng(2)
-    x1 = rng.integers(-200, 200, size=(1, 52, 52, 512)).astype(np.float64)
-    threshold = rng.normal(size=512)
-    gamma = rng.choice([-1.0, 1.0], size=512)
-    bits = benchmark(branchless_binarize, x1, threshold, gamma)
-    np.testing.assert_array_equal(bits, fused_binarize(x1, threshold, gamma))
-
-
-def test_input_bitplane_conv_kernel(benchmark):
-    rng = np.random.default_rng(3)
-    image = rng.integers(0, 256, size=(1, 32, 32, 3)).astype(np.uint8)
-    w_bits = rng.integers(0, 2, size=(3, 3, 3, 16), dtype=np.uint8)
-    w_packed = binary_conv.pack_weights(w_bits, word_size=32)
-    out = benchmark(
-        binary_conv.input_conv2d_bitplanes, image, w_packed, 3, 3, 1, 1
+    # packed max pooling: window view vs per-pixel loop.
+    pool_bits = rng.integers(0, 2, size=(1, 52, 52, 512), dtype=np.uint8)
+    pool_packed = binary_conv.pack_activations(pool_bits)
+    record(
+        "max_pool_packed_2x2", pool_packed.shape,
+        fast_max_pool_packed, naive_max_pool_packed,
+        (pool_packed, 2, 2), (pool_packed, 2, 2),
     )
-    assert out.shape == (1, 32, 32, 16)
+
+    return records
+
+
+def run_batch_suite(repeats: int = 3, quick: bool = False) -> list:
+    """Measure batched engine execution against sequential single-image runs."""
+    from repro.core.engine import PhoneBitEngine
+    from repro.core.layers import BinaryConv2d, BinaryDense, Flatten, InputConv2d, MaxPool2d
+    from repro.core.network import Network
+
+    rng = np.random.default_rng(7)
+    net = Network("bench-tiny", input_shape=(16, 16, 3), input_dtype="uint8")
+    net.add(InputConv2d(3, 16, 3, padding=1, rng=11, name="conv1"))
+    net.add(MaxPool2d(2, name="pool1"))
+    net.add(BinaryConv2d(16, 32, 3, padding=1, rng=12, name="conv2"))
+    net.add(MaxPool2d(2, name="pool2"))
+    net.add(Flatten(name="flatten"))
+    net.add(BinaryDense(4 * 4 * 32, 10, output_binary=False, rng=13, name="fc"))
+
+    batch = rng.integers(0, 256, size=(4 if quick else 8, 16, 16, 3)).astype(np.uint8)
+    engine = PhoneBitEngine()
+    engine.run_batch(net, batch)  # warm-up (packs weights once)
+
+    def sequential():
+        for i in range(batch.shape[0]):
+            engine.run(net, batch[i : i + 1])
+
+    def batched():
+        engine.run_batch(net, batch)
+
+    seq_ns = _time_ns(sequential, repeats=repeats)
+    batch_ns = _time_ns(batched, repeats=repeats)
+    n = batch.shape[0]
+    return [
+        {
+            "op": "engine_run_batch",
+            "shape": list(batch.shape),
+            "ns_per_op": batch_ns / n,
+            "naive_ns_per_op": seq_ns / n,
+            "speedup_vs_naive": seq_ns / batch_ns if batch_ns else float("inf"),
+        }
+    ]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write records to PATH ('-' for stdout)")
+    parser.add_argument("--repeats", type=int, default=10,
+                        help="timing repetitions per kernel (median is kept)")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller shapes / fewer repeats (CI smoke mode)")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail if the packed conv speedup drops below this")
+    args = parser.parse_args(argv)
+
+    repeats = 3 if args.quick else args.repeats
+    records = run_suite(repeats=repeats, quick=args.quick)
+    records += run_batch_suite(repeats=max(2, repeats // 3), quick=args.quick)
+
+    width = max(len(r["op"]) for r in records)
+    print(f"{'op':<{width}}  {'ns/op':>12}  {'naive ns/op':>12}  {'speedup':>8}")
+    for r in records:
+        print(
+            f"{r['op']:<{width}}  {r['ns_per_op']:>12,.0f}  "
+            f"{r['naive_ns_per_op']:>12,.0f}  {r['speedup_vs_naive']:>7.1f}x"
+        )
+
+    if args.json:
+        payload = json.dumps({"records": records}, indent=2)
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w") as fh:
+                fh.write(payload + "\n")
+            print(f"wrote {args.json}")
+
+    if args.min_speedup is not None:
+        conv = next(r for r in records if r["op"] == "binary_conv2d_packed_3x3")
+        if conv["speedup_vs_naive"] < args.min_speedup:
+            print(
+                f"FAIL: conv speedup {conv['speedup_vs_naive']:.1f}x "
+                f"< required {args.min_speedup:.1f}x",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,13 +28,14 @@ Network Inference Engine for Mobile Phones* (DATE 2020).  It contains:
 """
 
 from repro.core.network import Network
-from repro.core.engine import PhoneBitEngine, InferenceReport
+from repro.core.engine import BatchInferenceReport, PhoneBitEngine, InferenceReport
 from repro.gpusim.device import DeviceSpec, snapdragon_820, snapdragon_855
 
 __all__ = [
     "Network",
     "PhoneBitEngine",
     "InferenceReport",
+    "BatchInferenceReport",
     "DeviceSpec",
     "snapdragon_820",
     "snapdragon_855",

@@ -9,19 +9,27 @@ Spatial zero padding pads packed words with 0, i.e. padded pixels behave as
 all-(−1) activations.  The float reference used for verification therefore
 pads with −1 as well (``pad_value=-1``); this mirrors how a real BNN kernel
 treats padding when ``Len`` in Eqn. (1) is the full kernel volume.
+
+Kernel structure (Sec. V/VI of the paper, mapped to NumPy):
+
+* Patch extraction uses a zero-copy ``sliding_window_view`` over the padded
+  activation tensor.  1×1 convolutions never materialize a patch matrix at
+  all (pure reshape/stride slicing); K×K convolutions gather the window view
+  into the patch matrix with a single vectorized copy instead of a Python
+  loop over (kh, kw).
+* The all-pairs dot products run through the 2-D tiled popcount GEMMs in
+  :mod:`repro.core.bitpack`, which block over both patches and filters so
+  broadcast temporaries have a bounded working set.
 """
 
 from __future__ import annotations
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.core import bitpack
 from repro.core.binarize import bitplane_weights, split_bitplanes
 from repro.core.tensor import conv_output_size, pad_spatial_nhwc
-
-#: Output-channel block size used when evaluating packed dot products; keeps
-#: the intermediate xor/popcount buffers small.
-_COUT_BLOCK = 64
 
 
 def im2col_nhwc(
@@ -43,14 +51,55 @@ def im2col_nhwc(
     n, h, w, c = x.shape
     oh = conv_output_size(h, kernel_size, stride, padding)
     ow = conv_output_size(w, kernel_size, stride, padding)
-    padded = pad_spatial_nhwc(x, padding, value=pad_value)
-    patches = np.empty((n, oh, ow, kernel_size, kernel_size, c), dtype=x.dtype)
-    for kh in range(kernel_size):
-        for kw in range(kernel_size):
-            h_end = kh + stride * oh
-            w_end = kw + stride * ow
-            patches[:, :, :, kh, kw, :] = padded[:, kh:h_end:stride, kw:w_end:stride, :]
-    return patches.reshape(n, oh, ow, kernel_size * kernel_size * c)
+    windows = _conv_windows(x, kernel_size, stride, padding, pad_value)
+    return np.ascontiguousarray(windows).reshape(n, oh, ow, kernel_size * kernel_size * c)
+
+
+def _conv_windows(
+    x: np.ndarray,
+    kernel_size: int,
+    stride: int,
+    padding: int,
+    pad_value: float,
+) -> np.ndarray:
+    """Strided ``(N, OH, OW, KH, KW, C)`` view of all convolution windows.
+
+    The result is a zero-copy view into the (possibly padded) input with the
+    trailing axes ordered ``(kh, kw, c)`` to match the packed NHWC layout.
+    """
+    padded = pad_spatial_nhwc(x, padding, value=pad_value) if padding else x
+    windows = sliding_window_view(padded, (kernel_size, kernel_size), axis=(1, 2))
+    # sliding_window_view appends the window axes: (N, OH', OW', C, KH, KW).
+    windows = windows[:, ::stride, ::stride]
+    return windows.transpose(0, 1, 2, 4, 5, 3)
+
+
+def _packed_patch_matrix(
+    x_packed: np.ndarray,
+    kernel_size: int,
+    stride: int,
+    padding: int,
+) -> tuple[np.ndarray, int, int]:
+    """Flattened ``(N*OH*OW, KH*KW*Wc)`` patch matrix for packed activations.
+
+    Returns ``(patches, oh, ow)``.  For 1×1 kernels the matrix is a reshape
+    of a strided slice — zero-copy when stride is 1 — so pointwise binary
+    convolutions skip im2col entirely.
+    """
+    x_packed = np.asarray(x_packed)
+    if x_packed.ndim != 4:
+        raise ValueError(f"expected packed NHWC input, got shape {x_packed.shape}")
+    n, h, w, wc = x_packed.shape
+    oh = conv_output_size(h, kernel_size, stride, padding)
+    ow = conv_output_size(w, kernel_size, stride, padding)
+    if kernel_size == 1 and padding == 0:
+        sliced = x_packed[:, ::stride, ::stride, :]
+        return sliced.reshape(n * oh * ow, wc), oh, ow
+    windows = _conv_windows(x_packed, kernel_size, stride, padding, pad_value=0)
+    flat = np.ascontiguousarray(windows).reshape(
+        n * oh * ow, kernel_size * kernel_size * wc
+    )
+    return flat, oh, ow
 
 
 def conv2d_float_nhwc(
@@ -120,27 +169,6 @@ def pack_activations(activation_bits: np.ndarray, word_size: int = 64) -> np.nda
     return bitpack.pack_bits(activation_bits, word_size=word_size, axis=3)
 
 
-def _blocked_dot(
-    patches: np.ndarray,
-    filters: np.ndarray,
-    combine,
-) -> np.ndarray:
-    """Apply a packed-word reduction between every patch and every filter.
-
-    ``patches`` has shape ``(P, K)``, ``filters`` has shape ``(Cout, K)``;
-    ``combine(p_block, f_block)`` receives broadcastable packed-word blocks
-    and must reduce the trailing word axis, returning ``(p, cout)`` int64.
-    """
-    n_patches = patches.shape[0]
-    n_filters = filters.shape[0]
-    out = np.empty((n_patches, n_filters), dtype=np.int64)
-    for start in range(0, n_filters, _COUT_BLOCK):
-        stop = min(start + _COUT_BLOCK, n_filters)
-        block = filters[start:stop]
-        out[:, start:stop] = combine(patches[:, None, :], block[None, :, :])
-    return out
-
-
 def binary_conv2d_packed(
     x_packed: np.ndarray,
     weights_packed: np.ndarray,
@@ -172,22 +200,16 @@ def binary_conv2d_packed(
     weights_packed = np.asarray(weights_packed)
     cout = weights_packed.shape[0]
     n = x_packed.shape[0]
-    patches = im2col_nhwc(x_packed, kernel_size, stride, padding, pad_value=0)
-    _, oh, ow, k = patches.shape
-    flat_patches = patches.reshape(-1, k)
+    patches, oh, ow = _packed_patch_matrix(x_packed, kernel_size, stride, padding)
     flat_filters = weights_packed.reshape(cout, -1)
-    if flat_filters.shape[1] != k:
+    if flat_filters.shape[1] != patches.shape[1]:
         raise ValueError("activation and filter packing widths do not match")
     length = kernel_size * kernel_size * true_channels
-
-    def combine(p_block, f_block):
-        disagree = bitpack.popcount(np.bitwise_xor(p_block, f_block)).sum(
-            axis=-1, dtype=np.int64
-        )
-        return length - 2 * disagree
-
-    out = _blocked_dot(flat_patches, flat_filters, combine)
-    return out.reshape(n, oh, ow, cout)
+    disagree = bitpack.xor_popcount_gemm(patches, flat_filters)
+    # x1 = length - 2 * disagree, computed in place on the GEMM output.
+    np.multiply(disagree, -2, out=disagree)
+    disagree += length
+    return disagree.reshape(n, oh, ow, cout)
 
 
 def binary_conv2d_reference(
@@ -253,22 +275,23 @@ def input_conv2d_bitplanes(
     out = None
     for plane_index in range(input_bits):
         plane_packed = pack_activations(planes[plane_index], word_size=word_size)
-        patches = im2col_nhwc(plane_packed, kernel_size, stride, padding, pad_value=0)
-        n, oh, ow, k = patches.shape
-        flat_patches = patches.reshape(-1, k)
-        if flat_filters.shape[1] != k:
+        patches, oh, ow = _packed_patch_matrix(
+            plane_packed, kernel_size, stride, padding
+        )
+        n = plane_packed.shape[0]
+        if flat_filters.shape[1] != patches.shape[1]:
             raise ValueError("activation and filter packing widths do not match")
-
-        def combine(p_block, f_block):
-            overlap = bitpack.popcount(np.bitwise_and(p_block, f_block)).sum(
-                axis=-1, dtype=np.int64
-            )
-            ones = bitpack.popcount(p_block).sum(axis=-1, dtype=np.int64)
-            return 2 * overlap - ones
-
-        plane_dot = _blocked_dot(flat_patches, flat_filters, combine)
-        contribution = plane_dot.reshape(n, oh, ow, cout) * int(weights[plane_index])
-        out = contribution if out is None else out + contribution
+        overlap = bitpack.and_popcount_gemm(patches, flat_filters)
+        # x · w = 2·popc(x & w) − popc(x); popc(x) is shared by all filters,
+        # so compute it once per patch row instead of once per filter block.
+        ones = bitpack.popcount_words(patches).sum(axis=-1, dtype=np.int64)
+        np.multiply(overlap, 2, out=overlap)
+        overlap -= ones[:, None]
+        contribution = overlap.reshape(n, oh, ow, cout)
+        if out is None:
+            out = contribution * int(weights[plane_index])
+        else:
+            out += contribution * int(weights[plane_index])
     return out
 
 

@@ -18,8 +18,19 @@ Its bit-planes are unipolar ({0, 1}); the dot product of a unipolar vector
 
     x · w = 2 · popcount(and(x, w)) − popcount(x)
 
-Both primitives are provided here, together with a vectorized SWAR popcount
-that works on any unsigned word width.
+Popcount dispatch (the OpenCL kernels use the native ``popcount`` builtin):
+
+* ``np.bitwise_count`` — the hardware popcount ufunc, used whenever the
+  installed NumPy provides it (NumPy ≥ 2.0).
+* :func:`popcount_swar` — a branch-free SWAR fallback that stays in-register
+  (shift/mask arithmetic in the word's own dtype, no byte expansion).
+* :func:`popcount_lut` — the original 256-entry byte-LUT gather, kept as the
+  naive reference the micro-benchmarks compare against.
+
+The tiled GEMM entry points :func:`xor_popcount_gemm` and
+:func:`and_popcount_gemm` evaluate all-pairs packed dot products with
+bounded working-set temporaries; they are the building blocks of the
+convolution and dense kernels.
 """
 
 from __future__ import annotations
@@ -37,11 +48,39 @@ _WORD_DTYPES = {
     64: np.uint64,
 }
 
-#: Per-byte popcount lookup table (the OpenCL kernels use the native
-#: ``popcount`` builtin; a 256-entry LUT is the NumPy equivalent).
+#: Little-endian dtypes used to (re)interpret packed byte streams as words,
+#: so the "bit i of the word holds element i" layout is platform independent.
+_LE_WORD_DTYPES = {size: np.dtype(f"<u{size // 8}") for size in SUPPORTED_WORD_SIZES}
+
+#: Whether the installed NumPy exposes the hardware popcount ufunc.
+HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+#: Per-byte popcount lookup table backing :func:`popcount_lut`.
 _POPCOUNT_TABLE = np.array(
     [bin(i).count("1") for i in range(256)], dtype=np.uint8
 )
+
+#: SWAR constants per word width: (mask_1, mask_2, mask_4, ones_replicated,
+#: final_shift).  The classic branch-free popcount: pairwise bit sums, then
+#: nibble sums, then a multiply that accumulates all byte counts into the
+#: top byte.
+_SWAR_CONSTANTS = {
+    8: (0x55, 0x33, 0x0F, 0x01, 0),
+    16: (0x5555, 0x3333, 0x0F0F, 0x0101, 8),
+    32: (0x55555555, 0x33333333, 0x0F0F0F0F, 0x01010101, 24),
+    64: (
+        0x5555555555555555,
+        0x3333333333333333,
+        0x0F0F0F0F0F0F0F0F,
+        0x0101010101010101,
+        56,
+    ),
+}
+
+#: Tile sizes for the all-pairs popcount GEMMs.  The working set of one tile
+#: is ``ROW_TILE × COL_TILE × n_words`` words regardless of problem size.
+_GEMM_ROW_TILE = 512
+_GEMM_COL_TILE = 64
 
 
 def word_dtype(word_size: int) -> np.dtype:
@@ -67,7 +106,9 @@ def pack_bits(bits: np.ndarray, word_size: int = 64, axis: int = -1) -> np.ndarr
 
     Bits are packed little-endian within each word (bit ``i`` of the word
     holds element ``i`` of the group), and the axis is zero-padded up to a
-    multiple of ``word_size``.
+    multiple of ``word_size``.  Implemented as one ``np.packbits`` pass plus
+    a little-endian dtype view, so no 64-wide shift/sum temporaries are
+    materialized.
 
     Parameters
     ----------
@@ -91,14 +132,17 @@ def pack_bits(bits: np.ndarray, word_size: int = 64, axis: int = -1) -> np.ndarr
     bits = np.moveaxis(bits, axis, -1)
     length = bits.shape[-1]
     n_words = words_per_channel(length, word_size)
-    padded_len = n_words * word_size
-    if padded_len != length:
-        pad = np.zeros(bits.shape[:-1] + (padded_len - length,), dtype=bits.dtype)
-        bits = np.concatenate([bits, pad], axis=-1)
-    grouped = bits.reshape(bits.shape[:-1] + (n_words, word_size)).astype(np.uint64)
-    shifts = np.arange(word_size, dtype=np.uint64)
-    packed = (grouped << shifts).sum(axis=-1, dtype=np.uint64).astype(dtype)
-    return np.ascontiguousarray(np.moveaxis(packed, -1, axis))
+    bytes_per_word = word_size // 8
+    packed8 = np.packbits(bits.astype(np.uint8, copy=False), axis=-1, bitorder="little")
+    padded_bytes = n_words * bytes_per_word
+    if packed8.shape[-1] != padded_bytes:
+        pad = np.zeros(
+            packed8.shape[:-1] + (padded_bytes - packed8.shape[-1],), dtype=np.uint8
+        )
+        packed8 = np.concatenate([packed8, pad], axis=-1)
+    packed8 = np.ascontiguousarray(packed8)
+    words = packed8.view(_LE_WORD_DTYPES[word_size]).astype(dtype, copy=False)
+    return np.ascontiguousarray(np.moveaxis(words, -1, axis))
 
 
 def unpack_bits(packed: np.ndarray, length: int, axis: int = -1) -> np.ndarray:
@@ -116,16 +160,19 @@ def unpack_bits(packed: np.ndarray, length: int, axis: int = -1) -> np.ndarray:
     packed = np.asarray(packed)
     word_size = packed.dtype.itemsize * 8
     word_dtype(word_size)
-    moved = np.moveaxis(packed, axis, -1).astype(np.uint64)
-    shifts = np.arange(word_size, dtype=np.uint64)
-    bits = (moved[..., None] >> shifts) & np.uint64(1)
-    bits = bits.reshape(moved.shape[:-1] + (moved.shape[-1] * word_size,))
-    bits = bits[..., :length].astype(np.uint8)
+    moved = np.ascontiguousarray(np.moveaxis(packed, axis, -1))
+    as_bytes = moved.astype(_LE_WORD_DTYPES[word_size], copy=False).view(np.uint8)
+    bits = np.unpackbits(as_bytes, axis=-1, bitorder="little", count=length)
     return np.ascontiguousarray(np.moveaxis(bits, -1, axis))
 
 
-def popcount(words: np.ndarray) -> np.ndarray:
-    """Per-element population count of an unsigned integer array."""
+def popcount_lut(words: np.ndarray) -> np.ndarray:
+    """Byte-LUT popcount — the naive reference implementation.
+
+    Expands every word into its bytes and gathers a 256-entry table; kept
+    for cross-checking and as the baseline the micro-benchmarks measure the
+    fast paths against.
+    """
     words = np.asarray(words)
     if words.dtype.kind != "u":
         raise ValueError("popcount expects an unsigned integer array")
@@ -134,13 +181,102 @@ def popcount(words: np.ndarray) -> np.ndarray:
     return _POPCOUNT_TABLE[as_bytes].sum(axis=-1, dtype=np.int64)
 
 
+def popcount_swar(words: np.ndarray) -> np.ndarray:
+    """Branch-free SWAR popcount in the array's own word width.
+
+    Pure shift/mask arithmetic (no LUT gather, no byte expansion): pairwise
+    bit sums, nibble sums, then a replicated-ones multiply that accumulates
+    the byte counts into the top byte.  Returns the same shape with the
+    input's dtype (each count fits easily: ≤ 64).
+    """
+    words = np.asarray(words)
+    if words.dtype.kind != "u":
+        raise ValueError("popcount expects an unsigned integer array")
+    width = words.dtype.itemsize * 8
+    m1, m2, m4, ones, shift = _SWAR_CONSTANTS[width]
+    t = words.dtype.type
+    x = words.copy()
+    x -= (x >> t(1)) & t(m1)
+    x = (x & t(m2)) + ((x >> t(2)) & t(m2))
+    x = (x + (x >> t(4))) & t(m4)
+    if shift:
+        x = (x * t(ones)) >> t(shift)
+    return x
+
+
+if HAS_BITWISE_COUNT:
+
+    def popcount_words(words: np.ndarray) -> np.ndarray:
+        """Per-element popcount in a narrow dtype (no int64 widening)."""
+        words = np.asarray(words)
+        if words.dtype.kind != "u":
+            raise ValueError("popcount expects an unsigned integer array")
+        return np.bitwise_count(words)
+
+else:  # pragma: no cover - exercised only on NumPy < 2.0
+
+    popcount_words = popcount_swar
+
+
+def popcount(words: np.ndarray) -> np.ndarray:
+    """Per-element population count of an unsigned integer array (int64)."""
+    return popcount_words(words).astype(np.int64)
+
+
+def _popcount_gemm(a, b, op, out):
+    """Shared tiling/validation for the all-pairs popcount reductions."""
+    a = np.ascontiguousarray(a)
+    b = np.ascontiguousarray(b)
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError("popcount GEMM expects 2-D packed matrices")
+    if a.dtype != b.dtype:
+        raise ValueError("operands must share the same packed dtype")
+    if a.shape[1] != b.shape[1]:
+        raise ValueError("operand packing widths do not match")
+    rows, cols = a.shape[0], b.shape[0]
+    if out is None:
+        out = np.empty((rows, cols), dtype=np.int64)
+    for i0 in range(0, rows, _GEMM_ROW_TILE):
+        i1 = min(i0 + _GEMM_ROW_TILE, rows)
+        a_tile = a[i0:i1, None, :]
+        for j0 in range(0, cols, _GEMM_COL_TILE):
+            j1 = min(j0 + _GEMM_COL_TILE, cols)
+            x = op(a_tile, b[None, j0:j1, :])
+            out[i0:i1, j0:j1] = popcount_words(x).sum(axis=-1, dtype=np.int64)
+    return out
+
+
+def xor_popcount_gemm(
+    a: np.ndarray, b: np.ndarray, out: np.ndarray | None = None
+) -> np.ndarray:
+    """All-pairs xor/popcount reduction: ``out[i, j] = Σ_k popc(a[i,k]^b[j,k])``.
+
+    ``a`` has shape ``(rows, n_words)``, ``b`` has shape ``(cols, n_words)``.
+    The computation is tiled over both rows and columns so the broadcast
+    xor/popcount temporaries stay at ``ROW_TILE × COL_TILE × n_words`` words
+    no matter how large the operands are.
+    """
+    return _popcount_gemm(a, b, np.bitwise_xor, out)
+
+
+def and_popcount_gemm(
+    a: np.ndarray, b: np.ndarray, out: np.ndarray | None = None
+) -> np.ndarray:
+    """All-pairs and/popcount reduction: ``out[i, j] = Σ_k popc(a[i,k]&b[j,k])``.
+
+    Same tiling as :func:`xor_popcount_gemm`; used by the unipolar
+    (bit-plane) dot product of Eqn. (2).
+    """
+    return _popcount_gemm(a, b, np.bitwise_and, out)
+
+
 def packed_xor_popcount(a: np.ndarray, b: np.ndarray, axis: int = -1) -> np.ndarray:
     """Sum of ``popcount(xor(a, b))`` along ``axis``."""
     a = np.asarray(a)
     b = np.asarray(b)
     if a.dtype != b.dtype:
         raise ValueError("operands must share the same packed dtype")
-    return popcount(np.bitwise_xor(a, b)).sum(axis=axis, dtype=np.int64)
+    return popcount_words(np.bitwise_xor(a, b)).sum(axis=axis, dtype=np.int64)
 
 
 def packed_dot_bipolar(a: np.ndarray, b: np.ndarray, length: int, axis: int = -1) -> np.ndarray:
@@ -172,8 +308,8 @@ def packed_dot_unipolar(x: np.ndarray, w: np.ndarray, axis: int = -1) -> np.ndar
     w = np.asarray(w)
     if x.dtype != w.dtype:
         raise ValueError("operands must share the same packed dtype")
-    overlap = popcount(np.bitwise_and(x, w)).sum(axis=axis, dtype=np.int64)
-    ones = popcount(x).sum(axis=axis, dtype=np.int64)
+    overlap = popcount_words(np.bitwise_and(x, w)).sum(axis=axis, dtype=np.int64)
+    ones = popcount_words(x).sum(axis=axis, dtype=np.int64)
     return 2 * overlap - ones
 
 

@@ -21,6 +21,7 @@ Two usage modes:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -76,6 +77,43 @@ class InferenceReport:
     @property
     def fps(self) -> float:
         return 1000.0 / self.latency_ms if self.latency_ms > 0 else float("inf")
+
+
+@dataclass
+class BatchInferenceReport:
+    """Result of one batched execution (:meth:`PhoneBitEngine.run_batch`).
+
+    Wall-clock figures are real measurements on this machine; ``estimate``
+    carries the simulated single-image on-device cost (computed once for
+    the whole batch rather than once per image).
+    """
+
+    network_name: str
+    device_name: str
+    batch_size: int
+    wall_ms_total: float
+    layer_wall_ms: Dict[str, float]
+    estimate: InferenceReport
+    output: Optional[Tensor] = None
+
+    @property
+    def wall_ms_per_image(self) -> float:
+        return self.wall_ms_total / self.batch_size if self.batch_size else 0.0
+
+    @property
+    def throughput_ips(self) -> float:
+        """Measured end-to-end throughput in images per second."""
+        if self.wall_ms_total <= 0:
+            return float("inf")
+        return 1000.0 * self.batch_size / self.wall_ms_total
+
+    @property
+    def layer_throughput_ips(self) -> Dict[str, float]:
+        """Measured per-layer throughput in images per second."""
+        return {
+            name: (1000.0 * self.batch_size / ms if ms > 0 else float("inf"))
+            for name, ms in self.layer_wall_ms.items()
+        }
 
 
 class PhoneBitEngine:
@@ -231,3 +269,87 @@ class PhoneBitEngine:
         report = self.estimate(network)
         report.output = output
         return report
+
+    def run_batch(
+        self,
+        network: Network,
+        batch: np.ndarray,
+        chunk_size: int | None = None,
+    ) -> BatchInferenceReport:
+        """Execute a whole batch through the network in one vectorized pass.
+
+        Unlike calling :meth:`run` once per image, this amortizes all
+        per-call overhead across the batch: every layer kernel runs once on
+        the full (or chunked) batch, per-layer wall-clock times and
+        throughput are recorded, and the simulated cost estimate is computed
+        a single time instead of once per image.
+
+        Parameters
+        ----------
+        network:
+            The network to execute.
+        batch:
+            Input of shape ``(N,) + network.input_shape``.
+        chunk_size:
+            Optional bound on how many images run through the layer stack at
+            once.  Chunking caps the activation working set for very large
+            batches; the final output buffer is allocated once and reused
+            across chunks (chunk results are written in place, never
+            concatenated).
+        """
+        x = network.coerce_input(batch)
+        n = int(x.data.shape[0])
+        if n == 0:
+            raise ValueError("run_batch needs a non-empty batch")
+        if chunk_size is not None and chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+
+        # Report keys must be unique even when layers share a (default)
+        # name, or duplicate layers would silently merge their timings;
+        # repeats are disambiguated as "name#2", "name#3", ...
+        layer_keys: List[str] = []
+        name_counts: Dict[str, int] = {}
+        for layer in network.layers:
+            count = name_counts.get(layer.name, 0) + 1
+            name_counts[layer.name] = count
+            layer_keys.append(layer.name if count == 1 else f"{layer.name}#{count}")
+        layer_wall: Dict[str, float] = {key: 0.0 for key in layer_keys}
+        out_buffer: Optional[np.ndarray] = None
+        out_template: Optional[Tensor] = None
+
+        starts = range(0, n, chunk_size) if chunk_size else [0]
+        t_total = time.perf_counter()
+        for start in starts:
+            stop = min(start + chunk_size, n) if chunk_size else n
+            chunk = Tensor(
+                x.data[start:stop], x.layout, x.packed, x.true_channels
+            ) if (start, stop) != (0, n) else x
+            current = chunk
+            t_layer = time.perf_counter()
+            for key, (_, current) in zip(layer_keys, network.iter_forward(current)):
+                now = time.perf_counter()
+                layer_wall[key] += now - t_layer
+                t_layer = now
+            if out_buffer is None:
+                # First chunk sizes the reusable output buffer for the batch.
+                out_shape = (n,) + current.data.shape[1:]
+                out_buffer = np.empty(out_shape, dtype=current.data.dtype)
+                out_template = current
+            out_buffer[start:stop] = current.data
+        wall_ms = (time.perf_counter() - t_total) * 1000.0
+
+        output = Tensor(
+            out_buffer,
+            out_template.layout,
+            out_template.packed,
+            out_template.true_channels,
+        )
+        return BatchInferenceReport(
+            network_name=network.name,
+            device_name=self.device.soc,
+            batch_size=n,
+            wall_ms_total=wall_ms,
+            layer_wall_ms={name: ms * 1000.0 for name, ms in layer_wall.items()},
+            estimate=self.estimate(network),
+            output=output,
+        )

@@ -82,12 +82,7 @@ class _FusedBinaryConvBase(Layer):
         rng = require_rng(rng)
         if weight_bits is None:
             weight_bits = _random_weight_bits(rng, kernel_size, in_channels, out_channels)
-        weight_bits = np.asarray(weight_bits, dtype=np.uint8)
-        expected = (kernel_size, kernel_size, in_channels, out_channels)
-        if weight_bits.shape != expected:
-            raise ValueError(f"weight bits must have shape {expected}, got {weight_bits.shape}")
         self.weight_bits = weight_bits
-        self.weights_packed = binary_conv.pack_weights(weight_bits, word_size=word_size)
 
         self.batchnorm = batchnorm or _default_batchnorm(out_channels)
         if self.batchnorm.channels != out_channels:
@@ -99,6 +94,42 @@ class _FusedBinaryConvBase(Layer):
             raise ValueError("bias must have one value per output channel")
         self.threshold = compute_threshold(self.batchnorm, self.bias)
         self.gamma = self.batchnorm.gamma
+
+    @property
+    def weight_bits(self) -> np.ndarray:
+        """Binary filter bank as bits of shape ``(KH, KW, Cin, Cout)``."""
+        return self._weight_bits
+
+    @weight_bits.setter
+    def weight_bits(self, bits: np.ndarray) -> None:
+        bits = np.array(bits, dtype=np.uint8, copy=True)
+        expected = (
+            self.kernel_size,
+            self.kernel_size,
+            self.in_channels,
+            self.out_channels,
+        )
+        if bits.shape != expected:
+            raise ValueError(f"weight bits must have shape {expected}, got {bits.shape}")
+        # Copied above and frozen here so in-place edits cannot silently
+        # bypass the packed-weight cache invalidation; reassign to mutate.
+        bits.setflags(write=False)
+        self._weight_bits = bits
+        self._weights_packed = None
+
+    @property
+    def weights_packed(self) -> np.ndarray:
+        """Packed filters, computed once per weight assignment and cached.
+
+        Repacking happens only when :attr:`weight_bits` is reassigned, so
+        repeated forward passes / ``engine.run()`` calls share one packed
+        copy instead of re-packing per call.
+        """
+        if self._weights_packed is None:
+            self._weights_packed = binary_conv.pack_weights(
+                self._weight_bits, word_size=self.word_size
+            )
+        return self._weights_packed
 
     @property
     def uses_integrated_packing(self) -> bool:

@@ -20,6 +20,13 @@ from repro.core.layers.base import Layer, ParamCount, require_rng
 from repro.core.tensor import Layout, Tensor
 
 
+def _pack_dense_weights(weight_bits: np.ndarray, word_size: int) -> np.ndarray:
+    """Pack a dense weight matrix along its input-feature dimension."""
+    return np.ascontiguousarray(
+        bitpack.pack_bits(weight_bits, word_size=word_size, axis=0).T
+    )
+
+
 def _default_batchnorm(features: int) -> BatchNormParams:
     return BatchNormParams(
         gamma=np.ones(features),
@@ -55,17 +62,7 @@ class BinaryDense(Layer):
         rng = require_rng(rng)
         if weight_bits is None:
             weight_bits = rng.integers(0, 2, size=(in_features, out_features), dtype=np.uint8)
-        weight_bits = np.asarray(weight_bits, dtype=np.uint8)
-        if weight_bits.shape != (in_features, out_features):
-            raise ValueError(
-                f"weight bits must have shape {(in_features, out_features)}, "
-                f"got {weight_bits.shape}"
-            )
         self.weight_bits = weight_bits
-        # Pack along the input-feature dimension: (out_features, n_words).
-        self.weights_packed = np.ascontiguousarray(
-            bitpack.pack_bits(weight_bits, word_size=word_size, axis=0).T
-        )
 
         self.batchnorm = batchnorm or _default_batchnorm(out_features)
         if self.batchnorm.channels != out_features:
@@ -75,6 +72,36 @@ class BinaryDense(Layer):
         )
         self.threshold = compute_threshold(self.batchnorm, self.bias)
         self.gamma = self.batchnorm.gamma
+
+    @property
+    def weight_bits(self) -> np.ndarray:
+        """Binary weight matrix as bits of shape ``(in_features, out_features)``."""
+        return self._weight_bits
+
+    @weight_bits.setter
+    def weight_bits(self, bits: np.ndarray) -> None:
+        bits = np.array(bits, dtype=np.uint8, copy=True)
+        if bits.shape != (self.in_features, self.out_features):
+            raise ValueError(
+                f"weight bits must have shape {(self.in_features, self.out_features)}, "
+                f"got {bits.shape}"
+            )
+        # Copied above and frozen here so in-place edits cannot silently
+        # bypass the packed-weight cache invalidation; reassign to mutate.
+        bits.setflags(write=False)
+        self._weight_bits = bits
+        self._weights_packed = None
+
+    @property
+    def weights_packed(self) -> np.ndarray:
+        """Weights packed along the input-feature dimension: (out_features, n_words).
+
+        Packed once per weight assignment and cached; repeated forward
+        passes reuse the cached copy.
+        """
+        if self._weights_packed is None:
+            self._weights_packed = _pack_dense_weights(self._weight_bits, self.word_size)
+        return self._weights_packed
 
     def output_shape(self, input_shape: tuple) -> tuple:
         features = int(np.prod(input_shape))
@@ -99,9 +126,7 @@ class BinaryDense(Layer):
             raise ValueError(
                 f"{self.name}: expected {self.in_features} input features, got {features}"
             )
-        disagree = bitpack.popcount(
-            np.bitwise_xor(packed[:, None, :], self.weights_packed[None, :, :])
-        ).sum(axis=-1, dtype=np.int64)
+        disagree = bitpack.xor_popcount_gemm(packed, self.weights_packed)
         x1 = self.in_features - 2 * disagree
         if self.output_binary:
             bits = branchless_binarize(x1, self.threshold, self.gamma)

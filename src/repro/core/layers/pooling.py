@@ -12,21 +12,25 @@ heads of the benchmark networks).
 from __future__ import annotations
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.core.layers.base import Layer
 from repro.core.tensor import Layout, Tensor, conv_output_size, pad_spatial_nhwc
 
 
-def _pool_windows(data: np.ndarray, pool_size: int, stride: int):
-    """Yield (i, j, window) triples of pooling windows of an NHWC array."""
-    _, h, w, _ = data.shape
-    oh = conv_output_size(h, pool_size, stride, 0)
-    ow = conv_output_size(w, pool_size, stride, 0)
-    for i in range(oh):
-        for j in range(ow):
-            window = data[:, i * stride:i * stride + pool_size,
-                          j * stride:j * stride + pool_size, :]
-            yield i, j, window
+def _pool_windows(data: np.ndarray, pool_size: int, stride: int) -> np.ndarray:
+    """Strided ``(N, OH, OW, C, ph, pw)`` view of all pooling windows.
+
+    Zero-copy: the result is a ``sliding_window_view`` subsampled by the
+    stride, covering exactly the windows a stride-``stride`` pooling visits
+    (identical edge semantics to the explicit double loop — trailing rows
+    and columns that do not fit a full window are dropped).
+    """
+    # Validates that the window fits, mirroring conv/pool shape inference.
+    conv_output_size(data.shape[1], pool_size, stride, 0)
+    conv_output_size(data.shape[2], pool_size, stride, 0)
+    windows = sliding_window_view(data, (pool_size, pool_size), axis=(1, 2))
+    return windows[:, ::stride, ::stride]
 
 
 class MaxPool2d(Layer):
@@ -68,16 +72,13 @@ class MaxPool2d(Layer):
                 data = pad_spatial_nhwc(
                     data, self.padding, value=np.iinfo(data.dtype).min
                 )
-        n, h, w, c = data.shape
-        oh = conv_output_size(h, self.pool_size, self.stride, 0)
-        ow = conv_output_size(w, self.pool_size, self.stride, 0)
-        out = np.empty((n, oh, ow, c), dtype=data.dtype)
-        for i, j, window in _pool_windows(data, self.pool_size, self.stride):
-            flat = window.reshape(n, -1, c)
-            if x.packed:
-                out[:, i, j, :] = np.bitwise_or.reduce(flat, axis=1)
-            else:
-                out[:, i, j, :] = flat.max(axis=1)
+        windows = _pool_windows(data, self.pool_size, self.stride)
+        if x.packed:
+            # max over ±1 values == bitwise OR over the packed words.
+            out = np.bitwise_or.reduce(windows, axis=(-2, -1))
+        else:
+            out = windows.max(axis=(-2, -1))
+        out = np.ascontiguousarray(out)
         return Tensor(out, Layout.NHWC, packed=x.packed, true_channels=x.true_channels)
 
 
@@ -104,10 +105,6 @@ class AvgPool2d(Layer):
         if x.packed:
             raise ValueError(f"{self.name}: average pooling needs float activations")
         data = np.asarray(x.data, dtype=np.float64)
-        n, h, w, c = data.shape
-        oh = conv_output_size(h, self.pool_size, self.stride, 0)
-        ow = conv_output_size(w, self.pool_size, self.stride, 0)
-        out = np.empty((n, oh, ow, c), dtype=np.float32)
-        for i, j, window in _pool_windows(data, self.pool_size, self.stride):
-            out[:, i, j, :] = window.reshape(n, -1, c).mean(axis=1)
+        windows = _pool_windows(data, self.pool_size, self.stride)
+        out = windows.mean(axis=(-2, -1)).astype(np.float32)
         return Tensor(out, Layout.NHWC)

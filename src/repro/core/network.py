@@ -87,6 +87,29 @@ class Network:
         return current
 
     # ------------------------------------------------------------- forward
+    def coerce_input(self, x) -> Tensor:
+        """Wrap/validate a batch as a :class:`Tensor` with the right shape."""
+        if not isinstance(x, Tensor):
+            x = Tensor(np.asarray(x), Layout.NHWC)
+        if x.data.shape[1:] != self.input_shape:
+            raise ValueError(
+                f"{self.name}: expected input shape (N,)+{self.input_shape}, "
+                f"got {x.data.shape}"
+            )
+        return x
+
+    def iter_forward(self, x):
+        """Run the network layer by layer, yielding ``(layer, activation)``.
+
+        The generator form lets callers (e.g. the engine's batched executor)
+        observe per-layer outputs and wall-clock times without the network
+        having to know about timing or buffering concerns.
+        """
+        current = self.coerce_input(x)
+        for layer in self.layers:
+            current = layer.forward(current)
+            yield layer, current
+
     def forward(self, x, collect_activations: bool = False):
         """Run the network on a batch.
 
@@ -98,17 +121,9 @@ class Network:
         collect_activations:
             When True, also return the list of intermediate tensors.
         """
-        if not isinstance(x, Tensor):
-            x = Tensor(np.asarray(x), Layout.NHWC)
-        if x.data.shape[1:] != self.input_shape:
-            raise ValueError(
-                f"{self.name}: expected input shape (N,)+{self.input_shape}, "
-                f"got {x.data.shape}"
-            )
+        current = self.coerce_input(x)
         activations = []
-        current = x
-        for layer in self.layers:
-            current = layer.forward(current)
+        for _, current in self.iter_forward(current):  # re-coercion is a no-op
             if collect_activations:
                 activations.append(current)
         if collect_activations:

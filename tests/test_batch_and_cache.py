@@ -1,0 +1,171 @@
+"""Regression tests for packed-weight caching and batched engine execution."""
+
+import numpy as np
+import pytest
+
+from repro.core import binary_conv
+from repro.core.engine import BatchInferenceReport, PhoneBitEngine
+from repro.core.layers import BinaryConv2d, BinaryDense
+from repro.core.layers import dense as dense_mod
+from repro.core.tensor import Tensor
+
+
+class TestConvWeightCache:
+    def test_packing_is_lazy_and_cached(self):
+        layer = BinaryConv2d(8, 4, 3, rng=0)
+        first = layer.weights_packed
+        assert layer.weights_packed is first  # cached object, not re-packed
+
+    def test_assignment_invalidates_cache(self, rng):
+        layer = BinaryConv2d(8, 4, 3, rng=0)
+        before = layer.weights_packed
+        new_bits = rng.integers(0, 2, size=(3, 3, 8, 4), dtype=np.uint8)
+        layer.weight_bits = new_bits
+        after = layer.weights_packed
+        assert after is not before
+        np.testing.assert_array_equal(
+            after, binary_conv.pack_weights(new_bits, word_size=layer.word_size)
+        )
+
+    def test_assignment_validates_shape(self):
+        layer = BinaryConv2d(8, 4, 3, rng=0)
+        with pytest.raises(ValueError):
+            layer.weight_bits = np.zeros((3, 3, 8, 5), dtype=np.uint8)
+
+    def test_in_place_mutation_cannot_stale_the_cache(self, rng):
+        # weight_bits is stored as a frozen copy: in-place edits raise
+        # instead of silently bypassing cache invalidation, and mutating
+        # the caller's original array does not alias the layer's copy.
+        source = rng.integers(0, 2, size=(3, 3, 8, 4), dtype=np.uint8)
+        layer = BinaryConv2d(8, 4, 3, weight_bits=source)
+        packed_before = layer.weights_packed
+        with pytest.raises(ValueError):
+            layer.weight_bits[:] = 0
+        source[:] = 0
+        assert layer.weights_packed is packed_before
+        np.testing.assert_array_equal(
+            layer.weights_packed,
+            binary_conv.pack_weights(layer.weight_bits, word_size=layer.word_size),
+        )
+        dense = BinaryDense(16, 4, rng=0)
+        with pytest.raises(ValueError):
+            dense.weight_bits[0, 0] = 1
+
+    def test_repeated_engine_runs_do_not_repack(
+        self, tiny_bnn_network, tiny_images, monkeypatch
+    ):
+        conv_packs = []
+        dense_packs = []
+        real_pack_weights = binary_conv.pack_weights
+        real_pack_dense = dense_mod._pack_dense_weights
+        monkeypatch.setattr(
+            binary_conv,
+            "pack_weights",
+            lambda *a, **k: conv_packs.append(1) or real_pack_weights(*a, **k),
+        )
+        monkeypatch.setattr(
+            dense_mod,
+            "_pack_dense_weights",
+            lambda *a, **k: dense_packs.append(1) or real_pack_dense(*a, **k),
+        )
+        engine = PhoneBitEngine()
+        engine.run(tiny_bnn_network, tiny_images)
+        packs_after_first = (len(conv_packs), len(dense_packs))
+        assert packs_after_first == (2, 2)  # conv1+conv2, fc1+fc2: once each
+        engine.run(tiny_bnn_network, tiny_images)
+        engine.run(tiny_bnn_network, tiny_images)
+        assert (len(conv_packs), len(dense_packs)) == packs_after_first
+
+    def test_dense_cache_invalidation(self, rng):
+        layer = BinaryDense(64, 16, rng=0)
+        before = layer.weights_packed
+        assert layer.weights_packed is before
+        layer.weight_bits = rng.integers(0, 2, size=(64, 16), dtype=np.uint8)
+        assert layer.weights_packed is not before
+        with pytest.raises(ValueError):
+            layer.weight_bits = np.zeros((64, 17), dtype=np.uint8)
+
+    def test_new_weights_change_the_output(self, rng):
+        layer = BinaryConv2d(4, 4, 3, padding=1, output_binary=False, rng=0)
+        x = Tensor(rng.standard_normal((1, 6, 6, 4)).astype(np.float32))
+        out_before = layer.forward(x).data.copy()
+        layer.weight_bits = 1 - layer.weight_bits  # flip every weight
+        out_after = layer.forward(x).data
+        assert not np.array_equal(out_before, out_after)
+
+
+class TestRunBatch:
+    def test_matches_run_output(self, tiny_bnn_network, tiny_images):
+        engine = PhoneBitEngine()
+        single = engine.run(tiny_bnn_network, tiny_images)
+        batched = engine.run_batch(tiny_bnn_network, tiny_images)
+        assert isinstance(batched, BatchInferenceReport)
+        np.testing.assert_array_equal(single.output.data, batched.output.data)
+        assert batched.batch_size == tiny_images.shape[0]
+
+    def test_chunked_matches_unchunked(self, tiny_bnn_network, rng):
+        images = rng.integers(0, 256, size=(5, 16, 16, 3)).astype(np.uint8)
+        engine = PhoneBitEngine()
+        whole = engine.run_batch(tiny_bnn_network, images)
+        chunked = engine.run_batch(tiny_bnn_network, images, chunk_size=2)
+        np.testing.assert_array_equal(whole.output.data, chunked.output.data)
+
+    def test_per_layer_throughput_report(self, tiny_bnn_network, tiny_images):
+        engine = PhoneBitEngine()
+        report = engine.run_batch(tiny_bnn_network, tiny_images)
+        layer_names = {layer.name for layer in tiny_bnn_network.layers}
+        assert set(report.layer_wall_ms) == layer_names
+        assert all(ms >= 0.0 for ms in report.layer_wall_ms.values())
+        assert set(report.layer_throughput_ips) == layer_names
+        assert report.wall_ms_total > 0.0
+        assert report.wall_ms_per_image == pytest.approx(
+            report.wall_ms_total / report.batch_size
+        )
+        # The simulated estimate is computed once for the batch.
+        assert report.estimate.latency_ms > 0.0
+
+    def test_batched_is_faster_than_sequential_runs(self, tiny_bnn_network, rng):
+        import time
+
+        images = rng.integers(0, 256, size=(8, 16, 16, 3)).astype(np.uint8)
+        engine = PhoneBitEngine()
+        # Warm up both paths (weight packing, NumPy internals).
+        engine.run(tiny_bnn_network, images[:1])
+        engine.run_batch(tiny_bnn_network, images)
+
+        t0 = time.perf_counter()
+        for i in range(images.shape[0]):
+            engine.run(tiny_bnn_network, images[i : i + 1])
+        sequential_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        engine.run_batch(tiny_bnn_network, images)
+        batched_s = time.perf_counter() - t0
+        # One vectorized pass amortizes per-call overhead; generous margin to
+        # stay robust on noisy CI machines.
+        assert batched_s < sequential_s
+
+    def test_duplicate_layer_names_stay_distinct(self, rng):
+        # Layers left unnamed share a default name; the per-layer report
+        # must not merge them.
+        from repro.core.layers import BinaryConv2d, InputConv2d, MaxPool2d
+        from repro.core.network import Network
+
+        net = Network("dups", input_shape=(8, 8, 3), input_dtype="uint8")
+        net.add(InputConv2d(3, 8, 3, padding=1, rng=1))
+        net.add(MaxPool2d(2))
+        net.add(BinaryConv2d(8, 8, 3, padding=1, rng=2))
+        net.add(MaxPool2d(2))
+        net.add(BinaryConv2d(8, 8, 3, padding=1, output_binary=False, rng=3))
+        images = rng.integers(0, 256, size=(2, 8, 8, 3)).astype(np.uint8)
+        report = PhoneBitEngine().run_batch(net, images)
+        assert len(report.layer_wall_ms) == len(net.layers)
+
+    def test_rejects_bad_arguments(self, tiny_bnn_network, tiny_images):
+        engine = PhoneBitEngine()
+        with pytest.raises(ValueError):
+            engine.run_batch(tiny_bnn_network, tiny_images, chunk_size=0)
+        with pytest.raises(ValueError):
+            engine.run_batch(
+                tiny_bnn_network, np.zeros((0, 16, 16, 3), dtype=np.uint8)
+            )

@@ -1,0 +1,243 @@
+"""Equivalence tests for the vectorized SWAR/tiled kernel fast paths.
+
+The fast kernels (hardware/SWAR popcount, packbits-based packing, tiled
+xor/and-popcount GEMMs, strided-view patch extraction, vectorized pooling)
+must be bit-exact against the float references and the naive formulations
+across every supported word size, odd channel counts (exercising padding
+bits), strides and paddings.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import binary_conv, bitpack
+from repro.core.layers.pooling import AvgPool2d, MaxPool2d, _pool_windows
+from repro.core.tensor import Layout, Tensor, conv_output_size
+
+
+class TestPopcountVariants:
+    @pytest.mark.parametrize("word_size", bitpack.SUPPORTED_WORD_SIZES)
+    def test_all_popcount_paths_agree(self, rng, word_size):
+        dtype = bitpack.word_dtype(word_size)
+        info = np.iinfo(dtype)
+        values = rng.integers(0, info.max, size=(128,), dtype=dtype, endpoint=True)
+        expected = np.array([bin(int(v)).count("1") for v in values], dtype=np.int64)
+        np.testing.assert_array_equal(bitpack.popcount(values), expected)
+        np.testing.assert_array_equal(bitpack.popcount_lut(values), expected)
+        np.testing.assert_array_equal(
+            bitpack.popcount_swar(values).astype(np.int64), expected
+        )
+        np.testing.assert_array_equal(
+            bitpack.popcount_words(values).astype(np.int64), expected
+        )
+
+    @pytest.mark.parametrize("word_size", bitpack.SUPPORTED_WORD_SIZES)
+    def test_swar_extremes(self, word_size):
+        dtype = bitpack.word_dtype(word_size)
+        values = np.array([0, 1, np.iinfo(dtype).max], dtype=dtype)
+        np.testing.assert_array_equal(
+            bitpack.popcount_swar(values).astype(np.int64), [0, 1, word_size]
+        )
+
+    def test_swar_rejects_signed(self):
+        with pytest.raises(ValueError):
+            bitpack.popcount_swar(np.array([1], dtype=np.int32))
+
+
+class TestPackBitsEquivalence:
+    @staticmethod
+    def _shift_sum_pack(bits, word_size, axis):
+        """The seed shift-and-sum packing algorithm, kept as the oracle."""
+        dtype = bitpack.word_dtype(word_size)
+        moved = np.moveaxis(np.asarray(bits), axis, -1)
+        length = moved.shape[-1]
+        n_words = bitpack.words_per_channel(length, word_size)
+        padded = n_words * word_size
+        if padded != length:
+            pad = np.zeros(moved.shape[:-1] + (padded - length,), dtype=moved.dtype)
+            moved = np.concatenate([moved, pad], axis=-1)
+        grouped = moved.reshape(moved.shape[:-1] + (n_words, word_size)).astype(np.uint64)
+        shifts = np.arange(word_size, dtype=np.uint64)
+        packed = (grouped << shifts).sum(axis=-1, dtype=np.uint64).astype(dtype)
+        return np.ascontiguousarray(np.moveaxis(packed, -1, axis))
+
+    @pytest.mark.parametrize("word_size", bitpack.SUPPORTED_WORD_SIZES)
+    @pytest.mark.parametrize("channels", [1, 3, 5, 13, 37, 64, 100, 130])
+    def test_packbits_matches_shift_sum(self, rng, word_size, channels):
+        bits = rng.integers(0, 2, size=(2, 3, 4, channels), dtype=np.uint8)
+        fast = bitpack.pack_bits(bits, word_size=word_size, axis=3)
+        oracle = self._shift_sum_pack(bits, word_size, axis=3)
+        np.testing.assert_array_equal(fast, oracle)
+        assert fast.dtype == bitpack.word_dtype(word_size)
+
+    @pytest.mark.parametrize("word_size", bitpack.SUPPORTED_WORD_SIZES)
+    @pytest.mark.parametrize("axis", [0, 1, 2])
+    def test_roundtrip_on_every_axis(self, rng, word_size, axis):
+        bits = rng.integers(0, 2, size=(7, 11, 13), dtype=np.uint8)
+        packed = bitpack.pack_bits(bits, word_size=word_size, axis=axis)
+        recovered = bitpack.unpack_bits(packed, bits.shape[axis], axis=axis)
+        np.testing.assert_array_equal(bits, recovered)
+
+
+class TestPopcountGemms:
+    @pytest.mark.parametrize("word_size", bitpack.SUPPORTED_WORD_SIZES)
+    def test_xor_gemm_matches_bruteforce(self, rng, word_size):
+        dtype = bitpack.word_dtype(word_size)
+        info = np.iinfo(dtype)
+        a = rng.integers(0, info.max, size=(9, 5), dtype=dtype, endpoint=True)
+        b = rng.integers(0, info.max, size=(7, 5), dtype=dtype, endpoint=True)
+        expected = np.array(
+            [
+                [sum(bin(int(x ^ y)).count("1") for x, y in zip(row, col)) for col in b]
+                for row in a
+            ],
+            dtype=np.int64,
+        )
+        np.testing.assert_array_equal(bitpack.xor_popcount_gemm(a, b), expected)
+
+    @pytest.mark.parametrize("word_size", bitpack.SUPPORTED_WORD_SIZES)
+    def test_and_gemm_matches_bruteforce(self, rng, word_size):
+        dtype = bitpack.word_dtype(word_size)
+        info = np.iinfo(dtype)
+        a = rng.integers(0, info.max, size=(6, 4), dtype=dtype, endpoint=True)
+        b = rng.integers(0, info.max, size=(5, 4), dtype=dtype, endpoint=True)
+        expected = np.array(
+            [
+                [sum(bin(int(x & y)).count("1") for x, y in zip(row, col)) for col in b]
+                for row in a
+            ],
+            dtype=np.int64,
+        )
+        np.testing.assert_array_equal(bitpack.and_popcount_gemm(a, b), expected)
+
+    def test_gemm_tiling_boundaries(self, rng):
+        # Cross both tile boundaries so multi-tile accumulation is exercised.
+        rows = bitpack._GEMM_ROW_TILE + 3
+        cols = bitpack._GEMM_COL_TILE + 2
+        a = rng.integers(0, 2**63, size=(rows, 2), dtype=np.uint64)
+        b = rng.integers(0, 2**63, size=(cols, 2), dtype=np.uint64)
+        out = bitpack.xor_popcount_gemm(a, b)
+        expected = bitpack.popcount(a[:, None, :] ^ b[None, :, :]).sum(axis=-1)
+        np.testing.assert_array_equal(out, expected)
+
+    def test_gemm_rejects_mismatched_operands(self):
+        a = np.zeros((2, 3), dtype=np.uint64)
+        with pytest.raises(ValueError):
+            bitpack.xor_popcount_gemm(a, np.zeros((2, 4), dtype=np.uint64))
+        with pytest.raises(ValueError):
+            bitpack.xor_popcount_gemm(a, np.zeros((2, 3), dtype=np.uint32))
+        with pytest.raises(ValueError):
+            bitpack.and_popcount_gemm(a, np.zeros((2, 4), dtype=np.uint64))
+
+
+class TestBinaryConvEquivalence:
+    @pytest.mark.parametrize("word_size", bitpack.SUPPORTED_WORD_SIZES)
+    @pytest.mark.parametrize("channels", [3, 17, 64, 100])
+    def test_word_sizes_and_padding_bits(self, rng, word_size, channels):
+        x_bits = rng.integers(0, 2, size=(2, 6, 6, channels), dtype=np.uint8)
+        w_bits = rng.integers(0, 2, size=(3, 3, channels, 7), dtype=np.uint8)
+        x_packed = binary_conv.pack_activations(x_bits, word_size=word_size)
+        w_packed = binary_conv.pack_weights(w_bits, word_size=word_size)
+        out = binary_conv.binary_conv2d_packed(x_packed, w_packed, channels, 3, 1, 1)
+        expected = binary_conv.binary_conv2d_reference(x_bits, w_bits, 3, 1, 1)
+        np.testing.assert_array_equal(out, expected)
+
+    @pytest.mark.parametrize("stride", [1, 2, 3])
+    @pytest.mark.parametrize("padding", [0, 1, 2])
+    def test_strides_and_paddings(self, rng, stride, padding):
+        x_bits = rng.integers(0, 2, size=(1, 9, 9, 21), dtype=np.uint8)
+        w_bits = rng.integers(0, 2, size=(3, 3, 21, 5), dtype=np.uint8)
+        x_packed = binary_conv.pack_activations(x_bits)
+        w_packed = binary_conv.pack_weights(w_bits)
+        out = binary_conv.binary_conv2d_packed(
+            x_packed, w_packed, 21, 3, stride, padding
+        )
+        expected = binary_conv.binary_conv2d_reference(x_bits, w_bits, 3, stride, padding)
+        np.testing.assert_array_equal(out, expected)
+
+    @pytest.mark.parametrize("stride", [1, 2])
+    def test_pointwise_zero_copy_path(self, rng, stride):
+        # kernel_size == 1, padding == 0 takes the reshape/stride-slice path
+        # that skips im2col entirely.
+        x_bits = rng.integers(0, 2, size=(2, 5, 7, 70), dtype=np.uint8)
+        w_bits = rng.integers(0, 2, size=(1, 1, 70, 9), dtype=np.uint8)
+        x_packed = binary_conv.pack_activations(x_bits)
+        w_packed = binary_conv.pack_weights(w_bits)
+        out = binary_conv.binary_conv2d_packed(x_packed, w_packed, 70, 1, stride, 0)
+        expected = binary_conv.binary_conv2d_reference(x_bits, w_bits, 1, stride, 0)
+        np.testing.assert_array_equal(out, expected)
+
+    @pytest.mark.parametrize("word_size", bitpack.SUPPORTED_WORD_SIZES)
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1)])
+    def test_input_bitplane_conv(self, rng, word_size, stride, padding):
+        image = rng.integers(0, 256, size=(2, 7, 7, 3)).astype(np.uint8)
+        w_bits = rng.integers(0, 2, size=(3, 3, 3, 6), dtype=np.uint8)
+        w_packed = binary_conv.pack_weights(w_bits, word_size=word_size)
+        out = binary_conv.input_conv2d_bitplanes(
+            image, w_packed, 3, 3, stride, padding, word_size=word_size
+        )
+        expected = binary_conv.input_conv2d_reference(image, w_bits, 3, stride, padding)
+        np.testing.assert_array_equal(out, expected)
+
+
+class TestPoolingEquivalence:
+    @staticmethod
+    def _loop_pool(data, pool_size, stride, reducer):
+        """The seed per-output-pixel pooling loop, kept as the oracle."""
+        n, h, w, c = data.shape
+        oh = conv_output_size(h, pool_size, stride, 0)
+        ow = conv_output_size(w, pool_size, stride, 0)
+        out = np.empty((n, oh, ow, c), dtype=data.dtype)
+        for i in range(oh):
+            for j in range(ow):
+                window = data[:, i * stride:i * stride + pool_size,
+                              j * stride:j * stride + pool_size, :]
+                out[:, i, j, :] = reducer(window.reshape(n, -1, c))
+        return out
+
+    @pytest.mark.parametrize("pool,stride", [(2, 2), (3, 1), (3, 2), (2, 3)])
+    def test_pool_windows_match_loop_slices(self, rng, pool, stride):
+        data = rng.standard_normal((2, 7, 9, 3))
+        windows = _pool_windows(data, pool, stride)
+        oh = conv_output_size(7, pool, stride, 0)
+        ow = conv_output_size(9, pool, stride, 0)
+        assert windows.shape == (2, oh, ow, 3, pool, pool)
+
+    @pytest.mark.parametrize("pool,stride,padding", [(2, 2, 0), (3, 2, 0), (2, 2, 1)])
+    def test_packed_max_pool(self, rng, pool, stride, padding):
+        bits = rng.integers(0, 2, size=(2, 8, 8, 70), dtype=np.uint8)
+        packed = binary_conv.pack_activations(bits)
+        layer = MaxPool2d(pool, stride, padding=padding)
+        out = layer.forward(Tensor(packed, Layout.NHWC, packed=True, true_channels=70))
+        # Oracle: unpack, max-pool ±1 values with -1 padding, repack.
+        values = 2.0 * bits.astype(np.float64) - 1.0
+        if padding:
+            values = np.pad(
+                values,
+                ((0, 0), (padding, padding), (padding, padding), (0, 0)),
+                constant_values=-1.0,
+            )
+        pooled = self._loop_pool(values, pool, stride, lambda f: f.max(axis=1))
+        expected_bits = (pooled > 0).astype(np.uint8)
+        recovered = bitpack.unpack_bits(out.data, 70, axis=-1)
+        np.testing.assert_array_equal(recovered, expected_bits)
+
+    @pytest.mark.parametrize("pool,stride", [(2, 2), (3, 1)])
+    def test_float_max_pool(self, rng, pool, stride):
+        data = rng.standard_normal((2, 6, 6, 4)).astype(np.float32)
+        layer = MaxPool2d(pool, stride)
+        out = layer.forward(Tensor(data, Layout.NHWC))
+        expected = self._loop_pool(data, pool, stride, lambda f: f.max(axis=1))
+        np.testing.assert_array_equal(out.data, expected)
+
+    @pytest.mark.parametrize("pool,stride", [(2, 2), (3, 1), (3, 2)])
+    def test_avg_pool(self, rng, pool, stride):
+        data = rng.standard_normal((2, 7, 7, 5)).astype(np.float32)
+        layer = AvgPool2d(pool, stride)
+        out = layer.forward(Tensor(data, Layout.NHWC))
+        as64 = data.astype(np.float64)
+        expected = self._loop_pool(
+            as64, pool, stride, lambda f: f.mean(axis=1)
+        ).astype(np.float32)
+        np.testing.assert_array_equal(out.data, expected)
+        assert out.data.dtype == np.float32
