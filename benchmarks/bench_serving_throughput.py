@@ -1,0 +1,91 @@
+"""Serving throughput benchmark (wall-clock, not simulated).
+
+Measures the async micro-batching inference service against the pre-serving
+client path — one ``engine.run`` call per request — across several offered
+batch levels, and emits machine-readable JSON records for the BENCH
+trajectory:
+
+    {op, model, offered_batch, requests, requests_per_s, sequential_rps,
+     sequential_forward_rps, speedup_vs_sequential, speedup_vs_forward_only,
+     latency_p50_ms, latency_p99_ms, mean_batch_size, batches, bit_identical}
+
+The ``--min-speedup`` floor applies to ``speedup_vs_sequential`` — the
+client path as shipped before serving existed, per-request ``engine.run``
+including its per-request cost estimate.  ``sequential_forward_rps`` /
+``speedup_vs_forward_only`` (per-request execution with the estimate
+disabled) are recorded alongside so the trajectory separates the
+micro-batching win from the skipped-estimate win.
+
+Every level first verifies that the scheduler's micro-batched outputs are
+bit-identical to unbatched execution of the same inputs, so a throughput
+win can never hide a correctness drift.
+
+Usage:
+
+    PYTHONPATH=src python benchmarks/bench_serving_throughput.py \
+        --json BENCH_serving_throughput.json --min-speedup 3
+"""
+
+import argparse
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", default="MicroCNN",
+                        help="serving-zoo model to benchmark")
+    parser.add_argument("--batches", default="1,4,16,64",
+                        help="comma-separated offered batch levels")
+    parser.add_argument("--requests", type=int, default=96,
+                        help="requests per offered-load level")
+    parser.add_argument("--max-wait-ms", type=float, default=2.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write records to PATH ('-' for stdout)")
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer requests / levels (CI smoke mode)")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail unless some offered batch >= 16 reaches this "
+                             "speedup over sequential engine.run")
+    args = parser.parse_args(argv)
+
+    from repro.serving import sweep_table, throughput_sweep, write_sweep_records
+
+    if args.quick:
+        batches = (1, 16, 64)
+        requests = min(args.requests, 64)
+    else:
+        batches = tuple(int(b) for b in str(args.batches).split(",") if b.strip())
+        requests = args.requests
+
+    records = throughput_sweep(
+        model=args.model,
+        offered_batches=batches,
+        requests_per_level=requests,
+        max_wait_ms=args.max_wait_ms,
+        seed=args.seed,
+    )
+
+    print(sweep_table(records, title=f"Serving throughput — {args.model}"))
+    if args.json:
+        print(write_sweep_records(records, args.json))
+
+    if args.min_speedup is not None:
+        eligible = [r for r in records if r["offered_batch"] >= 16]
+        if not eligible:
+            print("FAIL: no offered batch level >= 16 was measured",
+                  file=sys.stderr)
+            return 1
+        best = max(r["speedup_vs_sequential"] for r in eligible)
+        if best < args.min_speedup:
+            print(
+                f"FAIL: best serving speedup at offered batch >= 16 is "
+                f"{best:.2f}x < required {args.min_speedup:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -36,6 +36,32 @@ def format_table(
     return "\n".join(lines)
 
 
+def format_kv(
+    items: Iterable[Sequence[object]],
+    title: str | None = None,
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render (key, value) pairs as an aligned two-column block.
+
+    Used by the serving reports (:class:`repro.serving.service.ServiceReport`)
+    and anywhere else a scalar summary beats a full table.
+    """
+    pairs = [(str(key), value) for key, value in items]
+    rendered = []
+    for key, value in pairs:
+        if isinstance(value, float):
+            rendered.append((key, float_format.format(value)))
+        else:
+            rendered.append((key, str(value)))
+    lines = []
+    if title:
+        lines.append(title)
+    key_width = max((len(key) for key, _ in rendered), default=0)
+    for key, value in rendered:
+        lines.append(f"{key.ljust(key_width)}  {value}")
+    return "\n".join(lines)
+
+
 def format_bar_chart(
     values: Mapping[str, float],
     title: str | None = None,

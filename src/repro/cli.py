@@ -4,14 +4,18 @@ Usage (no console-script entry point is installed; invoke the module):
 
     python -m repro.cli devices
     python -m repro.cli sizes
-    python -m repro.cli runtime   [--model "YOLOv2 Tiny"] [--device sd855]
-    python -m repro.cli energy    [--model "YOLOv2 Tiny"] [--device sd820]
-    python -m repro.cli figure5   [--device sd855]
+    python -m repro.cli runtime     [--model "YOLOv2 Tiny"] [--device sd855]
+    python -m repro.cli energy      [--model "YOLOv2 Tiny"] [--device sd820]
+    python -m repro.cli figure5     [--device sd855]
     python -m repro.cli ablations
-    python -m repro.cli summary   <model.pbit>
+    python -m repro.cli summary     <model.pbit>
+    python -m repro.cli serve-bench [--model MicroCNN] [--batches 1,4,16,64]
+    python -m repro.cli loadgen     [--model MicroCNN] [--rps 200]
 
-Each sub-command regenerates one of the paper's tables/figures or inspects a
-``.pbit`` model file.
+Each sub-command regenerates one of the paper's tables/figures, inspects a
+``.pbit`` model file, or exercises the micro-batching inference service
+(``serve-bench`` sweeps closed-loop throughput vs the sequential engine;
+``loadgen`` offers an open-loop Poisson load and reports tail latency).
 """
 
 from __future__ import annotations
@@ -58,6 +62,40 @@ def build_parser() -> argparse.ArgumentParser:
 
     summary = subparsers.add_parser("summary", help="summarize a .pbit model file")
     summary.add_argument("path", help="path to a .pbit file")
+
+    serve_bench = subparsers.add_parser(
+        "serve-bench",
+        help="closed-loop serving throughput sweep vs sequential engine.run",
+    )
+    serve_bench.add_argument("--model", default="MicroCNN",
+                             help="serving-zoo model (MicroCNN / TinyCNN / ...)")
+    serve_bench.add_argument("--batches", default="1,4,16,64",
+                             help="comma-separated offered batch levels")
+    serve_bench.add_argument("--requests", type=int, default=64,
+                             help="requests per offered-load level")
+    serve_bench.add_argument("--max-wait-ms", type=float, default=2.0,
+                             help="scheduler max wait before a partial flush")
+    serve_bench.add_argument("--seed", type=int, default=0)
+    serve_bench.add_argument("--json", metavar="PATH", default=None,
+                             help="also write records to PATH ('-' for stdout)")
+
+    loadgen = subparsers.add_parser(
+        "loadgen",
+        help="open-loop Poisson load generator against the inference service",
+    )
+    loadgen.add_argument("--model", default="MicroCNN",
+                         help="serving-zoo model (MicroCNN / TinyCNN / ...)")
+    loadgen.add_argument("--rps", type=float, default=200.0,
+                         help="offered load in requests per second")
+    loadgen.add_argument("--requests", type=int, default=64,
+                         help="total requests to offer")
+    loadgen.add_argument("--max-batch-size", type=int, default=32)
+    loadgen.add_argument("--max-wait-ms", type=float, default=2.0)
+    loadgen.add_argument("--cache-capacity", type=int, default=1024,
+                         help="LRU response-cache entries (0 disables)")
+    loadgen.add_argument("--unique-inputs", action="store_true",
+                         help="make every request distinct (defeats the cache)")
+    loadgen.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -72,6 +110,49 @@ def _command_summary(path: str) -> str:
 
     network = load_network(path)
     return network.summary()
+
+
+def _command_serve_bench(args) -> str:
+    from repro.serving import sweep_table, throughput_sweep, write_sweep_records
+
+    batches = tuple(int(b) for b in str(args.batches).split(",") if b.strip())
+    records = throughput_sweep(
+        model=args.model,
+        offered_batches=batches,
+        requests_per_level=args.requests,
+        max_wait_ms=args.max_wait_ms,
+        seed=args.seed,
+    )
+    table = sweep_table(
+        records,
+        title=f"Serving throughput — {args.model} ({args.requests} requests/level, "
+              "outputs verified bit-identical to unbatched engine.run)",
+    )
+    if args.json:
+        table = table + "\n" + write_sweep_records(records, args.json)
+    return table
+
+
+def _command_loadgen(args) -> str:
+    from repro.serving import InferenceService, run_open_loop, synthetic_images
+
+    service = InferenceService(
+        max_batch_size=args.max_batch_size,
+        max_wait_ms=args.max_wait_ms,
+        cache_capacity=args.cache_capacity,
+    )
+    try:
+        network = service.pool.get(args.model)
+        images = synthetic_images(
+            network.input_shape, args.requests, seed=args.seed,
+            unique=args.unique_inputs,
+        )
+        result = run_open_loop(
+            service, args.model, images, offered_rps=args.rps, seed=args.seed
+        )
+    finally:
+        service.close()
+    return result.table()
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -100,6 +181,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         ])
     elif args.command == "summary":
         output = _command_summary(args.path)
+    elif args.command == "serve-bench":
+        output = _command_serve_bench(args)
+    elif args.command == "loadgen":
+        output = _command_loadgen(args)
     else:  # pragma: no cover - argparse enforces the choices
         raise SystemExit(2)
     print(output)

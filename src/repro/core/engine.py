@@ -93,7 +93,7 @@ class BatchInferenceReport:
     batch_size: int
     wall_ms_total: float
     layer_wall_ms: Dict[str, float]
-    estimate: InferenceReport
+    estimate: Optional[InferenceReport]
     output: Optional[Tensor] = None
 
     @property
@@ -275,6 +275,7 @@ class PhoneBitEngine:
         network: Network,
         batch: np.ndarray,
         chunk_size: int | None = None,
+        collect_estimate: bool = True,
     ) -> BatchInferenceReport:
         """Execute a whole batch through the network in one vectorized pass.
 
@@ -283,6 +284,13 @@ class PhoneBitEngine:
         the full (or chunked) batch, per-layer wall-clock times and
         throughput are recorded, and the simulated cost estimate is computed
         a single time instead of once per image.
+
+        This method is reentrant: it keeps all mutable state in locals, so
+        concurrent callers (e.g. the serving scheduler's worker threads) may
+        share one engine and one network as long as the network's weights
+        are not mutated mid-flight — layer forward passes only *read* layer
+        state, and the packed-weight caches tolerate concurrent lazy
+        initialization.
 
         Parameters
         ----------
@@ -296,6 +304,11 @@ class PhoneBitEngine:
             batches; the final output buffer is allocated once and reused
             across chunks (chunk results are written in place, never
             concatenated).
+        collect_estimate:
+            When False, skip the simulated on-device cost estimate (the
+            report's ``estimate`` is None).  The serving hot path disables
+            it: the estimate depends only on the network, not the data, so
+            recomputing it per micro-batch is pure overhead.
         """
         x = network.coerce_input(batch)
         n = int(x.data.shape[0])
@@ -350,6 +363,47 @@ class PhoneBitEngine:
             batch_size=n,
             wall_ms_total=wall_ms,
             layer_wall_ms={name: ms * 1000.0 for name, ms in layer_wall.items()},
-            estimate=self.estimate(network),
+            estimate=self.estimate(network) if collect_estimate else None,
             output=output,
         )
+
+
+def split_batch_output(
+    output: Tensor,
+    sizes: "list[int] | tuple[int, ...]",
+    copy: bool = False,
+) -> List[Tensor]:
+    """Split a batched output tensor back into per-request tensors.
+
+    The serving executor concatenates several requests into one micro-batch;
+    this undoes that concatenation.  ``sizes`` holds the number of leading
+    rows each request contributed, and must sum to the batch dimension.
+
+    With ``copy=False`` the returned tensors are zero-copy row views sharing
+    the batch buffer — cheap, but any part kept alive pins the whole buffer.
+    With ``copy=True`` each part owns its data, which is what the serving
+    path uses: responses outlive the batch (response cache, client
+    references) and must not alias one another.
+    """
+    sizes = [int(s) for s in sizes]
+    if any(s <= 0 for s in sizes):
+        raise ValueError("every request must contribute at least one row")
+    n = int(output.data.shape[0])
+    if sum(sizes) != n:
+        raise ValueError(
+            f"request sizes sum to {sum(sizes)} but the batch has {n} rows"
+        )
+    parts: List[Tensor] = []
+    start = 0
+    for size in sizes:
+        rows = output.data[start:start + size]
+        parts.append(
+            Tensor(
+                rows.copy() if copy else rows,
+                output.layout,
+                output.packed,
+                output.true_channels,
+            )
+        )
+        start += size
+    return parts

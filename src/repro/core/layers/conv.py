@@ -115,7 +115,7 @@ class _FusedBinaryConvBase(Layer):
         # bypass the packed-weight cache invalidation; reassign to mutate.
         bits.setflags(write=False)
         self._weight_bits = bits
-        self._weights_packed = None
+        self._packed_cache = None
 
     @property
     def weights_packed(self) -> np.ndarray:
@@ -124,12 +124,23 @@ class _FusedBinaryConvBase(Layer):
         Repacking happens only when :attr:`weight_bits` is reassigned, so
         repeated forward passes / ``engine.run()`` calls share one packed
         copy instead of re-packing per call.
+
+        The cache entry carries the exact bits array it was packed from and
+        is only served when that array is still the layer's current weights.
+        This keeps the cache coherent without a lock even when a weight
+        reassignment lands while another thread (e.g. a serving scheduler
+        batch) is mid-pack: a packing result belonging to superseded weights
+        can be stored, but it can never be *served* for the new weights —
+        the identity check fails and the new weights are repacked.
+        Concurrent first reads may pack twice; both results are identical.
         """
-        if self._weights_packed is None:
-            self._weights_packed = binary_conv.pack_weights(
-                self._weight_bits, word_size=self.word_size
-            )
-        return self._weights_packed
+        bits = self._weight_bits
+        cache = self._packed_cache
+        if cache is not None and cache[0] is bits:
+            return cache[1]
+        packed = binary_conv.pack_weights(bits, word_size=self.word_size)
+        self._packed_cache = (bits, packed)
+        return packed
 
     @property
     def uses_integrated_packing(self) -> bool:

@@ -90,18 +90,25 @@ class BinaryDense(Layer):
         # bypass the packed-weight cache invalidation; reassign to mutate.
         bits.setflags(write=False)
         self._weight_bits = bits
-        self._weights_packed = None
+        self._packed_cache = None
 
     @property
     def weights_packed(self) -> np.ndarray:
         """Weights packed along the input-feature dimension: (out_features, n_words).
 
         Packed once per weight assignment and cached; repeated forward
-        passes reuse the cached copy.
+        passes reuse the cached copy.  As with the conv layers, the cache
+        entry carries the bits array it was packed from and is only served
+        while that array is still current, so a reassignment landing while
+        another thread is mid-pack can never leave the cache stale.
         """
-        if self._weights_packed is None:
-            self._weights_packed = _pack_dense_weights(self._weight_bits, self.word_size)
-        return self._weights_packed
+        bits = self._weight_bits
+        cache = self._packed_cache
+        if cache is not None and cache[0] is bits:
+            return cache[1]
+        packed = _pack_dense_weights(bits, self.word_size)
+        self._packed_cache = (bits, packed)
+        return packed
 
     def output_shape(self, input_shape: tuple) -> tuple:
         features = int(np.prod(input_shape))

@@ -132,6 +132,18 @@ class Network:
 
     __call__ = forward
 
+    # ------------------------------------------------------------- warm-up
+    def warm(self) -> "Network":
+        """Pre-populate every lazy packed-weight cache (returns self).
+
+        Binary layers pack their weights on first use; a serving system
+        wants that cost paid at load time, not on the first request.  Safe
+        to call repeatedly — already-packed layers are a no-op.
+        """
+        for layer in self.layers:
+            getattr(layer, "weights_packed", None)
+        return self
+
     # ------------------------------------------------------------- accounting
     def param_count(self) -> ParamCount:
         """Aggregate parameter inventory across all layers."""

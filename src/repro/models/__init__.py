@@ -18,10 +18,14 @@ from repro.models.yolov2_tiny import yolov2_tiny_config
 from repro.models.vgg16 import vgg16_config
 from repro.models.zoo import (
     BENCHMARK_MODELS,
+    SERVING_MODELS,
     build_float_network,
     build_phonebit_network,
     get_model_config,
+    get_serving_config,
+    micro_cnn_config,
     model_size_report,
+    tiny_cnn_config,
 )
 from repro.models.yolo_head import Detection, decode_head, detect, non_maximum_suppression
 
@@ -36,7 +40,11 @@ __all__ = [
     "yolov2_tiny_config",
     "vgg16_config",
     "BENCHMARK_MODELS",
+    "SERVING_MODELS",
+    "tiny_cnn_config",
+    "micro_cnn_config",
     "get_model_config",
+    "get_serving_config",
     "build_phonebit_network",
     "build_float_network",
     "model_size_report",

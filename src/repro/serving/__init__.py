@@ -1,0 +1,57 @@
+"""Async micro-batching inference serving on top of the batched engine.
+
+The paper's engine executes one network invocation as fast as the kernels
+allow; this package turns that into a *service*: per-request traffic is
+dynamically micro-batched into ``PhoneBitEngine.run_batch`` calls, models
+are held warm in a pool, repeated inputs are answered from an LRU response
+cache, and every request contributes to p50/p99 latency and throughput
+metrics.  See ``docs/serving.md`` for the architecture.
+"""
+
+from repro.serving.cache import CacheStats, LRUResponseCache, input_digest
+from repro.serving.loadgen import (
+    LoadgenResult,
+    run_closed_loop,
+    run_open_loop,
+    sequential_baseline,
+    sequential_forward_baseline,
+    sweep_table,
+    synthetic_images,
+    throughput_sweep,
+    write_sweep_records,
+)
+from repro.serving.metrics import LatencySummary, LatencyTracker, percentile_ms
+from repro.serving.pool import ModelPool, PoolEntry
+from repro.serving.scheduler import (
+    BatchingScheduler,
+    BatchRecord,
+    SchedulerStats,
+    TRIGGERS,
+)
+from repro.serving.service import InferenceService, ServiceReport
+
+__all__ = [
+    "BatchRecord",
+    "BatchingScheduler",
+    "CacheStats",
+    "InferenceService",
+    "LRUResponseCache",
+    "LatencySummary",
+    "LatencyTracker",
+    "LoadgenResult",
+    "ModelPool",
+    "PoolEntry",
+    "SchedulerStats",
+    "ServiceReport",
+    "TRIGGERS",
+    "input_digest",
+    "percentile_ms",
+    "run_closed_loop",
+    "run_open_loop",
+    "sequential_baseline",
+    "sequential_forward_baseline",
+    "sweep_table",
+    "synthetic_images",
+    "throughput_sweep",
+    "write_sweep_records",
+]

@@ -1,0 +1,114 @@
+"""LRU response cache keyed on an input digest.
+
+Binarized inference is deterministic, so two requests carrying the same
+image for the same model must produce bit-identical outputs — which makes
+responses safely cacheable.  The key is a SHA-256 digest over the model
+name plus the input array's dtype, shape and raw bytes, so any difference
+in content *or* interpretation produces a different key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+def input_digest(model_name: str, array: np.ndarray) -> str:
+    """Collision-resistant cache key for (model, input) pairs."""
+    array = np.ascontiguousarray(array)
+    h = hashlib.sha256()
+    h.update(model_name.encode("utf-8"))
+    h.update(b"\x00")
+    h.update(str(array.dtype).encode("ascii"))
+    h.update(repr(array.shape).encode("ascii"))
+    h.update(array.tobytes())
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counters describing cache effectiveness."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    capacity: int
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+
+class LRUResponseCache:
+    """Thread-safe least-recently-used response cache.
+
+    Values are stored as read-only arrays; callers share the cached object
+    rather than receiving copies (responses are immutable by convention).
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity <= 0:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: str) -> Optional[np.ndarray]:
+        """Look up a response, refreshing its recency.  None on miss."""
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: str, value: np.ndarray) -> None:
+        """Insert a response, evicting the least recently used on overflow.
+
+        A still-writable array is copied before freezing — flipping the
+        write flag on the caller's own object would race whoever already
+        holds a reference to it (and let their writes poison the cache).
+        """
+        value = np.asarray(value)
+        if value.flags.writeable:
+            value = value.copy()
+            value.setflags(write=False)
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = value
+                return
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                capacity=self.capacity,
+            )

@@ -1,0 +1,275 @@
+"""Synthetic load generation against the inference service.
+
+Two traffic shapes:
+
+* **closed loop** (:func:`run_closed_loop`) — submit a burst of requests
+  back-to-back and wait for all of them; measures peak sustainable
+  throughput at a given offered batch level.
+* **open loop** (:func:`run_open_loop`) — submit requests on a Poisson
+  arrival process at a target rate regardless of completions; measures
+  latency under a fixed offered load, the way real traffic behaves.
+
+:func:`throughput_sweep` drives the closed loop across several offered
+batch levels and compares each against the per-request ``engine.run``
+baseline — the exact path a client would hit without the serving layer.
+Every sweep point also verifies bit-identical outputs between the scheduled
+micro-batches and unbatched execution, so the speedup is never bought with
+a correctness drift.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.reporting import format_kv
+from repro.core.engine import PhoneBitEngine
+from repro.serving.pool import ModelPool
+from repro.serving.service import InferenceService, ServiceReport
+
+__all__ = [
+    "LoadgenResult",
+    "run_closed_loop",
+    "run_open_loop",
+    "sequential_baseline",
+    "sequential_forward_baseline",
+    "sweep_table",
+    "synthetic_images",
+    "throughput_sweep",
+    "write_sweep_records",
+]
+
+
+def sweep_table(records: Sequence[dict], title: Optional[str] = None) -> str:
+    """Render :func:`throughput_sweep` records as an aligned table.
+
+    Single rendering path shared by ``repro.cli serve-bench`` and
+    ``benchmarks/bench_serving_throughput.py`` so the two cannot drift when
+    the record schema changes.
+    """
+    from repro.analysis.reporting import format_table
+
+    return format_table(
+        ["offered batch", "req/s", "seq req/s", "fwd req/s", "speedup",
+         "p50 (ms)", "p99 (ms)", "mean batch"],
+        [
+            [r["offered_batch"], r["requests_per_s"], r["sequential_rps"],
+             r["sequential_forward_rps"],
+             f"{r['speedup_vs_sequential']:.2f}x",
+             r["latency_p50_ms"], r["latency_p99_ms"], r["mean_batch_size"]]
+            for r in records
+        ],
+        title=title,
+    )
+
+
+def write_sweep_records(records: Sequence[dict], path: str) -> str:
+    """Write sweep records as ``{"records": ...}`` JSON.
+
+    ``path`` of ``"-"`` returns the payload instead of writing a file; any
+    other path is written and a ``wrote <path>`` note is returned.
+    """
+    import json
+
+    payload = json.dumps({"records": list(records)}, indent=2)
+    if path == "-":
+        return payload
+    with open(path, "w") as fh:
+        fh.write(payload + "\n")
+    return f"wrote {path}"
+
+
+def synthetic_images(input_shape: Sequence[int], count: int, seed: int = 0,
+                     unique: bool = True) -> np.ndarray:
+    """Random uint8 request images of shape ``(count,) + input_shape``.
+
+    With ``unique=False`` a smaller set of distinct images is tiled, which
+    gives the response cache something to hit.
+    """
+    rng = np.random.default_rng(seed)
+    if unique:
+        return rng.integers(0, 256, size=(count, *input_shape)).astype(np.uint8)
+    distinct = max(1, count // 4)
+    base = rng.integers(0, 256, size=(distinct, *input_shape)).astype(np.uint8)
+    reps = -(-count // distinct)
+    return np.tile(base, (reps,) + (1,) * len(input_shape))[:count]
+
+
+@dataclass(frozen=True)
+class LoadgenResult:
+    """Outcome of one load-generation run."""
+
+    report: ServiceReport
+    wall_s: float
+    offered_rps: Optional[float]  #: None for closed-loop runs
+    outputs: Optional[np.ndarray] = None
+
+    @property
+    def achieved_rps(self) -> float:
+        if self.wall_s <= 0:
+            return float("inf") if self.report.requests else 0.0
+        return self.report.requests / self.wall_s
+
+    def table(self) -> str:
+        rows = [
+            ("offered load", "closed loop" if self.offered_rps is None
+             else f"{self.offered_rps:.1f} req/s"),
+            ("achieved (req/s)", self.achieved_rps),
+            ("wall time (s)", self.wall_s),
+        ]
+        return "\n".join([format_kv(rows, title="Load generation"),
+                          "", self.report.table()])
+
+
+def run_closed_loop(
+    service: InferenceService, model: str, images: np.ndarray
+) -> LoadgenResult:
+    """Submit every image back-to-back, then wait for all responses."""
+    t0 = time.perf_counter()
+    futures = service.submit_batch(model, images)
+    outputs = np.stack([future.result() for future in futures])
+    wall_s = time.perf_counter() - t0
+    return LoadgenResult(
+        report=service.report(model),
+        wall_s=wall_s,
+        offered_rps=None,
+        outputs=outputs,
+    )
+
+
+def run_open_loop(
+    service: InferenceService,
+    model: str,
+    images: np.ndarray,
+    offered_rps: float,
+    seed: int = 0,
+) -> LoadgenResult:
+    """Submit requests on a Poisson arrival process at ``offered_rps``."""
+    if offered_rps <= 0:
+        raise ValueError("offered_rps must be positive")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / offered_rps, size=len(images))
+    t0 = time.perf_counter()
+    deadline = t0
+    futures = []
+    for image, gap in zip(images, gaps):
+        deadline += gap
+        delay = deadline - time.perf_counter()
+        if delay > 0:
+            time.sleep(delay)
+        futures.append(service.submit(model, image))
+    outputs = np.stack([future.result() for future in futures])
+    wall_s = time.perf_counter() - t0
+    return LoadgenResult(
+        report=service.report(model),
+        wall_s=wall_s,
+        offered_rps=offered_rps,
+        outputs=outputs,
+    )
+
+
+def sequential_baseline(
+    engine: PhoneBitEngine, network, images: np.ndarray
+) -> tuple:
+    """Per-request ``engine.run`` over ``images``: (outputs, wall_s).
+
+    This is the pre-serving client path exactly as shipped — including the
+    per-request simulated cost estimate ``engine.run`` always computes.
+    """
+    outputs = []
+    t0 = time.perf_counter()
+    for i in range(images.shape[0]):
+        outputs.append(engine.run(network, images[i:i + 1]).output.data[0])
+    wall_s = time.perf_counter() - t0
+    return np.stack(outputs), wall_s
+
+
+def sequential_forward_baseline(
+    engine: PhoneBitEngine, network, images: np.ndarray
+) -> float:
+    """Wall seconds for per-request execution *without* the cost estimate.
+
+    Reported alongside the ``engine.run`` baseline so the benchmark records
+    separate how much of the serving speedup comes from micro-batching the
+    kernels versus from not re-running the cost model per request.
+    """
+    t0 = time.perf_counter()
+    for i in range(images.shape[0]):
+        engine.run_batch(network, images[i:i + 1], collect_estimate=False)
+    return time.perf_counter() - t0
+
+
+def throughput_sweep(
+    model: str = "MicroCNN",
+    offered_batches: Sequence[int] = (1, 4, 16, 64),
+    requests_per_level: int = 64,
+    max_wait_ms: float = 2.0,
+    seed: int = 0,
+    engine: Optional[PhoneBitEngine] = None,
+    pool: Optional[ModelPool] = None,
+) -> List[dict]:
+    """Closed-loop serving throughput vs the sequential baseline.
+
+    For each offered batch level ``b`` a fresh service is configured with
+    ``max_batch_size=b`` and fed ``requests_per_level`` requests
+    back-to-back; the same images then run through per-request
+    ``engine.run`` calls for the baseline.  Outputs are checked
+    bit-identical before anything is recorded.
+    """
+    engine = engine or PhoneBitEngine()
+    pool = pool or ModelPool()
+    network = pool.get(model)
+    images = synthetic_images(network.input_shape, requests_per_level, seed=seed)
+
+    # One warm pass (weight packing, NumPy internals) outside all timings.
+    engine.run_batch(network, images[:2], collect_estimate=False)
+    baseline_out, baseline_s = sequential_baseline(engine, network, images)
+    baseline_rps = images.shape[0] / baseline_s if baseline_s > 0 else float("inf")
+    forward_s = sequential_forward_baseline(engine, network, images)
+    forward_rps = images.shape[0] / forward_s if forward_s > 0 else float("inf")
+
+    records: List[dict] = []
+    for offered in offered_batches:
+        service = InferenceService(
+            pool=pool,
+            engine=engine,
+            max_batch_size=int(offered),
+            max_wait_ms=max_wait_ms,
+            cache_capacity=0,  # throughput measurements must not hit the cache
+        )
+        try:
+            result = run_closed_loop(service, model, images)
+        finally:
+            service.close()
+        if not np.array_equal(result.outputs, baseline_out):
+            raise AssertionError(
+                f"serving outputs diverged from unbatched execution at "
+                f"offered batch {offered}"
+            )
+        report = result.report
+        records.append(
+            {
+                "op": "serving_throughput",
+                "model": model,
+                "offered_batch": int(offered),
+                "requests": int(images.shape[0]),
+                "requests_per_s": result.achieved_rps,
+                "sequential_rps": baseline_rps,
+                "sequential_forward_rps": forward_rps,
+                "speedup_vs_sequential": (
+                    result.achieved_rps / baseline_rps if baseline_rps else float("inf")
+                ),
+                "speedup_vs_forward_only": (
+                    result.achieved_rps / forward_rps if forward_rps else float("inf")
+                ),
+                "latency_p50_ms": report.latency.p50_ms,
+                "latency_p99_ms": report.latency.p99_ms,
+                "mean_batch_size": report.scheduler.mean_batch_size,
+                "batches": report.scheduler.batch_count,
+                "bit_identical": True,
+            }
+        )
+    return records

@@ -1,0 +1,142 @@
+"""Warmed model instances for the inference service.
+
+A :class:`ModelPool` owns the :class:`~repro.core.network.Network` objects
+the service executes.  Networks are built lazily from the zoo's serving
+registry on first request (or registered explicitly, e.g. a network loaded
+from a ``.pbit`` file) and warmed immediately: every lazy packed-weight
+cache is populated at load time so the first user request never pays the
+packing cost.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.network import Network
+from repro.models.zoo import SERVING_MODELS, build_phonebit_network, get_serving_config
+
+
+@dataclass(frozen=True)
+class PoolEntry:
+    """A loaded network plus its load-time accounting."""
+
+    network: Network
+    build_ms: float
+    warm_ms: float
+
+
+class ModelPool:
+    """Thread-safe pool of warmed networks keyed by serving-model name."""
+
+    def __init__(self, rng: int = 0, word_size: int = 64) -> None:
+        self.rng = rng
+        self.word_size = word_size
+        self._lock = threading.RLock()
+        self._entries: Dict[str, PoolEntry] = {}
+        #: Per-key events marking builds in flight, so concurrent first
+        #: requests for one model build once while the pool lock stays free
+        #: (a multi-second VGG16 build must not stall lookups of hot models).
+        self._building: Dict[str, threading.Event] = {}
+
+    # ------------------------------------------------------------- lookup
+    def canonical_name(self, name: str) -> str:
+        """Canonical pool key for ``name``.
+
+        Zoo models resolve case-insensitively to their registry spelling;
+        explicitly registered names resolve case-insensitively to their
+        registered spelling; unknown names pass through unchanged.  The
+        service keys its per-model schedulers, metrics and response-cache
+        namespace on this, so ``"microcnn"`` and ``"MicroCNN"`` are one
+        model, not two.
+        """
+        with self._lock:
+            for key in self._entries:
+                if key.lower() == name.lower():
+                    return key
+        for key in SERVING_MODELS:
+            if key.lower() == name.lower():
+                return key
+        return name
+
+    def available(self) -> List[str]:
+        """Names servable by this pool (registered + buildable from the zoo)."""
+        with self._lock:
+            names = set(self._entries)
+        names.update(SERVING_MODELS)
+        return sorted(names)
+
+    def loaded(self) -> List[str]:
+        """Names of networks already built and warmed."""
+        with self._lock:
+            return sorted(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return self.canonical_name(name) in self.available()
+
+    # ------------------------------------------------------------- loading
+    def register(self, network: Network, name: Optional[str] = None,
+                 warm: bool = True) -> Network:
+        """Adopt an externally built network (warming it by default)."""
+        key = name or network.name
+        warm_ms = 0.0
+        if warm:
+            t0 = time.perf_counter()
+            network.warm()
+            warm_ms = (time.perf_counter() - t0) * 1000.0
+        with self._lock:
+            self._entries[key] = PoolEntry(network, build_ms=0.0, warm_ms=warm_ms)
+        return network
+
+    def get(self, name: str) -> Network:
+        """Return the warmed network for ``name``, building it on first use.
+
+        Concurrent first requests for the same model build one copy (the
+        losers wait on the builder), and the build itself runs *outside*
+        the pool lock so lookups of already-loaded models never stall
+        behind a slow build.
+        """
+        key = self.canonical_name(name)
+        while True:
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    return entry.network
+                build_done = self._building.get(key)
+                if build_done is None:
+                    self._building[key] = threading.Event()
+                    break  # we are the builder
+            build_done.wait()
+            # Loop: either the builder succeeded (entry exists now) or it
+            # failed, in which case we retry the build ourselves and
+            # surface its error.
+        try:
+            t0 = time.perf_counter()
+            config = get_serving_config(key)
+            network = build_phonebit_network(
+                config, rng=self.rng, word_size=self.word_size
+            )
+            build_ms = (time.perf_counter() - t0) * 1000.0
+            t0 = time.perf_counter()
+            network.warm()
+            warm_ms = (time.perf_counter() - t0) * 1000.0
+            with self._lock:
+                self._entries[key] = PoolEntry(
+                    network, build_ms=build_ms, warm_ms=warm_ms
+                )
+            return network
+        finally:
+            with self._lock:
+                event = self._building.pop(key, None)
+            if event is not None:
+                event.set()
+
+    def entry(self, name: str) -> PoolEntry:
+        """Pool entry (network + load accounting) for a loaded model."""
+        key = self.canonical_name(name)
+        with self._lock:
+            if key not in self._entries:
+                raise KeyError(f"model {name!r} is not loaded; call get() first")
+            return self._entries[key]

@@ -1,0 +1,331 @@
+"""Dynamic micro-batching scheduler.
+
+Per-request traffic is the worst case for the batched engine: every call
+pays the full per-invocation overhead that ``run_batch`` exists to
+amortize.  :class:`BatchingScheduler` sits between the two — requests are
+queued as they arrive and a worker thread flushes them to an executor in
+micro-batches under a classic dual-trigger policy:
+
+* **size** — a batch flushes as soon as ``max_batch_size`` requests are
+  pending (full batches never wait);
+* **timeout** — a partial batch flushes once its oldest request has waited
+  ``max_wait_ms`` (latency is bounded even at low offered load);
+* **flush** — :meth:`flush` forces everything pending out immediately;
+* **drain** — :meth:`close` flushes the remaining queue before shutdown,
+  so no accepted request is ever dropped.
+
+The scheduler is payload-agnostic: the executor receives the list of queued
+payloads and returns one result per payload.  Batching must not change
+results — the inference service's executor feeds the whole micro-batch
+through ``PhoneBitEngine.run_batch``, whose outputs are bit-identical to
+per-request execution.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Sequence
+
+from repro.serving.metrics import LatencyTracker
+
+#: Flush triggers recorded per batch.
+TRIGGERS = ("size", "timeout", "flush", "drain")
+
+#: How many recent :class:`BatchRecord` entries a scheduler retains.
+RECENT_BATCHES = 4_096
+
+
+@dataclass
+class _PendingRequest:
+    payload: object
+    future: Future
+    enqueued_at: float
+
+
+@dataclass(frozen=True)
+class BatchRecord:
+    """Accounting for one flushed micro-batch."""
+
+    size: int
+    queue_depth: int  #: pending requests at the moment the batch was cut
+    trigger: str
+    wall_ms: float
+    failed: bool = False
+
+
+@dataclass(frozen=True)
+class SchedulerStats:
+    """Aggregate view over every batch a scheduler has flushed.
+
+    Counters (``batch_count``, ``trigger_counts``, sizes) are exact over
+    the scheduler's whole lifetime; ``batches`` holds only the most recent
+    records so long-lived services stay memory-bounded.
+    """
+
+    submitted: int
+    completed: int
+    failed: int
+    batch_count: int = 0
+    batched_requests: int = 0
+    trigger_counts: Dict[str, int] = field(
+        default_factory=lambda: {trigger: 0 for trigger in TRIGGERS}
+    )
+    batches: List[BatchRecord] = field(default_factory=list)
+    max_queue_depth: int = 0
+
+    @property
+    def mean_batch_size(self) -> float:
+        if not self.batch_count:
+            return 0.0
+        return self.batched_requests / self.batch_count
+
+
+class BatchingScheduler:
+    """Queue requests and flush dynamic micro-batches to an executor.
+
+    Parameters
+    ----------
+    execute:
+        Callable receiving the list of payloads of one micro-batch and
+        returning one result per payload (in order).  Runs on the worker
+        thread; an exception fails every request in the batch.
+    max_batch_size:
+        Flush as soon as this many requests are pending.
+    max_wait_ms:
+        Flush a partial batch once its oldest request has waited this long.
+        ``0`` disables batching-by-wait: whatever is queued when the worker
+        wakes is flushed immediately.
+    clock:
+        Injectable monotonic clock (tests use a fake to make the timeout
+        policy deterministic).
+    """
+
+    def __init__(
+        self,
+        execute: Callable[[Sequence[object]], Sequence[object]],
+        max_batch_size: int = 32,
+        max_wait_ms: float = 2.0,
+        name: str = "scheduler",
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be at least 1")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms cannot be negative")
+        self._execute = execute
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait_s = float(max_wait_ms) / 1000.0
+        self.name = name
+        self._clock = clock or time.monotonic
+
+        self._cond = threading.Condition()
+        self._pending: Deque[_PendingRequest] = deque()
+        self._closed = False
+        self._draining = False
+        self._flush_requested = False
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._max_queue_depth = 0
+        self._batch_count = 0
+        self._batched_requests = 0
+        self._trigger_counts = {trigger: 0 for trigger in TRIGGERS}
+        self._records: Deque[BatchRecord] = deque(maxlen=RECENT_BATCHES)
+        self.latencies = LatencyTracker()
+
+        self._worker = threading.Thread(
+            target=self._run, name=f"{name}-worker", daemon=True
+        )
+        self._worker.start()
+
+    # ----------------------------------------------------------- submission
+    def submit(self, payload: object) -> Future:
+        """Enqueue one request; the future resolves to the executor's result."""
+        future: Future = Future()
+        with self._cond:
+            if self._closed:
+                raise RuntimeError(f"{self.name} is closed")
+            self._pending.append(_PendingRequest(payload, future, self._clock()))
+            self._submitted += 1
+            self._max_queue_depth = max(self._max_queue_depth, len(self._pending))
+            self._cond.notify_all()
+        return future
+
+    def submit_many(self, payloads: Sequence[object]) -> List[Future]:
+        """Enqueue several requests (one notify, preserving order)."""
+        futures: List[Future] = []
+        with self._cond:
+            if self._closed:
+                raise RuntimeError(f"{self.name} is closed")
+            now = self._clock()
+            for payload in payloads:
+                future: Future = Future()
+                self._pending.append(_PendingRequest(payload, future, now))
+                futures.append(future)
+            self._submitted += len(futures)
+            self._max_queue_depth = max(self._max_queue_depth, len(self._pending))
+            self._cond.notify_all()
+        return futures
+
+    def flush(self) -> None:
+        """Ask the worker to flush everything currently pending."""
+        with self._cond:
+            self._flush_requested = True
+            self._cond.notify_all()
+
+    def close(self, drain: bool = True) -> None:
+        """Stop accepting requests and shut the worker down.
+
+        With ``drain=True`` (the default) every pending request is executed
+        before the worker exits; with ``drain=False`` pending requests are
+        cancelled.
+        """
+        with self._cond:
+            if not self._closed:
+                self._closed = True
+                self._draining = drain
+                if not drain:
+                    while self._pending:
+                        request = self._pending.popleft()
+                        request.future.cancel()
+            self._cond.notify_all()
+        if self._worker is not threading.current_thread():
+            self._worker.join()
+
+    def __enter__(self) -> "BatchingScheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ----------------------------------------------------------- inspection
+    @property
+    def queue_depth(self) -> int:
+        with self._cond:
+            return len(self._pending)
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def stats(self) -> SchedulerStats:
+        with self._cond:
+            return SchedulerStats(
+                submitted=self._submitted,
+                completed=self._completed,
+                failed=self._failed,
+                batch_count=self._batch_count,
+                batched_requests=self._batched_requests,
+                trigger_counts=dict(self._trigger_counts),
+                batches=list(self._records),
+                max_queue_depth=self._max_queue_depth,
+            )
+
+    # ----------------------------------------------------------- worker loop
+    def _cut_batch(self) -> tuple:
+        """Wait until a flush trigger fires; cut and return the next batch.
+
+        Returns ``(batch, trigger, depth)``; ``batch`` is None when the
+        scheduler is closed and the queue is exhausted.
+        """
+        with self._cond:
+            while True:
+                if self._pending:
+                    oldest_wait = self._clock() - self._pending[0].enqueued_at
+                    if len(self._pending) >= self.max_batch_size:
+                        trigger = "size"
+                    elif self._draining:
+                        trigger = "drain"
+                    elif self._flush_requested:
+                        trigger = "flush"
+                    elif self.max_wait_s == 0 or oldest_wait >= self.max_wait_s:
+                        trigger = "timeout"
+                    else:
+                        self._cond.wait(self.max_wait_s - oldest_wait)
+                        continue
+                    depth = len(self._pending)
+                    count = min(self.max_batch_size, depth)
+                    batch = []
+                    for _ in range(count):
+                        request = self._pending.popleft()
+                        # Claim the future before executing.  A client may
+                        # have cancelled while the request was queued; such
+                        # requests are dropped here, and claiming makes
+                        # later cancel() calls no-ops so the result/exception
+                        # hand-off below cannot race a client-side cancel.
+                        if request.future.set_running_or_notify_cancel():
+                            batch.append(request)
+                    if not self._pending:
+                        self._flush_requested = False
+                    if not batch:
+                        continue  # every popped request was already cancelled
+                    return batch, trigger, depth
+                if self._closed:
+                    return None, "", 0
+                self._flush_requested = False
+                self._cond.wait()
+
+    def _run(self) -> None:
+        while True:
+            batch, trigger, depth = self._cut_batch()
+            if batch is None:
+                return
+            self._run_batch(batch, trigger, depth)
+
+    def _run_batch(self, batch: List[_PendingRequest], trigger: str, depth: int) -> None:
+        payloads = [request.payload for request in batch]
+        t0 = time.perf_counter()
+        error: Optional[BaseException] = None
+        results: Sequence[object] = ()
+        try:
+            results = self._execute(payloads)
+            if len(results) != len(batch):
+                raise RuntimeError(
+                    f"executor returned {len(results)} results for "
+                    f"{len(batch)} requests"
+                )
+        except BaseException as exc:  # noqa: BLE001 - forwarded to futures
+            error = exc
+        wall_ms = (time.perf_counter() - t0) * 1000.0
+
+        # The futures were claimed in _cut_batch, so set_result/set_exception
+        # cannot race a client cancel; the guard below is a last line of
+        # defence keeping the worker alive should a future somehow already
+        # be resolved — one wedged future must never kill the loop.
+        now = self._clock()
+        if error is not None:
+            for request in batch:
+                try:
+                    request.future.set_exception(error)
+                except Exception:  # pragma: no cover - defensive
+                    pass
+        else:
+            for request, result in zip(batch, results):
+                self.latencies.record(max(0.0, now - request.enqueued_at))
+                try:
+                    request.future.set_result(result)
+                except Exception:  # pragma: no cover - defensive
+                    pass
+
+        with self._cond:
+            if error is not None:
+                self._failed += len(batch)
+            else:
+                self._completed += len(batch)
+            self._batch_count += 1
+            self._batched_requests += len(batch)
+            self._trigger_counts[trigger] += 1
+            self._records.append(
+                BatchRecord(
+                    size=len(batch),
+                    queue_depth=depth,
+                    trigger=trigger,
+                    wall_ms=wall_ms,
+                    failed=error is not None,
+                )
+            )

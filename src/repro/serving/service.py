@@ -1,0 +1,373 @@
+"""The async micro-batching inference service.
+
+:class:`InferenceService` composes the serving building blocks:
+
+* a :class:`~repro.serving.pool.ModelPool` of warmed networks,
+* one :class:`~repro.serving.scheduler.BatchingScheduler` per model whose
+  executor stacks queued images into a micro-batch, feeds it through
+  ``PhoneBitEngine.run_batch`` (cost estimation disabled on the hot path)
+  and splits the batched output back into per-request rows,
+* an optional :class:`~repro.serving.cache.LRUResponseCache` keyed on the
+  input digest, and
+* end-to-end latency metrics distilled into a :class:`ServiceReport`.
+
+Because the batched kernels are bit-exact with per-request execution,
+clients cannot observe whether their request was served alone, batched with
+strangers, or out of the cache — except through latency.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import CancelledError, Future
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.reporting import format_kv
+from repro.core.engine import PhoneBitEngine, split_batch_output
+from repro.core.network import Network
+from repro.serving.cache import CacheStats, LRUResponseCache, input_digest
+from repro.serving.metrics import LatencySummary, LatencyTracker
+from repro.serving.pool import ModelPool
+from repro.serving.scheduler import BatchingScheduler, SchedulerStats
+
+
+@dataclass(frozen=True)
+class ServiceReport:
+    """Operational summary of one served model."""
+
+    model: str
+    device: str
+    duration_s: float
+    requests: int
+    cache_hits: int
+    cache_misses: int
+    latency: LatencySummary
+    scheduler: SchedulerStats
+    #: Stats of the *service-wide* response cache (shared by every served
+    #: model); the per-model view is ``cache_hits`` / ``cache_misses``.
+    cache: Optional[CacheStats] = None
+
+    @property
+    def requests_per_s(self) -> float:
+        if self.duration_s <= 0:
+            return float("inf") if self.requests else 0.0
+        return self.requests / self.duration_s
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Hit rate of *this model's* cache lookups."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def to_record(self) -> dict:
+        """JSON-serializable record for the benchmark trajectory."""
+        triggers = self.scheduler.trigger_counts
+        return {
+            "model": self.model,
+            "device": self.device,
+            "duration_s": self.duration_s,
+            "requests": self.requests,
+            "requests_per_s": self.requests_per_s,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+            "service_cache_hit_rate": self.cache.hit_rate if self.cache else 0.0,
+            "latency_mean_ms": self.latency.mean_ms,
+            "latency_p50_ms": self.latency.p50_ms,
+            "latency_p99_ms": self.latency.p99_ms,
+            "batches": self.scheduler.batch_count,
+            "mean_batch_size": self.scheduler.mean_batch_size,
+            "max_queue_depth": self.scheduler.max_queue_depth,
+            "flush_triggers": triggers,
+        }
+
+    def table(self) -> str:
+        """Aligned plain-text rendering (reporting-module style)."""
+        rows: List[tuple] = [
+            ("model", self.model),
+            ("device", self.device),
+            ("duration (s)", self.duration_s),
+            ("requests", self.requests),
+            ("requests/s", self.requests_per_s),
+            ("cache hits", self.cache_hits),
+        ]
+        if self.cache is not None:
+            rows.append(("cache hit rate", f"{100.0 * self.cache_hit_rate:.1f}%"))
+            rows.append(
+                ("cache hit rate (service-wide)",
+                 f"{100.0 * self.cache.hit_rate:.1f}%")
+            )
+        rows.extend(self.latency.rows()[1:])  # skip duplicate request count
+        rows.extend(
+            [
+                ("micro-batches", self.scheduler.batch_count),
+                ("mean batch size", self.scheduler.mean_batch_size),
+                ("max queue depth", self.scheduler.max_queue_depth),
+                ("flush triggers", ", ".join(
+                    f"{name}={count}"
+                    for name, count in self.scheduler.trigger_counts.items()
+                    if count
+                ) or "none"),
+            ]
+        )
+        return format_kv(rows, title=f"Serving report — {self.model}")
+
+
+class _ModelState:
+    """Per-model bookkeeping owned by the service."""
+
+    def __init__(self, key: str, network: Network,
+                 scheduler: BatchingScheduler) -> None:
+        self.key = key
+        self.network = network
+        self.scheduler = scheduler
+        self.latencies = LatencyTracker()
+        self.requests = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.first_submit: Optional[float] = None
+        self.last_done: Optional[float] = None
+
+
+class InferenceService:
+    """Serve per-request traffic through dynamic micro-batches.
+
+    Parameters
+    ----------
+    pool:
+        Model pool to serve from (a fresh one by default).
+    engine:
+        Shared engine; ``run_batch`` is reentrant so one engine serves every
+        model.
+    max_batch_size / max_wait_ms:
+        Scheduler flush policy (see :class:`BatchingScheduler`).
+    cache_capacity:
+        LRU response-cache entries; ``0`` disables response caching.
+    chunk_size:
+        Optional ``run_batch`` chunk bound for very large micro-batches.
+    """
+
+    def __init__(
+        self,
+        pool: Optional[ModelPool] = None,
+        engine: Optional[PhoneBitEngine] = None,
+        max_batch_size: int = 32,
+        max_wait_ms: float = 2.0,
+        cache_capacity: int = 1024,
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        self.pool = pool or ModelPool()
+        self.engine = engine or PhoneBitEngine()
+        self.max_batch_size = max_batch_size
+        self.max_wait_ms = max_wait_ms
+        self.chunk_size = chunk_size
+        self.cache = LRUResponseCache(cache_capacity) if cache_capacity else None
+        self._lock = threading.Lock()
+        self._models: Dict[str, _ModelState] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------- plumbing
+    def _executor_for(self, network: Network):
+        def execute(payloads: Sequence[np.ndarray]) -> List[np.ndarray]:
+            batch = np.stack(payloads)
+            report = self.engine.run_batch(
+                network, batch, chunk_size=self.chunk_size, collect_estimate=False
+            )
+            # copy=True: responses outlive the batch (cache, client
+            # references) and must not pin the shared buffer or alias one
+            # another.  Rows are frozen so every response — served fresh or
+            # from the cache — is uniformly read-only.
+            parts = split_batch_output(
+                report.output, [1] * len(payloads), copy=True
+            )
+            results = []
+            for part in parts:
+                part.data.setflags(write=False)
+                results.append(part.data[0])  # read-only view of frozen copy
+            return results
+
+        return execute
+
+    def _state_for(self, model: str) -> _ModelState:
+        # Per-model state (scheduler, metrics, cache namespace) is keyed by
+        # the pool's canonical name so "microcnn" and "MicroCNN" share one
+        # scheduler and one report rather than splitting traffic in two.
+        key = self.pool.canonical_name(model)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("service is closed")
+            state = self._models.get(key)
+            if state is not None:
+                return state
+        # Build/fetch outside the service lock: a multi-second cold build
+        # (VGG16 at 224²) must not stall submissions for hot models.
+        network = self.pool.get(key)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("service is closed")
+            state = self._models.get(key)
+            if state is None:
+                scheduler = BatchingScheduler(
+                    self._executor_for(network),
+                    max_batch_size=self.max_batch_size,
+                    max_wait_ms=self.max_wait_ms,
+                    name=f"serve-{key}",
+                )
+                state = _ModelState(key, network, scheduler)
+                self._models[key] = state
+            return state
+
+    def _coerce_image(self, state: _ModelState, image: np.ndarray) -> np.ndarray:
+        image = np.asarray(image)
+        expected = state.network.input_shape
+        if image.shape != expected:
+            raise ValueError(
+                f"{state.network.name}: expected one image of shape {expected}, "
+                f"got {image.shape}"
+            )
+        return image
+
+    # ------------------------------------------------------------- requests
+    def submit(self, model: str, image: np.ndarray) -> Future:
+        """Enqueue one inference request; resolves to the output row.
+
+        The result has the network's per-image output shape (no leading
+        batch dimension) and is bit-identical to what an unbatched
+        ``engine.run`` would produce for the same input.  Responses are
+        read-only arrays (they may be shared with the response cache and
+        other clients); copy before mutating.
+        """
+        state = self._state_for(model)
+        image = self._coerce_image(state, image)
+        t_submit = time.perf_counter()
+        with self._lock:
+            state.requests += 1
+            if state.first_submit is None:
+                state.first_submit = t_submit
+
+        # The digest is namespaced by the *pool key*, not ``network.name``:
+        # two registered models may wrap networks sharing a name (e.g. a
+        # prod and a canary build of the same architecture) and must never
+        # serve each other's cached responses.
+        # NB: "is not None" — the cache defines __len__, so an *empty* cache
+        # is falsy and a plain truthiness check would disable it.
+        key = input_digest(state.key, image) if self.cache is not None else None
+        if key is not None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                now = time.perf_counter()
+                state.latencies.record(now - t_submit)
+                with self._lock:
+                    state.cache_hits += 1
+                    state.last_done = now
+                future: Future = Future()
+                future.set_result(cached)
+                return future
+            with self._lock:
+                state.cache_misses += 1
+
+        inner = state.scheduler.submit(image)
+        # The client gets a service-owned future resolved only *after* the
+        # bookkeeping below has run.  Resolving the scheduler's own future
+        # wakes its waiters before done-callbacks fire, so handing that one
+        # out would let a client observe a result whose latency sample and
+        # cache entry do not exist yet (report() right after result() would
+        # undercount).
+        outer: Future = Future()
+        outer.set_running_or_notify_cancel()  # outer futures are not cancellable
+
+        def _record(done: Future, _state=state, _key=key, _t0=t_submit) -> None:
+            now = time.perf_counter()
+            with self._lock:
+                _state.last_done = now
+            if done.cancelled():
+                outer.set_exception(CancelledError())
+                return
+            error = done.exception()
+            if error is not None:
+                outer.set_exception(error)
+                return
+            result = done.result()
+            _state.latencies.record(now - _t0)
+            if _key is not None:
+                self.cache.put(_key, result)
+            outer.set_result(result)
+
+        inner.add_done_callback(_record)
+        return outer
+
+    def submit_batch(self, model: str, images: np.ndarray) -> List[Future]:
+        """Enqueue one request per leading row of ``images``."""
+        return [self.submit(model, image) for image in np.asarray(images)]
+
+    def infer(self, model: str, image: np.ndarray,
+              timeout: Optional[float] = None) -> np.ndarray:
+        """Blocking single-request inference."""
+        return self.submit(model, image).result(timeout=timeout)
+
+    # ------------------------------------------------------------- lifecycle
+    def flush(self, model: Optional[str] = None) -> None:
+        """Force pending micro-batches out (all models by default).
+
+        A model that has not served any request yet has nothing pending, so
+        flushing it is a no-op rather than an error.
+        """
+        with self._lock:
+            if model is not None:
+                state = self._models.get(self.pool.canonical_name(model))
+                states = [state] if state is not None else []
+            else:
+                states = list(self._models.values())
+        for state in states:
+            state.scheduler.flush()
+
+    def close(self, drain: bool = True) -> None:
+        """Shut every scheduler down (draining pending work by default)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            states = list(self._models.values())
+        for state in states:
+            state.scheduler.close(drain=drain)
+
+    def __enter__(self) -> "InferenceService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- reporting
+    def report(self, model: str) -> ServiceReport:
+        """Operational report for one served model."""
+        key = self.pool.canonical_name(model)
+        with self._lock:
+            state = self._models.get(key)
+            if state is None:
+                raise KeyError(f"model {model!r} has not served any requests")
+            first = state.first_submit
+            last = state.last_done
+            requests = state.requests
+            cache_hits = state.cache_hits
+            cache_misses = state.cache_misses
+        duration = (last - first) if (first is not None and last is not None) else 0.0
+        return ServiceReport(
+            model=key,
+            device=self.engine.device.soc,
+            duration_s=max(0.0, duration),
+            requests=requests,
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
+            latency=state.latencies.summary(),
+            scheduler=state.scheduler.stats(),
+            cache=self.cache.stats() if self.cache is not None else None,
+        )
+
+    def reports(self) -> Dict[str, ServiceReport]:
+        with self._lock:
+            names = list(self._models)
+        return {name: self.report(name) for name in names}

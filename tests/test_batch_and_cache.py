@@ -1,5 +1,7 @@
 """Regression tests for packed-weight caching and batched engine execution."""
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -84,6 +86,105 @@ class TestConvWeightCache:
         assert layer.weights_packed is not before
         with pytest.raises(ValueError):
             layer.weight_bits = np.zeros((64, 17), dtype=np.uint8)
+
+    def test_reassignment_landing_mid_pack_cannot_stale_the_cache(
+        self, rng, monkeypatch
+    ):
+        # Regression for the serving race: thread A reads ``weights_packed``
+        # and starts packing the old bits; thread B reassigns ``weight_bits``
+        # while that pack is in flight; A then stores its (now superseded)
+        # result.  With the old two-field cache (bits + packed invalidated
+        # separately) A's store overwrote B's invalidation, and every later
+        # read returned packed weights for bits that were no longer the
+        # layer's weights — permanently.  The cache now snapshots the exact
+        # bits array each packing came from, so a stale store can never be
+        # *served* for newer weights.  The reassignment is injected into the
+        # middle of the pack deterministically via monkeypatch.
+        layer = BinaryConv2d(8, 4, 3, rng=0)
+        new_bits = rng.integers(0, 2, size=(3, 3, 8, 4), dtype=np.uint8)
+        real_pack = binary_conv.pack_weights
+        reassigned = []
+
+        def pack_with_concurrent_reassignment(bits, **kwargs):
+            result = real_pack(bits, **kwargs)
+            if not reassigned:  # emulate the writer landing mid-pack
+                reassigned.append(True)
+                layer.weight_bits = new_bits
+            return result
+
+        monkeypatch.setattr(
+            binary_conv, "pack_weights", pack_with_concurrent_reassignment
+        )
+        stale_candidate = layer.weights_packed  # packed from the *old* bits
+        after = layer.weights_packed  # must reflect the reassigned weights
+        monkeypatch.undo()
+        np.testing.assert_array_equal(
+            after, binary_conv.pack_weights(new_bits, word_size=layer.word_size)
+        )
+        assert not np.array_equal(after, stale_candidate)
+
+    def test_dense_reassignment_mid_pack_cannot_stale_the_cache(
+        self, rng, monkeypatch
+    ):
+        layer = BinaryDense(64, 16, rng=0)
+        new_bits = rng.integers(0, 2, size=(64, 16), dtype=np.uint8)
+        real_pack = dense_mod._pack_dense_weights
+        reassigned = []
+
+        def pack_with_concurrent_reassignment(bits, word_size):
+            result = real_pack(bits, word_size)
+            if not reassigned:
+                reassigned.append(True)
+                layer.weight_bits = new_bits
+            return result
+
+        monkeypatch.setattr(
+            dense_mod, "_pack_dense_weights", pack_with_concurrent_reassignment
+        )
+        layer.weights_packed
+        after = layer.weights_packed
+        monkeypatch.undo()
+        np.testing.assert_array_equal(
+            after, dense_mod._pack_dense_weights(new_bits, layer.word_size)
+        )
+
+    def test_concurrent_readers_and_writer_stay_coherent(self, rng):
+        # Stress the lock-free cache: readers hammer ``weights_packed`` while
+        # a writer flips between two known weight sets.  Every observed
+        # packing must be one of the two valid packings (never torn), and
+        # the final state must be coherent.
+        bits_a = rng.integers(0, 2, size=(3, 3, 8, 4), dtype=np.uint8)
+        bits_b = 1 - bits_a
+        layer = BinaryConv2d(8, 4, 3, weight_bits=bits_a)
+        valid = {
+            binary_conv.pack_weights(b, word_size=layer.word_size).tobytes()
+            for b in (bits_a, bits_b)
+        }
+        errors = []
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                packed = layer.weights_packed
+                if packed.tobytes() not in valid:
+                    errors.append("torn packing observed")
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for _ in range(200):
+            layer.weight_bits = bits_b
+            layer.weight_bits = bits_a
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=30.0)
+            assert not thread.is_alive()
+        assert not errors
+        np.testing.assert_array_equal(
+            layer.weights_packed,
+            binary_conv.pack_weights(layer.weight_bits, word_size=layer.word_size),
+        )
 
     def test_new_weights_change_the_output(self, rng):
         layer = BinaryConv2d(4, 4, 3, padding=1, output_binary=False, rng=0)

@@ -44,3 +44,49 @@ class TestCli:
     def test_requires_a_command(self):
         with pytest.raises(SystemExit):
             cli.main([])
+
+
+class TestServingCli:
+    def test_serve_bench(self, capsys):
+        assert cli.main([
+            "serve-bench", "--model", "MicroCNN", "--batches", "1,4",
+            "--requests", "8",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Serving throughput" in out
+        assert "bit-identical" in out
+        assert "speedup" in out
+
+    def test_serve_bench_json(self, tmp_path, capsys):
+        path = tmp_path / "serve.json"
+        assert cli.main([
+            "serve-bench", "--batches", "4", "--requests", "8",
+            "--json", str(path),
+        ]) == 0
+        import json
+
+        records = json.loads(path.read_text())["records"]
+        assert len(records) == 1
+        record = records[0]
+        assert record["offered_batch"] == 4
+        assert record["bit_identical"] is True
+        assert record["requests_per_s"] > 0
+        assert f"wrote {path}" in capsys.readouterr().out
+
+    def test_loadgen(self, capsys):
+        assert cli.main([
+            "loadgen", "--model", "MicroCNN", "--rps", "500",
+            "--requests", "12",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Load generation" in out
+        assert "Serving report — MicroCNN" in out
+        assert "latency p99 (ms)" in out
+
+    def test_loadgen_unique_inputs_defeat_the_cache(self, capsys):
+        assert cli.main([
+            "loadgen", "--rps", "500", "--requests", "8", "--unique-inputs",
+        ]) == 0
+        out = capsys.readouterr().out
+        line = next(l for l in out.splitlines() if "cache hit rate" in l)
+        assert line.rstrip().endswith("0.0%")
