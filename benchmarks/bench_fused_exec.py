@@ -1,0 +1,213 @@
+"""Fused execution-plan benchmark (wall-clock, not simulated).
+
+Measures end-to-end ``PhoneBitEngine.run_batch`` with the compiled fused
+execution plan (:mod:`repro.core.plan`: integer-threshold fused kernels,
+buffer arena, threaded tile execution) against the layer-by-layer
+interpreter (``use_plan=False``), and emits machine-readable JSON records
+for the BENCH trajectory:
+
+    {op, model, input_size, batch, threads, fused_ms_per_image,
+     unfused_ms_per_image, speedup, fused_steps, plan_steps,
+     arena_bytes_per_image, bit_identical}
+
+Every model first verifies that the plan's outputs are bit-identical to the
+unfused path, so a throughput win can never hide a correctness drift;
+``--exact-only`` stops after that check (the CI single-thread exactness
+step).  The paper's benchmark networks run at reduced input resolutions by
+default so the sweep finishes in seconds on a CPU host; ``--full`` restores
+the Table II/III sizes (224²/227²).
+
+Usage:
+
+    PYTHONPATH=src REPRO_NUM_THREADS=4 python benchmarks/bench_fused_exec.py \
+        --json benchmarks/BENCH_fused_exec.json --min-speedup 1.5
+
+    # CI smoke (smaller models/batches, enforced floor):
+    PYTHONPATH=src REPRO_NUM_THREADS=4 python benchmarks/bench_fused_exec.py \
+        --quick --json fused-smoke.json --min-speedup 1.5
+    PYTHONPATH=src REPRO_NUM_THREADS=1 python benchmarks/bench_fused_exec.py \
+        --quick --exact-only
+"""
+
+import argparse
+import dataclasses
+import sys
+import time
+
+#: Reduced per-model input resolutions used unless ``--full`` is given.
+#: Chosen so every network keeps a valid shape pyramid (the dense heads
+#: infer their fan-in from the actual flatten shape).
+REDUCED_SIZES = {
+    "VGG16": 64,
+    "AlexNet": 127,
+    "YOLOv2 Tiny": 64,
+    "TinyCNN": 32,
+    "MicroCNN": 8,
+}
+
+QUICK_MODELS = ("VGG16:48", "AlexNet:67", "MicroCNN")
+DEFAULT_MODELS = ("VGG16", "AlexNet", "TinyCNN", "MicroCNN")
+
+
+def _resolve_models(specs, full):
+    """Parse ``name[:size]`` specs into (name, input_size) pairs."""
+    from repro.models.zoo import get_serving_config
+
+    resolved = []
+    for spec in specs:
+        name, _, size = str(spec).partition(":")
+        name = name.strip()
+        config = get_serving_config(name)  # canonical spelling + validation
+        if size:
+            input_size = int(size)
+        elif full:
+            input_size = config.input_shape[0]
+        else:
+            input_size = REDUCED_SIZES.get(config.name, config.input_shape[0])
+        resolved.append((config.name, input_size))
+    return resolved
+
+
+def measure(model, input_size, batch, reps, threads, chunk_bytes, seed,
+            exact_only=False):
+    """Benchmark one model; returns a JSON record."""
+    import numpy as np
+
+    from repro.core import plan as plan_mod
+    from repro.core.engine import PhoneBitEngine
+    from repro.models.zoo import build_phonebit_network, get_serving_config
+
+    config = get_serving_config(model)
+    if input_size != config.input_shape[0]:
+        config = dataclasses.replace(
+            config, input_shape=(input_size, input_size, 3)
+        )
+    network = build_phonebit_network(config, rng=seed)
+    rng = np.random.default_rng(seed)
+    images = rng.integers(
+        0, 256, size=(batch,) + network.input_shape
+    ).astype(np.uint8)
+
+    fused = PhoneBitEngine(use_plan=True, num_threads=threads)
+    unfused = PhoneBitEngine(use_plan=False)
+    kwargs = dict(collect_estimate=False, chunk_bytes=chunk_bytes)
+
+    # Bit-exactness first (this also warms both paths).
+    fused_out = fused.run_batch(network, images, **kwargs).output.data
+    unfused_out = unfused.run_batch(network, images, **kwargs).output.data
+    np.testing.assert_array_equal(fused_out, unfused_out)
+    plan = plan_mod.get_plan(network)
+
+    record = {
+        "op": "fused_exec",
+        "model": model,
+        "input_size": input_size,
+        "batch": batch,
+        "threads": threads if threads is not None else plan_mod.default_num_threads(),
+        "fused_steps": plan.fused_step_count,
+        "plan_steps": len(plan.steps),
+        "arena_bytes_per_image": plan.per_sample_bytes,
+        "bit_identical": True,
+    }
+    if exact_only:
+        return record
+
+    def best_ms(engine):
+        times = []
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            engine.run_batch(network, images, **kwargs)
+            times.append(time.perf_counter() - t0)
+        return min(times) * 1000.0
+
+    fused_ms = best_ms(fused)
+    unfused_ms = best_ms(unfused)
+    record.update(
+        fused_ms_per_image=fused_ms / batch,
+        unfused_ms_per_image=unfused_ms / batch,
+        speedup=unfused_ms / fused_ms if fused_ms > 0 else float("inf"),
+    )
+    return record
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--models", default=None,
+                        help="comma-separated zoo models, each optionally "
+                             "'name:input_size' (default: "
+                             + ",".join(DEFAULT_MODELS) + ")")
+    parser.add_argument("--full", action="store_true",
+                        help="use the paper's full input resolutions "
+                             "(slow on CPU hosts)")
+    parser.add_argument("--batch", type=int, default=4,
+                        help="images per run_batch call")
+    parser.add_argument("--reps", type=int, default=3,
+                        help="timing repetitions (best-of)")
+    parser.add_argument("--threads", type=int, default=None,
+                        help="fused tile threads (default: REPRO_NUM_THREADS "
+                             "or all cores)")
+    parser.add_argument("--chunk-hint", default=None,
+                        help="working-set byte budget for chunking (e.g. 64M)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write records to PATH ('-' for stdout)")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller models/batch (CI smoke mode)")
+    parser.add_argument("--exact-only", action="store_true",
+                        help="only verify fused outputs are bit-identical "
+                             "to the unfused path, skip timing")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail unless every measured model reaches this "
+                             "fused-vs-unfused speedup")
+    args = parser.parse_args(argv)
+
+    from repro.cli import parse_byte_size
+
+    chunk_bytes = parse_byte_size(args.chunk_hint) if args.chunk_hint else None
+    if args.models:
+        specs = [m for m in args.models.split(",") if m.strip()]
+    elif args.quick:
+        specs = list(QUICK_MODELS)
+    else:
+        specs = list(DEFAULT_MODELS)
+    batch = min(args.batch, 2) if args.quick else args.batch
+    reps = min(args.reps, 2) if args.quick else args.reps
+
+    records = []
+    for model, input_size in _resolve_models(specs, args.full):
+        record = measure(
+            model, input_size, batch, reps, args.threads, chunk_bytes,
+            args.seed, exact_only=args.exact_only,
+        )
+        records.append(record)
+        if args.exact_only:
+            print(f"{model}@{input_size}: bit-identical "
+                  f"({record['fused_steps']}/{record['plan_steps']} steps fused)")
+        else:
+            print(
+                f"{model}@{input_size}: fused {record['fused_ms_per_image']:8.2f} "
+                f"ms/img  unfused {record['unfused_ms_per_image']:8.2f} ms/img  "
+                f"speedup {record['speedup']:.2f}x  "
+                f"({record['fused_steps']}/{record['plan_steps']} steps fused, "
+                f"{record['threads']} threads)"
+            )
+
+    if args.json:
+        from repro.serving import write_sweep_records
+
+        print(write_sweep_records(records, args.json))
+
+    if args.min_speedup is not None and not args.exact_only:
+        worst = min(records, key=lambda r: r["speedup"])
+        if worst["speedup"] < args.min_speedup:
+            print(
+                f"FAIL: {worst['model']} fused speedup {worst['speedup']:.2f}x "
+                f"< required {args.min_speedup:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -36,6 +36,39 @@ def _add_device_argument(parser: argparse.ArgumentParser, default: str) -> None:
     )
 
 
+def parse_byte_size(text: str) -> int:
+    """Parse a byte budget like ``64M``, ``512K``, ``1G`` or plain bytes."""
+    text = str(text).strip()
+    multipliers = {"K": 2**10, "M": 2**20, "G": 2**30}
+    scale = 1
+    if text and text[-1].upper() in multipliers:
+        scale = multipliers[text[-1].upper()]
+        text = text[:-1]
+    try:
+        value = int(float(text) * scale)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid byte size {text!r}; expected e.g. 64M, 512K, 1G or bytes"
+        ) from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError("byte size must be positive")
+    return value
+
+
+def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
+    """Shared fused-executor knobs for the bench subcommands."""
+    parser.add_argument(
+        "--chunk-hint", type=parse_byte_size, default=None, metavar="BYTES",
+        help="working-set byte budget for run_batch chunking (e.g. 64M); "
+             "default uses the engine's built-in budget",
+    )
+    parser.add_argument(
+        "--threads", type=int, default=None, metavar="N",
+        help="fused-executor tile threads (default: REPRO_NUM_THREADS or "
+             "all cores)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -78,6 +111,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve_bench.add_argument("--seed", type=int, default=0)
     serve_bench.add_argument("--json", metavar="PATH", default=None,
                              help="also write records to PATH ('-' for stdout)")
+    _add_execution_arguments(serve_bench)
 
     loadgen = subparsers.add_parser(
         "loadgen",
@@ -96,6 +130,7 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--unique-inputs", action="store_true",
                          help="make every request distinct (defeats the cache)")
     loadgen.add_argument("--seed", type=int, default=0)
+    _add_execution_arguments(loadgen)
     return parser
 
 
@@ -113,6 +148,7 @@ def _command_summary(path: str) -> str:
 
 
 def _command_serve_bench(args) -> str:
+    from repro.core.engine import PhoneBitEngine
     from repro.serving import sweep_table, throughput_sweep, write_sweep_records
 
     batches = tuple(int(b) for b in str(args.batches).split(",") if b.strip())
@@ -122,6 +158,8 @@ def _command_serve_bench(args) -> str:
         requests_per_level=args.requests,
         max_wait_ms=args.max_wait_ms,
         seed=args.seed,
+        engine=PhoneBitEngine(num_threads=args.threads),
+        chunk_bytes=args.chunk_hint,
     )
     table = sweep_table(
         records,
@@ -134,12 +172,15 @@ def _command_serve_bench(args) -> str:
 
 
 def _command_loadgen(args) -> str:
+    from repro.core.engine import PhoneBitEngine
     from repro.serving import InferenceService, run_open_loop, synthetic_images
 
     service = InferenceService(
+        engine=PhoneBitEngine(num_threads=args.threads),
         max_batch_size=args.max_batch_size,
         max_wait_ms=args.max_wait_ms,
         cache_capacity=args.cache_capacity,
+        chunk_bytes=args.chunk_hint,
     )
     try:
         network = service.pool.get(args.model)

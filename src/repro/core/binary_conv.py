@@ -74,17 +74,53 @@ def _conv_windows(
     return windows.transpose(0, 1, 2, 4, 5, 3)
 
 
-def _packed_patch_matrix(
+def gather_patches_nhwc(
+    x: np.ndarray,
+    kernel_size: int,
+    stride: int = 1,
+    padding: int = 0,
+    pad_value: float = 0.0,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Gather convolution windows into a flat ``(N*OH*OW, KH*KW*C)`` matrix.
+
+    Like :func:`im2col_nhwc` but with an optional preallocated destination;
+    ``out`` may have a different dtype than ``x`` (the copy casts), which
+    lets the plan executor gather integer image patches directly into a
+    reusable float64 arena buffer for the exact-GEMM input convolution.
+    """
+    x = np.asarray(x)
+    if x.ndim != 4:
+        raise ValueError(f"expected NHWC input, got shape {x.shape}")
+    n, h, w, c = x.shape
+    oh = conv_output_size(h, kernel_size, stride, padding)
+    ow = conv_output_size(w, kernel_size, stride, padding)
+    if out is None:
+        patches = im2col_nhwc(x, kernel_size, stride, padding, pad_value)
+        return patches.reshape(n * oh * ow, kernel_size * kernel_size * c)
+    windows = _conv_windows(x, kernel_size, stride, padding, pad_value)
+    np.copyto(out.reshape(n, oh, ow, kernel_size, kernel_size, c), windows)
+    return out
+
+
+def packed_patch_matrix(
     x_packed: np.ndarray,
     kernel_size: int,
-    stride: int,
-    padding: int,
+    stride: int = 1,
+    padding: int = 0,
+    out: np.ndarray | None = None,
 ) -> tuple[np.ndarray, int, int]:
     """Flattened ``(N*OH*OW, KH*KW*Wc)`` patch matrix for packed activations.
 
     Returns ``(patches, oh, ow)``.  For 1×1 kernels the matrix is a reshape
     of a strided slice — zero-copy when stride is 1 — so pointwise binary
     convolutions skip im2col entirely.
+
+    ``out`` optionally supplies a preallocated ``(N*OH*OW, KH*KW*Wc)``
+    destination for the gathered windows; the execution plan's buffer arena
+    passes one so repeated inferences reuse a single patch buffer instead of
+    allocating (and page-faulting) a fresh one per convolution.  The
+    zero-copy 1×1/stride-1 path ignores ``out``.
     """
     x_packed = np.asarray(x_packed)
     if x_packed.ndim != 4:
@@ -94,10 +130,12 @@ def _packed_patch_matrix(
     ow = conv_output_size(w, kernel_size, stride, padding)
     if kernel_size == 1 and padding == 0:
         sliced = x_packed[:, ::stride, ::stride, :]
-        return sliced.reshape(n * oh * ow, wc), oh, ow
-    windows = _conv_windows(x_packed, kernel_size, stride, padding, pad_value=0)
-    flat = np.ascontiguousarray(windows).reshape(
-        n * oh * ow, kernel_size * kernel_size * wc
+        if out is None or stride == 1:
+            return sliced.reshape(n * oh * ow, wc), oh, ow
+        np.copyto(out.reshape(n, oh, ow, wc), sliced)
+        return out, oh, ow
+    flat = gather_patches_nhwc(
+        x_packed, kernel_size, stride, padding, pad_value=0, out=out
     )
     return flat, oh, ow
 
@@ -200,7 +238,7 @@ def binary_conv2d_packed(
     weights_packed = np.asarray(weights_packed)
     cout = weights_packed.shape[0]
     n = x_packed.shape[0]
-    patches, oh, ow = _packed_patch_matrix(x_packed, kernel_size, stride, padding)
+    patches, oh, ow = packed_patch_matrix(x_packed, kernel_size, stride, padding)
     flat_filters = weights_packed.reshape(cout, -1)
     if flat_filters.shape[1] != patches.shape[1]:
         raise ValueError("activation and filter packing widths do not match")
@@ -275,7 +313,7 @@ def input_conv2d_bitplanes(
     out = None
     for plane_index in range(input_bits):
         plane_packed = pack_activations(planes[plane_index], word_size=word_size)
-        patches, oh, ow = _packed_patch_matrix(
+        patches, oh, ow = packed_patch_matrix(
             plane_packed, kernel_size, stride, padding
         )
         n = plane_packed.shape[0]

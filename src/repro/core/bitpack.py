@@ -78,8 +78,10 @@ _SWAR_CONSTANTS = {
 }
 
 #: Tile sizes for the all-pairs popcount GEMMs.  The working set of one tile
-#: is ``ROW_TILE × COL_TILE × n_words`` words regardless of problem size.
-_GEMM_ROW_TILE = 512
+#: is ``ROW_TILE × COL_TILE × n_words`` words regardless of problem size;
+#: 128 rows keeps the broadcast xor/popcount temporaries L2-resident, which
+#: measures ~20% faster than 512-row tiles on the development container.
+_GEMM_ROW_TILE = 128
 _GEMM_COL_TILE = 64
 
 
@@ -125,15 +127,27 @@ def pack_bits(bits: np.ndarray, word_size: int = 64, axis: int = -1) -> np.ndarr
         Array with the packed axis reduced by a factor of ``word_size``
         (rounded up), of dtype ``uint{word_size}``.
     """
-    dtype = word_dtype(word_size)
     bits = np.asarray(bits)
-    if bits.size and (bits.min() < 0 or bits.max() > 1):
+    if bits.size and bits.dtype != np.bool_ and (bits.min() < 0 or bits.max() > 1):
         raise ValueError("pack_bits expects an array of 0/1 values")
-    bits = np.moveaxis(bits, axis, -1)
+    return _pack01(bits, word_size, axis)
+
+
+def _pack01(bits: np.ndarray, word_size: int, axis: int) -> np.ndarray:
+    """Pack already-validated {0, 1} bits (the hot-path core of :func:`pack_bits`).
+
+    The fused plan kernels produce boolean comparison results that are 0/1
+    by construction, so they skip :func:`pack_bits`'s min/max validation
+    pass over the full array.
+    """
+    dtype = word_dtype(word_size)
+    bits = np.moveaxis(np.asarray(bits), axis, -1)
     length = bits.shape[-1]
     n_words = words_per_channel(length, word_size)
     bytes_per_word = word_size // 8
-    packed8 = np.packbits(bits.astype(np.uint8, copy=False), axis=-1, bitorder="little")
+    if bits.dtype != np.bool_:
+        bits = bits.astype(np.uint8, copy=False)
+    packed8 = np.packbits(bits, axis=-1, bitorder="little")
     padded_bytes = n_words * bytes_per_word
     if packed8.shape[-1] != padded_bytes:
         pad = np.zeros(
@@ -223,6 +237,18 @@ def popcount(words: np.ndarray) -> np.ndarray:
     return popcount_words(words).astype(np.int64)
 
 
+def _reduce_counts(counts: np.ndarray, dtype) -> np.ndarray:
+    """Sum a ``(rows, cols, n_words)`` popcount tile over its word axis.
+
+    ``np.einsum`` compiles to a specialized SIMD reduction that measures
+    ~5× faster than ``ndarray.sum`` over this short trailing axis; the
+    explicit ``dtype`` widens the per-word counts before accumulation.
+    ``casting="unsafe"`` admits the SWAR fallback's unsigned counts (each
+    is at most the word width, so the signed cast cannot lose anything).
+    """
+    return np.einsum("ijk->ij", counts, dtype=dtype, casting="unsafe")
+
+
 def _popcount_gemm(a, b, op, out):
     """Shared tiling/validation for the all-pairs popcount reductions."""
     a = np.ascontiguousarray(a)
@@ -242,7 +268,7 @@ def _popcount_gemm(a, b, op, out):
         for j0 in range(0, cols, _GEMM_COL_TILE):
             j1 = min(j0 + _GEMM_COL_TILE, cols)
             x = op(a_tile, b[None, j0:j1, :])
-            out[i0:i1, j0:j1] = popcount_words(x).sum(axis=-1, dtype=np.int64)
+            out[i0:i1, j0:j1] = _reduce_counts(popcount_words(x), np.int64)
     return out
 
 
@@ -268,6 +294,71 @@ def and_popcount_gemm(
     (bit-plane) dot product of Eqn. (2).
     """
     return _popcount_gemm(a, b, np.bitwise_and, out)
+
+
+def fused_xor_threshold_rows(
+    a: np.ndarray,
+    b: np.ndarray,
+    acc_threshold: np.ndarray,
+    flip: np.ndarray,
+    out_words: np.ndarray,
+    row_start: int,
+    row_stop: int,
+    word_size: int,
+) -> None:
+    """Fused xor-popcount GEMM tile → accumulator threshold → packed bits.
+
+    For rows ``[row_start, row_stop)`` of the packed operand ``a`` (shape
+    ``(rows, n_words)``) against all of ``b`` (shape ``(cols, n_words)``)::
+
+        bit[i, j] = (Σ_k popc(a[i, k] ^ b[j, k]) <= acc_threshold[j]) ^ flip[j]
+
+    packed little-endian along ``j`` into ``out_words[row_start:row_stop]``.
+    The threshold test runs directly on the xor/popcount *accumulator*
+    (the disagreement count), so the ±1 pre-activation ``x1 = Len − 2·d``
+    is never materialized — the execution plan folds the Eqn. (5–8) fused
+    threshold ξ into the accumulator domain at compile time.
+
+    The per-call working set is ``(rows_in_tile × COL_TILE × n_words)``
+    words plus one boolean tile; disjoint row ranges touch disjoint output
+    rows, which is what makes the plan executor's thread fan-out safe.
+    """
+    cols = b.shape[0]
+    rows = a[row_start:row_stop]
+    bits = np.empty((rows.shape[0], cols), dtype=np.bool_)
+    for j0 in range(0, cols, _GEMM_COL_TILE):
+        j1 = min(j0 + _GEMM_COL_TILE, cols)
+        x = np.bitwise_xor(rows[:, None, :], b[None, j0:j1, :])
+        # int32 accumulation: a disagreement count is at most the kernel
+        # volume, so the narrow accumulator halves the reduction's memory
+        # traffic relative to the generic int64 GEMM.
+        d = _reduce_counts(popcount_words(x), np.int32)
+        np.less_equal(d, acc_threshold[j0:j1], out=bits[:, j0:j1])
+    np.logical_xor(bits, flip, out=bits)
+    out_words[row_start:row_stop] = _pack01(bits, word_size, axis=1)
+
+
+def threshold_pack_rows(
+    x1: np.ndarray,
+    threshold: np.ndarray,
+    flip: np.ndarray,
+    out_words: np.ndarray,
+    row_start: int,
+    row_stop: int,
+    word_size: int,
+) -> None:
+    """Integer threshold + bit pack for rows of a pre-activation matrix.
+
+    ``bit[i, j] = (x1[i, j] >= threshold[j]) ^ flip[j]``, packed along ``j``
+    into ``out_words[row_start:row_stop]``.  Used by the plan executor for
+    the bit-plane input convolution, whose multi-plane accumulation already
+    materialized ``x1`` — the comparison stays in the integer domain instead
+    of round-tripping through float64 as the layerwise path does.
+    """
+    rows = x1[row_start:row_stop]
+    bits = rows >= threshold
+    np.logical_xor(bits, flip, out=bits)
+    out_words[row_start:row_stop] = _pack01(bits, word_size, axis=1)
 
 
 def packed_xor_popcount(a: np.ndarray, b: np.ndarray, axis: int = -1) -> np.ndarray:

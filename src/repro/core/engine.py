@@ -28,6 +28,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.core import kernels as kern
+from repro.core import plan as plan_mod
 from repro.core.kernels import ConvGeometry
 from repro.core.layers import (
     AvgPool2d,
@@ -49,6 +50,11 @@ from repro.gpusim.cost_model import CostModel, EfficiencyProfile, RunCost
 from repro.gpusim.device import DeviceSpec, snapdragon_855
 from repro.gpusim.kernel import KernelLaunch, LayerWorkload, OpKind
 
+
+#: Default byte budget for the working-set-aware chunk heuristic: batches
+#: whose per-image arena working set would exceed this are split into chunks
+#: that fit (see :meth:`PhoneBitEngine.auto_chunk_size`).
+DEFAULT_CHUNK_BYTES = 256 * 2**20
 
 #: Efficiency profile of PhoneBit's hand-tuned OpenCL kernels.
 PHONEBIT_PROFILE = EfficiencyProfile(
@@ -126,13 +132,63 @@ class PhoneBitEngine:
         profile: EfficiencyProfile | None = None,
         fused: bool = True,
         branchless: bool = True,
+        use_plan: bool = True,
+        num_threads: int | None = None,
     ) -> None:
         self.device = device or snapdragon_855()
         self.word_size = word_size
         self.profile = profile or PHONEBIT_PROFILE
         self.fused = fused
         self.branchless = branchless
+        #: Execute through compiled fused plans (:mod:`repro.core.plan`);
+        #: ``False`` forces the layer-by-layer interpreter (the unfused
+        #: baseline the ``bench_fused_exec`` benchmark measures against).
+        self.use_plan = use_plan
+        #: Tile-execution thread fan-out; ``None`` defers to
+        #: ``REPRO_NUM_THREADS`` / ``os.cpu_count()`` at execution time.
+        self.num_threads = num_threads
         self.cost_model = CostModel(self.device, self.profile)
+
+    # ----------------------------------------------------------- planning
+    def _plan_for(self, network: Network):
+        """Compiled (and cached) execution plan, or None when disabled."""
+        if not self.use_plan:
+            return None
+        return plan_mod.get_plan(network)
+
+    def auto_chunk_size(
+        self,
+        network: Network,
+        batch_size: int,
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+        plan=None,
+    ) -> int:
+        """Working-set-aware chunk bound: images per chunk within a byte budget.
+
+        The compiled plan knows its per-image arena working set (packed
+        activations + patch scratch, plus the bit-plane ``x1`` map for the
+        input layer); the chunk is sized so that working set stays within
+        ``chunk_bytes``.  Without a plan the estimate falls back to float32
+        layer activations.  At least one image always runs per chunk — the
+        budget bounds the *chunking*, it cannot make a single image fit.
+        """
+        if chunk_bytes <= 0:
+            raise ValueError("chunk_bytes must be positive")
+        if plan is None:
+            plan = self._plan_for(network)
+        if plan is not None:
+            per_sample = plan.per_sample_bytes
+        else:
+            per_sample = max(
+                (
+                    4 * (int(np.prod(in_shape)) + int(np.prod(out_shape)))
+                    for _, in_shape, out_shape in network.layer_shapes()
+                ),
+                default=0,
+            )
+        if per_sample <= 0:
+            return batch_size
+        return max(1, min(batch_size, chunk_bytes // per_sample))
 
     # ----------------------------------------------------------- workloads
     def _elementwise_workload(
@@ -265,7 +321,11 @@ class PhoneBitEngine:
     # ----------------------------------------------------------- execution
     def run(self, network: Network, batch: np.ndarray) -> InferenceReport:
         """Execute the network on a batch and attach the cost estimate."""
-        output = network.forward(batch)
+        plan = self._plan_for(network)
+        if plan is not None:
+            output = plan.execute(batch, threads=self.num_threads)
+        else:
+            output = network.forward(batch)
         report = self.estimate(network)
         report.output = output
         return report
@@ -276,6 +336,7 @@ class PhoneBitEngine:
         batch: np.ndarray,
         chunk_size: int | None = None,
         collect_estimate: bool = True,
+        chunk_bytes: int | None = None,
     ) -> BatchInferenceReport:
         """Execute a whole batch through the network in one vectorized pass.
 
@@ -299,16 +360,20 @@ class PhoneBitEngine:
         batch:
             Input of shape ``(N,) + network.input_shape``.
         chunk_size:
-            Optional bound on how many images run through the layer stack at
-            once.  Chunking caps the activation working set for very large
-            batches; the final output buffer is allocated once and reused
-            across chunks (chunk results are written in place, never
-            concatenated).
+            Optional explicit bound on how many images run through the layer
+            stack at once.  When omitted, the working-set-aware heuristic
+            below picks the chunk.  The final output buffer is allocated
+            once and reused across chunks (chunk results are written in
+            place, never concatenated).
         collect_estimate:
             When False, skip the simulated on-device cost estimate (the
             report's ``estimate`` is None).  The serving hot path disables
             it: the estimate depends only on the network, not the data, so
             recomputing it per micro-batch is pure overhead.
+        chunk_bytes:
+            Byte budget for the working-set-aware chunk heuristic
+            (:meth:`auto_chunk_size`); defaults to ``DEFAULT_CHUNK_BYTES``.
+            Ignored when ``chunk_size`` is given explicitly.
         """
         x = network.coerce_input(batch)
         n = int(x.data.shape[0])
@@ -316,6 +381,13 @@ class PhoneBitEngine:
             raise ValueError("run_batch needs a non-empty batch")
         if chunk_size is not None and chunk_size <= 0:
             raise ValueError("chunk_size must be positive")
+        if chunk_bytes is not None and chunk_bytes <= 0:
+            raise ValueError("chunk_bytes must be positive")
+        plan = self._plan_for(network)
+        if chunk_size is None:
+            budget = DEFAULT_CHUNK_BYTES if chunk_bytes is None else chunk_bytes
+            auto = self.auto_chunk_size(network, n, budget, plan=plan)
+            chunk_size = auto if auto < n else None
 
         # Report keys must be unique even when layers share a (default)
         # name, or duplicate layers would silently merge their timings;
@@ -337,12 +409,22 @@ class PhoneBitEngine:
             chunk = Tensor(
                 x.data[start:stop], x.layout, x.packed, x.true_channels
             ) if (start, stop) != (0, n) else x
-            current = chunk
-            t_layer = time.perf_counter()
-            for key, (_, current) in zip(layer_keys, network.iter_forward(current)):
-                now = time.perf_counter()
-                layer_wall[key] += now - t_layer
-                t_layer = now
+            if plan is not None:
+                step_times: list = []
+                current = plan.execute(
+                    chunk, threads=self.num_threads, step_times=step_times
+                )
+                for step, seconds in step_times:
+                    # A fused step may cover several layers (conv → BN →
+                    # binarize); its wall clock is attributed to the first.
+                    layer_wall[layer_keys[step.layer_start]] += seconds
+            else:
+                current = chunk
+                t_layer = time.perf_counter()
+                for key, (_, current) in zip(layer_keys, network.iter_forward(current)):
+                    now = time.perf_counter()
+                    layer_wall[key] += now - t_layer
+                    t_layer = now
             if out_buffer is None:
                 # First chunk sizes the reusable output buffer for the batch.
                 out_shape = (n,) + current.data.shape[1:]

@@ -130,6 +130,60 @@ def unfused_block_reference(
     return (x3 >= 0).astype(np.uint8)
 
 
+def exact_integer_threshold(predicate, channels: int, lo: int, hi: int):
+    """Exact integer decision threshold of a per-channel monotone predicate.
+
+    The fused binary operators compare an *integer* pre-activation ``x1``
+    against a per-channel decision boundary.  Rather than re-deriving the
+    boundary analytically for every execution-path variant (fused float64
+    compare, float32 affine + batch-norm + sign on the unfused path, …),
+    this helper extracts it from the path's own reference computation: given
+    ``predicate`` — a vectorized function mapping a candidate ``x1`` value
+    per channel (int64 array of shape ``(channels,)``) to the output bits it
+    would produce — it binary-searches the exact crossover point channel by
+    channel.
+
+    Returns ``(threshold, flip)`` (int64 / bool arrays) such that for every
+    integer ``x`` in ``[lo, hi]``::
+
+        predicate(x)[c] == (x >= threshold[c]) ^ flip[c]
+
+    ``predicate`` must be monotone per channel over ``[lo, hi]`` in either
+    direction — true for every conv/BN/sign pipeline in this codebase, since
+    each stage is a monotone (or anti-monotone, for negative γ) map and IEEE
+    rounding preserves ordering.  The result is therefore *bit-exact* with
+    the reference path by construction, including float32 rounding at the
+    boundary.  Cost is one ``(channels,)``-sized predicate evaluation per
+    bisection step: ``O(log2(hi - lo))`` evaluations at compile time.
+    """
+    if hi <= lo:
+        raise ValueError("exact_integer_threshold needs a non-empty range")
+    bot = np.asarray(predicate(np.full(channels, lo, dtype=np.int64))).astype(bool)
+    top = np.asarray(predicate(np.full(channels, hi, dtype=np.int64))).astype(bool)
+    if bot.shape != (channels,) or top.shape != (channels,):
+        raise ValueError("predicate must return one bit per channel")
+    decreasing = bot & ~top
+    const = bot == top
+    # Invariant for non-constant channels: g(lo) == 0, g(hi) == 1 where
+    # g(x) = predicate(x) ^ decreasing is monotone increasing; bisect to the
+    # smallest x with g(x) == 1.
+    lo_v = np.full(channels, lo, dtype=np.int64)
+    hi_v = np.full(channels, hi, dtype=np.int64)
+    while True:
+        gap = hi_v - lo_v
+        if not np.any(gap > 1):
+            break
+        mid = lo_v + gap // 2
+        g = np.asarray(predicate(mid)).astype(bool) ^ decreasing
+        hi_v = np.where(g, mid, hi_v)
+        lo_v = np.where(g, lo_v, mid)
+    # Constant channels: bit is always ``bot``; encode as an always-true
+    # comparison (threshold = lo) flipped when the constant bit is 0.
+    threshold = np.where(const, lo, hi_v).astype(np.int64)
+    flip = np.where(const, ~bot, decreasing).astype(bool)
+    return threshold, flip
+
+
 def fold_batchnorm_affine(bn: BatchNormParams, bias: np.ndarray | None = None):
     """Fold batch-norm into an affine ``scale·x + offset`` for float layers.
 
@@ -142,3 +196,18 @@ def fold_batchnorm_affine(bn: BatchNormParams, bias: np.ndarray | None = None):
         bias = np.zeros_like(bn.gamma)
     offset = bn.beta - scale * (bn.mean - np.asarray(bias, dtype=np.float64))
     return scale, offset
+
+
+def affine_head_values(
+    bn: BatchNormParams, bias: np.ndarray | None, x1: np.ndarray
+) -> np.ndarray:
+    """Float head values for integer pre-activations: the folded BN affine.
+
+    Single definition of the exact cast chain (float64 multiply-add, float32
+    result) shared by the conv and dense float heads — the execution-plan
+    compiler bisects this computation to fold ``conv → BatchNorm2d →
+    Binarize`` blocks, so the two layer types must stay bit-identical.
+    """
+    scale, offset = fold_batchnorm_affine(bn, bias)
+    values = scale * np.asarray(x1, dtype=np.float64) + offset
+    return values.astype(np.float32)

@@ -19,7 +19,11 @@ import numpy as np
 from repro.core import binary_conv
 from repro.core.binarize import binarize_sign
 from repro.core.branchless import branchless_binarize
-from repro.core.fusion import BatchNormParams, compute_threshold, fold_batchnorm_affine
+from repro.core.fusion import (
+    BatchNormParams,
+    affine_head_values,
+    compute_threshold,
+)
 from repro.core.layers.base import Layer, ParamCount, require_rng
 from repro.core.tensor import Layout, Tensor, conv_output_size
 
@@ -157,17 +161,34 @@ class _FusedBinaryConvBase(Layer):
         ow = conv_output_size(w, self.kernel_size, self.stride, self.padding)
         return (oh, ow, self.out_channels)
 
+    def fused_output_bits(self, x1: np.ndarray) -> np.ndarray:
+        """Output bits for integer pre-activations ``x1`` (Eqn. 9).
+
+        This is the layer's *reference* decision function; the execution
+        plan compiler extracts an equivalent integer threshold from it
+        (:func:`repro.core.fusion.exact_integer_threshold`) so the fused
+        kernels can test the xor-popcount accumulator directly.
+        """
+        return branchless_binarize(x1, self.threshold, self.gamma)
+
+    def affine_values(self, x1: np.ndarray) -> np.ndarray:
+        """Float head values for ``x1``: the folded BN affine, in float32."""
+        return affine_head_values(self.batchnorm, self.bias, x1)
+
+    @property
+    def x1_magnitude_bound(self) -> int:
+        """Largest possible ``|x1|`` — bounds the plan compiler's search."""
+        return self.kernel_size ** 2 * self.in_channels
+
     def _finalize(self, x1: np.ndarray) -> Tensor:
         """Apply the fused threshold (or the float BN affine) to ``x1``."""
         if self.output_binary:
-            bits = branchless_binarize(x1, self.threshold, self.gamma)
+            bits = self.fused_output_bits(x1)
             packed = binary_conv.pack_activations(bits, word_size=self.word_size)
             return Tensor(
                 packed, Layout.NHWC, packed=True, true_channels=self.out_channels
             )
-        scale, offset = fold_batchnorm_affine(self.batchnorm, self.bias)
-        values = scale * np.asarray(x1, dtype=np.float64) + offset
-        return Tensor(values.astype(np.float32), Layout.NHWC)
+        return Tensor(self.affine_values(x1), Layout.NHWC)
 
     def param_count(self) -> ParamCount:
         binary = self.weight_bits.size + self.out_channels  # weights + γ signs
@@ -180,6 +201,11 @@ class InputConv2d(_FusedBinaryConvBase):
     def __init__(self, *args, input_bits: int = 8, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self.input_bits = input_bits
+
+    @property
+    def x1_magnitude_bound(self) -> int:
+        # The integer convolution of Eqn. (2): |I·W| <= (2^bits - 1)·K²·Cin.
+        return ((1 << self.input_bits) - 1) * self.kernel_size ** 2 * self.in_channels
 
     def forward(self, x: Tensor) -> Tensor:
         if x.packed:

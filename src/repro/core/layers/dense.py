@@ -15,7 +15,11 @@ import numpy as np
 from repro.core import bitpack
 from repro.core.binarize import binarize_sign
 from repro.core.branchless import branchless_binarize
-from repro.core.fusion import BatchNormParams, compute_threshold, fold_batchnorm_affine
+from repro.core.fusion import (
+    BatchNormParams,
+    affine_head_values,
+    compute_threshold,
+)
 from repro.core.layers.base import Layer, ParamCount, require_rng
 from repro.core.tensor import Layout, Tensor
 
@@ -118,6 +122,23 @@ class BinaryDense(Layer):
             )
         return (self.out_features,)
 
+    def fused_output_bits(self, x1: np.ndarray) -> np.ndarray:
+        """Output bits for integer pre-activations ``x1`` (Eqn. 9).
+
+        Reference decision function consumed by the execution-plan compiler
+        (see :meth:`repro.core.layers.conv._FusedBinaryConvBase.fused_output_bits`).
+        """
+        return branchless_binarize(x1, self.threshold, self.gamma)
+
+    def affine_values(self, x1: np.ndarray) -> np.ndarray:
+        """Float head values for ``x1``: the folded BN affine, in float32."""
+        return affine_head_values(self.batchnorm, self.bias, x1)
+
+    @property
+    def x1_magnitude_bound(self) -> int:
+        """Largest possible ``|x1|`` — bounds the plan compiler's search."""
+        return self.in_features
+
     def forward(self, x: Tensor) -> Tensor:
         if x.packed:
             if x.data.ndim != 2:
@@ -136,13 +157,11 @@ class BinaryDense(Layer):
         disagree = bitpack.xor_popcount_gemm(packed, self.weights_packed)
         x1 = self.in_features - 2 * disagree
         if self.output_binary:
-            bits = branchless_binarize(x1, self.threshold, self.gamma)
+            bits = self.fused_output_bits(x1)
             out_packed = bitpack.pack_bits(bits, word_size=self.word_size, axis=1)
             return Tensor(out_packed, Layout.NHWC, packed=True,
                           true_channels=self.out_features)
-        scale, offset = fold_batchnorm_affine(self.batchnorm, self.bias)
-        values = scale * x1.astype(np.float64) + offset
-        return Tensor(values.astype(np.float32), Layout.NHWC)
+        return Tensor(self.affine_values(x1), Layout.NHWC)
 
     def param_count(self) -> ParamCount:
         binary = self.weight_bits.size + self.out_features

@@ -43,11 +43,21 @@ class BatchNorm2d(Layer):
             )
         return tuple(input_shape)
 
+    def normalize_values(self, values: np.ndarray) -> np.ndarray:
+        """Normalize a raw array exactly as :meth:`forward` would (float32 out).
+
+        The execution-plan compiler folds an unfused ``conv → BatchNorm2d →
+        Binarize`` block into a single integer threshold by bisecting this
+        very computation, so the cast chain (float64 math, float32 result)
+        lives here in one place and the fold stays bit-exact by construction.
+        """
+        out = batchnorm_forward(np.asarray(values, dtype=np.float64), self.params)
+        return out.astype(np.float32)
+
     def forward(self, x: Tensor) -> Tensor:
         if x.packed:
             raise ValueError(f"{self.name}: batch-norm needs float activations")
-        out = batchnorm_forward(np.asarray(x.data, dtype=np.float64), self.params)
-        return Tensor(out.astype(np.float32), Layout.NHWC)
+        return Tensor(self.normalize_values(x.data), Layout.NHWC)
 
     def param_count(self) -> ParamCount:
         return ParamCount(float32=4 * self.params.channels)

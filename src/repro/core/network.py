@@ -134,14 +134,19 @@ class Network:
 
     # ------------------------------------------------------------- warm-up
     def warm(self) -> "Network":
-        """Pre-populate every lazy packed-weight cache (returns self).
+        """Pre-populate every lazy cache (returns self).
 
-        Binary layers pack their weights on first use; a serving system
-        wants that cost paid at load time, not on the first request.  Safe
-        to call repeatedly — already-packed layers are a no-op.
+        Packs binary weights *and* compiles the fused execution plan
+        (integer thresholds, arena layout — see :mod:`repro.core.plan`), so
+        a serving system pays both costs at load time rather than on the
+        first request.  Safe to call repeatedly — packed layers and a
+        still-current plan are no-ops.
         """
         for layer in self.layers:
             getattr(layer, "weights_packed", None)
+        from repro.core import plan as plan_mod  # local import: plan builds on layers
+
+        plan_mod.get_plan(self)
         return self
 
     # ------------------------------------------------------------- accounting

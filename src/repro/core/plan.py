@@ -1,0 +1,683 @@
+"""Ahead-of-time execution plans: fused thresholds, buffer arena, threading.
+
+``Network.forward`` interprets a network layer by layer; every binary block
+re-derives packed inputs, materializes an int64 pre-activation map, converts
+it to float64 for the Eqn. (9) comparison and allocates fresh intermediates.
+An :class:`ExecutionPlan` compiles the network once instead:
+
+* **Pattern matching / lowering** — ``InputConv2d``/``BinaryConv2d``/
+  ``BinaryDense`` blocks (including the *unfused* three-layer spelling
+  ``conv → BatchNorm2d → Binarize`` the converter emits for baseline
+  frameworks) are lowered to fused packed steps.  The per-channel threshold
+  ξ of Eqns. (5–8) is extracted as an exact **integer** decision boundary
+  (:func:`repro.core.fusion.exact_integer_threshold`) and, for the
+  xor-popcount layers, folded into the *accumulator* domain: the kernel
+  tests the raw disagreement count and emits packed bits directly, so
+  neither the ±1 pre-activation ``x1`` nor any unpacked/float intermediate
+  is ever materialized between binary blocks.
+* **Arena memory planning** — activations in a sequential chain die as soon
+  as the next step has consumed them, so fused outputs ping-pong between
+  two arena slots and all patch gathers share one scratch slot.  Arenas are
+  pooled per plan and reused across ``run_batch`` chunks and serving
+  requests; concurrent executions each borrow their own arena.
+* **Multi-threaded tile execution** — fused GEMMs split their patch rows
+  into tiles dispatched on a shared thread pool (NumPy releases the GIL in
+  the xor/popcount/packbits inner loops).  ``REPRO_NUM_THREADS`` (or the
+  engine's ``num_threads``) controls the fan-out; the default is
+  ``os.cpu_count()``.
+
+Plans are cached on the network (:func:`get_plan`) and — like the layers'
+packed-weight caches — validated by identity snapshots of every array they
+were compiled from, so a weight or batch-norm reassignment can never be
+served by a stale plan.  Layers whose pattern does not match run through
+their ordinary ``forward`` as fallback steps; plan outputs are bit-identical
+to ``Network.forward`` by construction (enforced by tests and the
+``bench_fused_exec`` benchmark).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core import binary_conv, bitpack
+from repro.core.binarize import binarize_sign
+from repro.core.fusion import exact_integer_threshold
+from repro.core.layers import (
+    BatchNorm2d,
+    Binarize,
+    BinaryConv2d,
+    BinaryDense,
+    InputConv2d,
+)
+from repro.core.tensor import Layout, Tensor, conv_output_size
+
+#: Upper bound on the rows one fused tile processes (matches the bounded
+#: working set of the tiled popcount GEMMs in :mod:`repro.core.bitpack`).
+_ROW_TILE = 512
+
+#: Lower bound on tile rows when splitting for the thread pool — below this
+#: the per-task dispatch overhead beats the parallelism.
+_MIN_ROW_TILE = 64
+
+
+def default_num_threads() -> int:
+    """Thread fan-out for fused tile execution.
+
+    ``REPRO_NUM_THREADS`` overrides; the default is ``os.cpu_count()``.
+    """
+    env = os.environ.get("REPRO_NUM_THREADS", "").strip()
+    if env:
+        try:
+            value = int(env)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_NUM_THREADS must be a positive integer, got {env!r}"
+            ) from None
+        if value < 1:
+            raise ValueError(
+                f"REPRO_NUM_THREADS must be a positive integer, got {env!r}"
+            )
+        return value
+    return os.cpu_count() or 1
+
+
+_POOL_LOCK = threading.Lock()
+_POOLS: Dict[int, ThreadPoolExecutor] = {}
+
+
+def _shared_pool(threads: int) -> ThreadPoolExecutor:
+    """Process-wide executor per fan-out (workers are reused, never torn down)."""
+    with _POOL_LOCK:
+        pool = _POOLS.get(threads)
+        if pool is None:
+            pool = ThreadPoolExecutor(
+                max_workers=threads, thread_name_prefix=f"repro-tiles-{threads}"
+            )
+            _POOLS[threads] = pool
+        return pool
+
+
+def _row_tiles(rows: int, threads: int) -> List[Tuple[int, int]]:
+    """Split ``rows`` into contiguous tile ranges for (threaded) execution."""
+    tile = _ROW_TILE
+    if threads > 1:
+        # Aim for a few tiles per worker so uneven tile costs still balance,
+        # without shrinking tiles below the dispatch-overhead floor.
+        balanced = -(-rows // (threads * 4))
+        tile = min(tile, max(_MIN_ROW_TILE, balanced))
+    return [(r0, min(r0 + tile, rows)) for r0 in range(0, rows, tile)]
+
+
+class BufferArena:
+    """Named, grow-only scratch buffers reused across plan executions.
+
+    A slot is a flat byte buffer that only ever grows; :meth:`view` returns
+    a typed window of the requested shape.  One arena is used by exactly one
+    execution at a time (the plan keeps a free-list), so views need no
+    locking — liveness is guaranteed by the plan's slot assignment, not by
+    reference counting.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: Dict[str, np.ndarray] = {}
+
+    def view(self, name: str, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        dtype = np.dtype(dtype)
+        nbytes = int(np.prod(shape)) * dtype.itemsize
+        buf = self._buffers.get(name)
+        if buf is None or buf.nbytes < nbytes:
+            buf = np.empty(max(nbytes, 1), dtype=np.uint8)
+            self._buffers[name] = buf
+        return buf[:nbytes].view(dtype).reshape(shape)
+
+    def owns(self, array: np.ndarray) -> bool:
+        """Whether ``array`` is a view into one of this arena's buffers."""
+        base = array
+        while isinstance(base, np.ndarray):
+            for buf in self._buffers.values():
+                if base is buf:
+                    return True
+            base = base.base
+        return False
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes currently held across all slots."""
+        return sum(buf.nbytes for buf in self._buffers.values())
+
+
+class _ExecContext:
+    """Per-execution resources handed to every step."""
+
+    __slots__ = ("arena", "pool", "threads")
+
+    def __init__(self, arena: BufferArena, pool: Optional[ThreadPoolExecutor],
+                 threads: int) -> None:
+        self.arena = arena
+        self.pool = pool
+        self.threads = threads
+
+    def run_tiles(self, rows: int, work: Callable[[int, int], None]) -> None:
+        """Run ``work(r0, r1)`` over row tiles, fanned out when possible."""
+        tiles = _row_tiles(rows, self.threads)
+        if self.pool is None or len(tiles) <= 1:
+            for r0, r1 in tiles:
+                work(r0, r1)
+            return
+        # list() drains the iterator so worker exceptions propagate here.
+        list(self.pool.map(lambda t: work(t[0], t[1]), tiles))
+
+
+class LayerStep:
+    """Fallback step: execute one layer through its ordinary ``forward``."""
+
+    fused = False
+
+    def __init__(self, layer, layer_index: int) -> None:
+        self.layer = layer
+        self.layer_start = layer_index
+        self.layer_stop = layer_index + 1
+
+    @property
+    def describe(self) -> str:
+        return f"layer {type(self.layer).__name__}({self.layer.name})"
+
+    def run(self, x: Tensor, ctx: _ExecContext) -> Tensor:
+        return self.layer.forward(x)
+
+
+class _FusedStepBase:
+    """Shared bookkeeping for the fused packed steps."""
+
+    fused = True
+
+    def __init__(self, layer, layer_start: int, layer_stop: int,
+                 threshold: np.ndarray, flip: np.ndarray,
+                 out_word_size: int, out_slot: str) -> None:
+        self.layer = layer
+        self.layer_start = layer_start
+        self.layer_stop = layer_stop
+        #: Integer x1-domain decision boundary: bit = (x1 >= threshold) ^ flip.
+        self.threshold = threshold
+        self.flip = flip
+        self.out_word_size = out_word_size
+        self.out_slot = out_slot
+        self.weights_packed = layer.weights_packed  # compile-time snapshot
+
+
+class FusedConvStep(_FusedStepBase):
+    """Fused binary convolution → threshold → packed bits (Eqns. 1/5–9)."""
+
+    def __init__(self, layer, layer_start: int, layer_stop: int,
+                 threshold: np.ndarray, flip: np.ndarray,
+                 out_word_size: int, out_slot: str) -> None:
+        super().__init__(layer, layer_start, layer_stop, threshold, flip,
+                         out_word_size, out_slot)
+        self.is_input_conv = isinstance(layer, InputConv2d)
+        if self.is_input_conv:
+            # The plan lowers the first layer to an exact float64 GEMM: the
+            # 8-bit integer convolution's every intermediate is an integer
+            # far below 2^53, so BLAS dgemm reproduces the bit-plane
+            # accumulation of Eqn. (2) bit-exactly while running orders of
+            # magnitude faster on CPU (the bit-plane kernels model the
+            # paper's GPU popcount path and survive as the layerwise
+            # reference the tests compare against).
+            self.float_weights = np.ascontiguousarray(
+                (2.0 * layer.weight_bits.astype(np.float64) - 1.0).reshape(
+                    -1, layer.out_channels
+                )
+            )
+        else:
+            self.flat_filters = np.ascontiguousarray(
+                self.weights_packed.reshape(layer.out_channels, -1)
+            )
+            # Fold the boundary into the accumulator domain:
+            #   x1 = L − 2·d  ⇒  (x1 >= t) ⇔ (d <= (L − t) // 2),
+            # clipped to the feasible count range [−1, L] so it fits the
+            # kernel's int32 accumulator.
+            length = layer.kernel_size ** 2 * layer.in_channels
+            acc = np.floor_divide(length - threshold, 2)
+            self.acc_threshold = np.clip(acc, -1, length).astype(np.int32)
+
+    @property
+    def describe(self) -> str:
+        layer = self.layer
+        kind = "input-conv(exact-gemm)" if self.is_input_conv else "conv(xor-popcount)"
+        span = self.layer_stop - self.layer_start
+        folded = "" if span == 1 else f" [folds {span} layers]"
+        return (
+            f"fused {kind} {layer.name}: {layer.in_channels}→{layer.out_channels} "
+            f"k{layer.kernel_size} s{layer.stride} p{layer.padding}, "
+            f"w{self.out_word_size} packed out{folded}"
+        )
+
+    def run(self, x: Tensor, ctx: _ExecContext) -> Tensor:
+        layer = self.layer
+        if self.is_input_conv:
+            return self._run_input_conv(x, ctx)
+        if x.packed:
+            packed = x.data
+            true_channels = x.true_channels
+        else:
+            bits = binarize_sign(x.data)
+            packed = binary_conv.pack_activations(bits, word_size=layer.word_size)
+            true_channels = int(x.data.shape[-1])
+        if true_channels != layer.in_channels:
+            raise ValueError(
+                f"{layer.name}: expected {layer.in_channels} input channels, "
+                f"got {true_channels}"
+            )
+        n, h, w, wc_in = packed.shape
+        k = layer.kernel_size
+        oh = conv_output_size(h, k, layer.stride, layer.padding)
+        ow = conv_output_size(w, k, layer.stride, layer.padding)
+        rows = n * oh * ow
+        if k == 1 and layer.padding == 0 and layer.stride == 1:
+            patch_out = None  # zero-copy reshape, no gather buffer needed
+        else:
+            patch_out = ctx.arena.view("patch", (rows, k * k * wc_in), packed.dtype)
+        patches, _, _ = binary_conv.packed_patch_matrix(
+            packed, k, layer.stride, layer.padding, out=patch_out
+        )
+        if patches.shape[1] != self.flat_filters.shape[1]:
+            raise ValueError("activation and filter packing widths do not match")
+        wc_out = bitpack.words_per_channel(layer.out_channels, self.out_word_size)
+        out = ctx.arena.view(
+            self.out_slot, (rows, wc_out), bitpack.word_dtype(self.out_word_size)
+        )
+        ctx.run_tiles(
+            rows,
+            lambda r0, r1: bitpack.fused_xor_threshold_rows(
+                patches, self.flat_filters, self.acc_threshold, self.flip,
+                out, r0, r1, self.out_word_size,
+            ),
+        )
+        return Tensor(
+            out.reshape(n, oh, ow, wc_out), Layout.NHWC,
+            packed=True, true_channels=layer.out_channels,
+        )
+
+    def _run_input_conv(self, x: Tensor, ctx: _ExecContext) -> Tensor:
+        layer = self.layer
+        if x.packed:
+            raise ValueError(f"{layer.name}: expected an unpacked integer image")
+        image = np.asarray(x.data)
+        if image.dtype.kind not in "ui":
+            raise ValueError(
+                f"{layer.name}: expected an integer image, got {image.dtype}"
+            )
+        # Same range validation the bit-plane path applies in
+        # ``split_bitplanes``: the exact GEMM would happily convolve
+        # out-of-range values, but the compiled thresholds were only
+        # bisected over the ``input_bits`` range — and the interpreter
+        # raises, so the plan must too.
+        if image.size:
+            if image.dtype.kind == "i" and image.min() < 0:
+                raise ValueError("bit-plane splitting requires non-negative values")
+            if image.max() >= (1 << layer.input_bits):
+                raise ValueError(
+                    f"image values do not fit in {layer.input_bits} bits"
+                )
+        k = layer.kernel_size
+        n, h, w = image.shape[:3]
+        oh = conv_output_size(h, k, layer.stride, layer.padding)
+        ow = conv_output_size(w, k, layer.stride, layer.padding)
+        rows = n * oh * ow
+        cout = layer.out_channels
+        volume = k * k * layer.in_channels
+        # Gather integer patches straight into a float64 arena buffer (the
+        # copyto casts), multiply by the ±1 filter matrix with one dgemm —
+        # exact, see __init__ — then threshold + pack the float x1 rows.
+        patches = ctx.arena.view("patch", (rows, volume), np.float64)
+        binary_conv.gather_patches_nhwc(
+            image, k, layer.stride, layer.padding, out=patches
+        )
+        x1 = ctx.arena.view("x1", (rows, cout), np.float64)
+        np.matmul(patches, self.float_weights, out=x1)
+        wc_out = bitpack.words_per_channel(cout, self.out_word_size)
+        out = ctx.arena.view(
+            self.out_slot, (rows, wc_out), bitpack.word_dtype(self.out_word_size)
+        )
+        ctx.run_tiles(
+            rows,
+            lambda r0, r1: bitpack.threshold_pack_rows(
+                x1, self.threshold, self.flip, out, r0, r1,
+                self.out_word_size,
+            ),
+        )
+        return Tensor(
+            out.reshape(n, oh, ow, wc_out), Layout.NHWC,
+            packed=True, true_channels=cout,
+        )
+
+
+class FusedDenseStep(_FusedStepBase):
+    """Fused binary dense → accumulator threshold → packed bits."""
+
+    @property
+    def describe(self) -> str:
+        layer = self.layer
+        span = self.layer_stop - self.layer_start
+        folded = "" if span == 1 else f" [folds {span} layers]"
+        return (
+            f"fused dense(xor-popcount) {layer.name}: "
+            f"{layer.in_features}→{layer.out_features}, "
+            f"w{self.out_word_size} packed out{folded}"
+        )
+
+    def __init__(self, layer, layer_start: int, layer_stop: int,
+                 threshold: np.ndarray, flip: np.ndarray,
+                 out_word_size: int, out_slot: str) -> None:
+        super().__init__(layer, layer_start, layer_stop, threshold, flip,
+                         out_word_size, out_slot)
+        acc = np.floor_divide(layer.in_features - threshold, 2)
+        self.acc_threshold = np.clip(acc, -1, layer.in_features).astype(np.int32)
+
+    def run(self, x: Tensor, ctx: _ExecContext) -> Tensor:
+        layer = self.layer
+        if x.packed:
+            if x.data.ndim != 2:
+                raise ValueError(f"{layer.name}: packed input must be flattened first")
+            packed = x.data
+            features = x.true_channels
+        else:
+            data = np.asarray(x.data).reshape(x.data.shape[0], -1)
+            bits = binarize_sign(data)
+            packed = bitpack.pack_bits(bits, word_size=layer.word_size, axis=1)
+            features = data.shape[1]
+        if features != layer.in_features:
+            raise ValueError(
+                f"{layer.name}: expected {layer.in_features} input features, "
+                f"got {features}"
+            )
+        if packed.shape[1] != self.weights_packed.shape[1]:
+            raise ValueError("operand packing widths do not match")
+        packed = np.ascontiguousarray(packed)
+        rows = packed.shape[0]
+        wc_out = bitpack.words_per_channel(layer.out_features, self.out_word_size)
+        out = ctx.arena.view(
+            self.out_slot, (rows, wc_out), bitpack.word_dtype(self.out_word_size)
+        )
+        ctx.run_tiles(
+            rows,
+            lambda r0, r1: bitpack.fused_xor_threshold_rows(
+                packed, self.weights_packed, self.acc_threshold, self.flip,
+                out, r0, r1, self.out_word_size,
+            ),
+        )
+        return Tensor(out, Layout.NHWC, packed=True,
+                      true_channels=layer.out_features)
+
+
+class ExecutionPlan:
+    """A compiled network: fused steps + arena pool + thread fan-out.
+
+    Plans hold compile-time snapshots of every array they depend on
+    (packed weights, thresholds, batch-norm parameters); :meth:`is_current`
+    checks those identities so :func:`get_plan` can transparently recompile
+    after a weight or batch-norm reassignment — a stale plan is never
+    executed (same lock-free snapshot discipline as the layers'
+    packed-weight caches).
+    """
+
+    def __init__(self, network, steps: Sequence[object],
+                 attr_snapshots: Sequence[Tuple[object, str, object]],
+                 per_sample_bytes: int) -> None:
+        self.network_name = network.name
+        self.input_shape = tuple(network.input_shape)
+        self.steps = list(steps)
+        self.per_sample_bytes = int(per_sample_bytes)
+        self._layers_snapshot = tuple(network.layers)
+        self._attr_snapshots = list(attr_snapshots)
+        self._arena_lock = threading.Lock()
+        self._arenas: List[BufferArena] = []
+
+    # ------------------------------------------------------------- validity
+    def is_current(self, network) -> bool:
+        """Whether this plan still matches the network it was compiled from."""
+        layers = network.layers
+        if len(layers) != len(self._layers_snapshot):
+            return False
+        for layer, snap in zip(layers, self._layers_snapshot):
+            if layer is not snap:
+                return False
+        for obj, attr, snapshot in self._attr_snapshots:
+            if getattr(obj, attr, None) is not snapshot:
+                return False
+        return True
+
+    @property
+    def fused_step_count(self) -> int:
+        return sum(1 for step in self.steps if step.fused)
+
+    # ------------------------------------------------------------- resources
+    def _acquire_arena(self) -> BufferArena:
+        with self._arena_lock:
+            if self._arenas:
+                return self._arenas.pop()
+        return BufferArena()
+
+    def _release_arena(self, arena: BufferArena) -> None:
+        with self._arena_lock:
+            self._arenas.append(arena)
+
+    # ------------------------------------------------------------- execution
+    def coerce_input(self, x) -> Tensor:
+        if not isinstance(x, Tensor):
+            x = Tensor(np.asarray(x), Layout.NHWC)
+        if x.data.shape[1:] != self.input_shape:
+            raise ValueError(
+                f"{self.network_name}: expected input shape (N,)+{self.input_shape}, "
+                f"got {x.data.shape}"
+            )
+        return x
+
+    def execute(
+        self,
+        x,
+        threads: Optional[int] = None,
+        step_times: Optional[list] = None,
+    ) -> Tensor:
+        """Run the plan on a batch; bit-identical to ``Network.forward``.
+
+        Parameters
+        ----------
+        x:
+            Input batch (ndarray or :class:`Tensor`).
+        threads:
+            Tile fan-out; defaults to :func:`default_num_threads`.
+        step_times:
+            Optional list; ``(step, seconds)`` is appended per step so the
+            engine can attribute wall clock to layers.
+        """
+        current = self.coerce_input(x)
+        threads = default_num_threads() if threads is None else max(1, int(threads))
+        arena = self._acquire_arena()
+        pool = _shared_pool(threads) if threads > 1 else None
+        ctx = _ExecContext(arena, pool, threads)
+        try:
+            for step in self.steps:
+                t0 = time.perf_counter()
+                current = step.run(current, ctx)
+                if step_times is not None:
+                    step_times.append((step, time.perf_counter() - t0))
+            if arena.owns(current.data):
+                # Detach before the arena returns to the free-list: another
+                # execution may borrow (and overwrite) it the moment the
+                # finally block runs.  Ownership is checked on the actual
+                # buffer, not the step type, because a fallback step may
+                # pass an arena-backed tensor through unchanged.
+                current = Tensor(
+                    current.data.copy(), current.layout,
+                    current.packed, current.true_channels,
+                )
+            return current
+        finally:
+            self._release_arena(arena)
+
+    # ------------------------------------------------------------- reporting
+    def describe(self) -> str:
+        """Human-readable plan IR (one line per step)."""
+        lines = [
+            f"ExecutionPlan for {self.network_name!r} "
+            f"({self.fused_step_count}/{len(self.steps)} steps fused, "
+            f"~{self.per_sample_bytes / 2**20:.2f} MiB arena/sample)"
+        ]
+        for index, step in enumerate(self.steps):
+            slot = getattr(step, "out_slot", "-")
+            lines.append(f"  [{index:2d}] {step.describe}  → {slot}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return (
+            f"ExecutionPlan(network={self.network_name!r}, "
+            f"steps={len(self.steps)}, fused={self.fused_step_count})"
+        )
+
+
+# ----------------------------------------------------------------- compile
+def _match_fused_block(layers, index):
+    """Match a fusable block starting at ``layers[index]``.
+
+    Returns ``(consumed, predicate, out_word_size)`` or ``None``.  A block
+    is either a single binary layer that packs its own output
+    (``output_binary=True``) or the unfused three-layer spelling
+    ``conv/dense → BatchNorm2d → Binarize``; ``predicate`` replicates the
+    matched path's exact arithmetic (including float32 casts) per channel.
+    """
+    layer = layers[index]
+    channels = (
+        layer.out_features if isinstance(layer, BinaryDense) else layer.out_channels
+    )
+    if layer.output_binary:
+        return 1, layer.fused_output_bits, layer.word_size
+    if index + 2 < len(layers):
+        bn, sign = layers[index + 1], layers[index + 2]
+        if (
+            isinstance(bn, BatchNorm2d)
+            and isinstance(sign, Binarize)
+            and bn.params.channels == channels
+        ):
+            def predicate(x1, _layer=layer, _bn=bn):
+                return binarize_sign(_bn.normalize_values(_layer.affine_values(x1)))
+
+            return 3, predicate, sign.word_size
+    return None
+
+
+def _fused_attr_snapshots(step) -> List[Tuple[object, str, object]]:
+    """Identity snapshots of everything a fused step's lowering depends on."""
+    layer = step.layer
+    snapshots = [
+        (layer, "_weight_bits", layer._weight_bits),
+        (layer, "batchnorm", layer.batchnorm),
+        (layer, "bias", layer.bias),
+        (layer, "threshold", layer.threshold),
+        (layer, "gamma", layer.gamma),
+    ]
+    return snapshots
+
+
+def compile_plan(network) -> ExecutionPlan:
+    """Compile ``network`` into an :class:`ExecutionPlan`."""
+    shapes = network.layer_shapes()
+    layers = list(network.layers)
+    steps: List[object] = []
+    snapshots: List[Tuple[object, str, object]] = []
+    per_sample_peak = 0
+    fused_index = 0
+    i = 0
+    while i < len(layers):
+        layer = layers[i]
+        match = None
+        if isinstance(layer, (InputConv2d, BinaryConv2d, BinaryDense)):
+            match = _match_fused_block(layers, i)
+        if match is None:
+            step = LayerStep(layer, i)
+            in_shape, out_shape = shapes[i][1], shapes[i][2]
+            working = 4 * (int(np.prod(in_shape)) + int(np.prod(out_shape)))
+            steps.append(step)
+            per_sample_peak = max(per_sample_peak, working)
+            i += 1
+            continue
+        consumed, predicate, out_word_size = match
+        bound = layer.x1_magnitude_bound
+        out_slot = f"act{fused_index % 2}"
+        fused_index += 1
+        if isinstance(layer, BinaryDense):
+            threshold, flip = exact_integer_threshold(
+                predicate, layer.out_features, -bound, bound
+            )
+            step = FusedDenseStep(
+                layer, i, i + consumed, threshold, flip, out_word_size, out_slot
+            )
+            in_words = bitpack.words_per_channel(layer.in_features, layer.word_size)
+            out_words = bitpack.words_per_channel(layer.out_features, out_word_size)
+            working = (
+                in_words * np.dtype(bitpack.word_dtype(layer.word_size)).itemsize
+                + out_words * np.dtype(bitpack.word_dtype(out_word_size)).itemsize
+            )
+        else:
+            threshold, flip = exact_integer_threshold(
+                predicate, layer.out_channels, -bound, bound
+            )
+            step = FusedConvStep(
+                layer, i, i + consumed, threshold, flip, out_word_size, out_slot
+            )
+            in_shape = shapes[i][1]
+            oh = conv_output_size(
+                in_shape[0], layer.kernel_size, layer.stride, layer.padding
+            )
+            ow = conv_output_size(
+                in_shape[1], layer.kernel_size, layer.stride, layer.padding
+            )
+            wc_in = bitpack.words_per_channel(layer.in_channels, layer.word_size)
+            wc_out = bitpack.words_per_channel(layer.out_channels, out_word_size)
+            word_bytes = np.dtype(bitpack.word_dtype(layer.word_size)).itemsize
+            out_bytes = oh * ow * wc_out * np.dtype(
+                bitpack.word_dtype(out_word_size)
+            ).itemsize
+            if isinstance(layer, InputConv2d):
+                # Exact-GEMM lowering: float64 patches + float64 x1 map.
+                volume = layer.kernel_size ** 2 * layer.in_channels
+                working = (
+                    int(np.prod(in_shape))
+                    + oh * ow * volume * 8
+                    + oh * ow * layer.out_channels * 8
+                    + out_bytes
+                )
+            else:
+                in_bytes = in_shape[0] * in_shape[1] * wc_in * word_bytes
+                patch_bytes = oh * ow * layer.kernel_size ** 2 * wc_in * word_bytes
+                working = in_bytes + patch_bytes + out_bytes
+        snapshots.extend(_fused_attr_snapshots(step))
+        for extra in layers[i + 1:i + consumed]:
+            if isinstance(extra, BatchNorm2d):
+                snapshots.append((extra, "params", extra.params))
+        steps.append(step)
+        per_sample_peak = max(per_sample_peak, int(working))
+        i += consumed
+    return ExecutionPlan(network, steps, snapshots, per_sample_peak)
+
+
+def get_plan(network) -> ExecutionPlan:
+    """Compiled plan for ``network``, cached on the network object.
+
+    The cached plan is revalidated against the network's current layer and
+    parameter identities on every call; a reassignment (weights, batch-norm,
+    layer list) triggers a transparent recompile.  Concurrent first calls
+    may compile twice — both results are identical and the last store wins,
+    mirroring the packed-weight caches' lock-free discipline.
+    """
+    plan = getattr(network, "_plan_cache", None)
+    if plan is not None and plan.is_current(network):
+        return plan
+    plan = compile_plan(network)
+    network._plan_cache = plan
+    return plan

@@ -210,6 +210,7 @@ def throughput_sweep(
     seed: int = 0,
     engine: Optional[PhoneBitEngine] = None,
     pool: Optional[ModelPool] = None,
+    chunk_bytes: Optional[int] = None,
 ) -> List[dict]:
     """Closed-loop serving throughput vs the sequential baseline.
 
@@ -239,6 +240,7 @@ def throughput_sweep(
             max_batch_size=int(offered),
             max_wait_ms=max_wait_ms,
             cache_capacity=0,  # throughput measurements must not hit the cache
+            chunk_bytes=chunk_bytes,
         )
         try:
             result = run_closed_loop(service, model, images)

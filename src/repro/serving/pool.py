@@ -4,8 +4,9 @@ A :class:`ModelPool` owns the :class:`~repro.core.network.Network` objects
 the service executes.  Networks are built lazily from the zoo's serving
 registry on first request (or registered explicitly, e.g. a network loaded
 from a ``.pbit`` file) and warmed immediately: every lazy packed-weight
-cache is populated at load time so the first user request never pays the
-packing cost.
+cache is populated *and* the fused execution plan is compiled at load time
+(``Network.warm`` → :func:`repro.core.plan.get_plan`), so the first user
+request pays neither packing nor plan-compilation cost.
 """
 
 from __future__ import annotations
@@ -15,6 +16,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.core import plan as plan_mod
 from repro.core.network import Network
 from repro.models.zoo import SERVING_MODELS, build_phonebit_network, get_serving_config
 
@@ -26,6 +28,9 @@ class PoolEntry:
     network: Network
     build_ms: float
     warm_ms: float
+    #: Fused steps in the network's compiled execution plan (0 when the
+    #: network was registered unwarmed and no plan has been compiled yet).
+    fused_steps: int = 0
 
 
 class ModelPool:
@@ -82,12 +87,16 @@ class ModelPool:
         """Adopt an externally built network (warming it by default)."""
         key = name or network.name
         warm_ms = 0.0
+        fused_steps = 0
         if warm:
             t0 = time.perf_counter()
             network.warm()
             warm_ms = (time.perf_counter() - t0) * 1000.0
+            fused_steps = plan_mod.get_plan(network).fused_step_count
         with self._lock:
-            self._entries[key] = PoolEntry(network, build_ms=0.0, warm_ms=warm_ms)
+            self._entries[key] = PoolEntry(
+                network, build_ms=0.0, warm_ms=warm_ms, fused_steps=fused_steps
+            )
         return network
 
     def get(self, name: str) -> Network:
@@ -122,9 +131,11 @@ class ModelPool:
             t0 = time.perf_counter()
             network.warm()
             warm_ms = (time.perf_counter() - t0) * 1000.0
+            fused_steps = plan_mod.get_plan(network).fused_step_count
             with self._lock:
                 self._entries[key] = PoolEntry(
-                    network, build_ms=build_ms, warm_ms=warm_ms
+                    network, build_ms=build_ms, warm_ms=warm_ms,
+                    fused_steps=fused_steps,
                 )
             return network
         finally:

@@ -148,7 +148,11 @@ class InferenceService:
     cache_capacity:
         LRU response-cache entries; ``0`` disables response caching.
     chunk_size:
-        Optional ``run_batch`` chunk bound for very large micro-batches.
+        Optional explicit ``run_batch`` chunk bound for very large
+        micro-batches; overrides the working-set heuristic.
+    chunk_bytes:
+        Byte budget for ``run_batch``'s working-set-aware chunk heuristic
+        (the CLI's ``--chunk-hint``); ``None`` uses the engine default.
     """
 
     def __init__(
@@ -159,12 +163,14 @@ class InferenceService:
         max_wait_ms: float = 2.0,
         cache_capacity: int = 1024,
         chunk_size: Optional[int] = None,
+        chunk_bytes: Optional[int] = None,
     ) -> None:
         self.pool = pool or ModelPool()
         self.engine = engine or PhoneBitEngine()
         self.max_batch_size = max_batch_size
         self.max_wait_ms = max_wait_ms
         self.chunk_size = chunk_size
+        self.chunk_bytes = chunk_bytes
         self.cache = LRUResponseCache(cache_capacity) if cache_capacity else None
         self._lock = threading.Lock()
         self._models: Dict[str, _ModelState] = {}
@@ -175,7 +181,8 @@ class InferenceService:
         def execute(payloads: Sequence[np.ndarray]) -> List[np.ndarray]:
             batch = np.stack(payloads)
             report = self.engine.run_batch(
-                network, batch, chunk_size=self.chunk_size, collect_estimate=False
+                network, batch, chunk_size=self.chunk_size,
+                chunk_bytes=self.chunk_bytes, collect_estimate=False,
             )
             # copy=True: responses outlive the batch (cache, client
             # references) and must not pin the shared buffer or alias one
