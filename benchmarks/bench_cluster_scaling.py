@@ -1,0 +1,115 @@
+"""Cluster scaling benchmark (wall-clock, not simulated).
+
+Measures the sharded multi-process :class:`repro.serving.ClusterService`
+against the single-process :class:`InferenceService` serving the *same
+shared-memory artifact*, across a sweep of worker counts, and emits
+machine-readable JSON records for the BENCH trajectory:
+
+    {op, model, workers, batch, shape, requests, req_per_s, requests_per_s,
+     single_process_rps, speedup_vs_single_process, latency_p50_ms,
+     latency_p99_ms, mean_batch_size, shm_attach_ms_mean, store_bytes,
+     host_cpus, bit_identical}
+
+Every sweep point first verifies that cluster outputs are bit-identical to
+the single-process service (both sides attach the same published ``.pbit``
+bytes, so equality is exact, not approximate), so a throughput win can
+never hide a correctness drift.
+
+The ``--min-speedup`` floor applies to the *largest* worker count's
+``speedup_vs_single_process``.  Process-level scaling needs physical
+parallelism: on a host with a single usable CPU the cluster can only
+measure its IPC overhead (every record carries ``host_cpus`` so trajectory
+tooling can tell these runs apart), so the floor is checked only when the
+host has at least ``--gate-min-cpus`` usable CPUs and is otherwise reported
+as skipped.  CI runs on multi-core runners, where the gate is real.
+
+Usage:
+
+    PYTHONPATH=src python benchmarks/bench_cluster_scaling.py \
+        --json benchmarks/BENCH_cluster_scaling.json --min-speedup 2
+"""
+
+import argparse
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", default="MicroCNN",
+                        help="serving-zoo model to benchmark")
+    parser.add_argument("--workers", default="1,2,4,8",
+                        help="comma-separated worker counts")
+    parser.add_argument("--batch", type=int, default=64,
+                        help="offered batch level (per-worker micro-batch bound)")
+    parser.add_argument("--requests", type=int, default=256,
+                        help="requests per sweep point")
+    parser.add_argument("--max-wait-ms", type=float, default=2.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--mp-context", default=None,
+                        help="multiprocessing start method (fork/spawn)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write records to PATH ('-' for stdout)")
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer requests / worker counts (CI smoke mode)")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail unless the largest worker count reaches this "
+                             "speedup over the single-process service")
+    parser.add_argument("--gate-min-cpus", type=int, default=2,
+                        help="skip the --min-speedup gate below this many "
+                             "usable host CPUs (scaling needs parallelism)")
+    args = parser.parse_args(argv)
+
+    from repro.serving.cluster import scaling_sweep, scaling_table, usable_cpus
+    from repro.serving.loadgen import write_sweep_records
+
+    if args.quick:
+        worker_counts = (1, 8)
+        requests = min(args.requests, 128)
+    else:
+        worker_counts = tuple(
+            int(w) for w in str(args.workers).split(",") if w.strip()
+        )
+        requests = args.requests
+
+    records = scaling_sweep(
+        model=args.model,
+        worker_counts=worker_counts,
+        offered_batch=args.batch,
+        requests=requests,
+        max_wait_ms=args.max_wait_ms,
+        seed=args.seed,
+        mp_context=args.mp_context,
+    )
+
+    print(scaling_table(
+        records,
+        title=f"Cluster scaling — {args.model} (offered batch {args.batch}, "
+              "outputs bit-identical to the single-process service)",
+    ))
+    if args.json:
+        print(write_sweep_records(records, args.json))
+
+    if args.min_speedup is not None:
+        cpus = usable_cpus()
+        if cpus < args.gate_min_cpus:
+            print(
+                f"SKIP speedup gate: host has {cpus} usable CPU(s) < "
+                f"{args.gate_min_cpus}; process-level scaling cannot be "
+                "measured here (bit-exactness was still verified)",
+                file=sys.stderr,
+            )
+            return 0
+        top = max(records, key=lambda r: r["workers"])
+        if top["speedup_vs_single_process"] < args.min_speedup:
+            print(
+                f"FAIL: cluster speedup at {top['workers']} workers is "
+                f"{top['speedup_vs_single_process']:.2f}x < required "
+                f"{args.min_speedup:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

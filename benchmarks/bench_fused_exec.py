@@ -125,6 +125,9 @@ def measure(model, input_size, batch, reps, threads, chunk_bytes, seed,
     record.update(
         fused_ms_per_image=fused_ms / batch,
         unfused_ms_per_image=unfused_ms / batch,
+        # Canonical trajectory alias (tools/check_bench_schema.py): one
+        # fused end-to-end inference, in nanoseconds per image.
+        ns_per_op=(fused_ms / batch) * 1e6,
         speedup=unfused_ms / fused_ms if fused_ms > 0 else float("inf"),
     )
     return record

@@ -16,6 +16,9 @@ Each sub-command regenerates one of the paper's tables/figures, inspects a
 ``.pbit`` model file, or exercises the micro-batching inference service
 (``serve-bench`` sweeps closed-loop throughput vs the sequential engine;
 ``loadgen`` offers an open-loop Poisson load and reports tail latency).
+Both serving commands take ``--workers N`` to route the same traffic
+through a sharded multi-process :class:`~repro.serving.cluster.ClusterService`
+instead of one in-process service (see ``docs/architecture.md``).
 """
 
 from __future__ import annotations
@@ -111,6 +114,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve_bench.add_argument("--seed", type=int, default=0)
     serve_bench.add_argument("--json", metavar="PATH", default=None,
                              help="also write records to PATH ('-' for stdout)")
+    serve_bench.add_argument("--workers", type=int, default=1, metavar="N",
+                             help="serve through a ClusterService of N worker "
+                                  "processes instead of one in-process service")
     _add_execution_arguments(serve_bench)
 
     loadgen = subparsers.add_parser(
@@ -130,6 +136,9 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--unique-inputs", action="store_true",
                          help="make every request distinct (defeats the cache)")
     loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument("--workers", type=int, default=1, metavar="N",
+                         help="offer the load to a ClusterService of N worker "
+                              "processes instead of one in-process service")
     _add_execution_arguments(loadgen)
     return parser
 
@@ -152,6 +161,30 @@ def _command_serve_bench(args) -> str:
     from repro.serving import sweep_table, throughput_sweep, write_sweep_records
 
     batches = tuple(int(b) for b in str(args.batches).split(",") if b.strip())
+    if args.workers > 1:
+        from repro.serving.cluster import scaling_sweep, scaling_table
+
+        records = []
+        for batch in batches:
+            records.extend(scaling_sweep(
+                model=args.model,
+                worker_counts=(args.workers,),
+                offered_batch=batch,
+                requests=args.requests,
+                max_wait_ms=args.max_wait_ms,
+                seed=args.seed,
+                worker_threads=args.threads,
+                chunk_bytes=args.chunk_hint,
+            ))
+        table = scaling_table(
+            records,
+            title=f"Cluster serving throughput — {args.model} "
+                  f"({args.workers} workers, outputs verified bit-identical "
+                  "to the single-process service)",
+        )
+        if args.json:
+            table = table + "\n" + write_sweep_records(records, args.json)
+        return table
     records = throughput_sweep(
         model=args.model,
         offered_batches=batches,
@@ -175,17 +208,35 @@ def _command_loadgen(args) -> str:
     from repro.core.engine import PhoneBitEngine
     from repro.serving import InferenceService, run_open_loop, synthetic_images
 
-    service = InferenceService(
-        engine=PhoneBitEngine(num_threads=args.threads),
-        max_batch_size=args.max_batch_size,
-        max_wait_ms=args.max_wait_ms,
-        cache_capacity=args.cache_capacity,
-        chunk_bytes=args.chunk_hint,
-    )
+    if args.workers > 1:
+        from repro.models.zoo import get_serving_config
+        from repro.serving import ClusterService
+
+        input_shape = get_serving_config(args.model).input_shape
+        service = ClusterService(
+            models=(args.model,),
+            workers=args.workers,
+            max_batch_size=args.max_batch_size,
+            max_wait_ms=args.max_wait_ms,
+            cache_capacity=args.cache_capacity,
+            chunk_bytes=args.chunk_hint,
+            worker_threads=args.threads,
+        )
+    else:
+        service = InferenceService(
+            engine=PhoneBitEngine(num_threads=args.threads),
+            max_batch_size=args.max_batch_size,
+            max_wait_ms=args.max_wait_ms,
+            cache_capacity=args.cache_capacity,
+            chunk_bytes=args.chunk_hint,
+        )
+        input_shape = None
     try:
-        network = service.pool.get(args.model)
+        if input_shape is None:
+            # Inside the guard: an unknown model must still close the service.
+            input_shape = service.pool.get(args.model).input_shape
         images = synthetic_images(
-            network.input_shape, args.requests, seed=args.seed,
+            input_shape, args.requests, seed=args.seed,
             unique=args.unique_inputs,
         )
         result = run_open_loop(

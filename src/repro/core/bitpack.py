@@ -96,7 +96,17 @@ def word_dtype(word_size: int) -> np.dtype:
 
 
 def words_per_channel(channels: int, word_size: int) -> int:
-    """Number of packing words needed to hold ``channels`` bits."""
+    """Number of packing words needed to hold ``channels`` bits.
+
+    Examples
+    --------
+    >>> words_per_channel(64, 64)
+    1
+    >>> words_per_channel(65, 64)   # padding rounds the last word up
+    2
+    >>> words_per_channel(3, 8)
+    1
+    """
     if channels <= 0:
         raise ValueError("channel count must be positive")
     word_dtype(word_size)
@@ -126,6 +136,17 @@ def pack_bits(bits: np.ndarray, word_size: int = 64, axis: int = -1) -> np.ndarr
     numpy.ndarray
         Array with the packed axis reduced by a factor of ``word_size``
         (rounded up), of dtype ``uint{word_size}``.
+
+    Examples
+    --------
+    Bit ``i`` of each word holds element ``i`` of its group (little-endian):
+
+    >>> import numpy as np
+    >>> pack_bits(np.array([1, 0, 1, 1]), word_size=8)
+    array([13], dtype=uint8)
+    >>> packed = pack_bits(np.ones((2, 70), dtype=np.uint8), word_size=64)
+    >>> packed.shape   # 70 bits -> 2 little-endian uint64 words per row
+    (2, 2)
     """
     bits = np.asarray(bits)
     if bits.size and bits.dtype != np.bool_ and (bits.min() < 0 or bits.max() > 1):
@@ -170,6 +191,14 @@ def unpack_bits(packed: np.ndarray, length: int, axis: int = -1) -> np.ndarray:
         True (unpadded) number of bits to recover along ``axis``.
     axis:
         Axis holding the packed words.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> bits = np.array([[1, 0, 1], [0, 1, 1]], dtype=np.uint8)
+    >>> restored = unpack_bits(pack_bits(bits, word_size=8), 3)
+    >>> np.array_equal(bits, restored)
+    True
     """
     packed = np.asarray(packed)
     word_size = packed.dtype.itemsize * 8
@@ -202,6 +231,14 @@ def popcount_swar(words: np.ndarray) -> np.ndarray:
     bit sums, nibble sums, then a replicated-ones multiply that accumulates
     the byte counts into the top byte.  Returns the same shape with the
     input's dtype (each count fits easily: ≤ 64).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> int(popcount_swar(np.array([0xFF], dtype=np.uint8))[0])
+    8
+    >>> int(popcount_swar(np.array([0xF0F0F0F0], dtype=np.uint32))[0])
+    16
     """
     words = np.asarray(words)
     if words.dtype.kind != "u":
@@ -233,7 +270,17 @@ else:  # pragma: no cover - exercised only on NumPy < 2.0
 
 
 def popcount(words: np.ndarray) -> np.ndarray:
-    """Per-element population count of an unsigned integer array (int64)."""
+    """Per-element population count of an unsigned integer array (int64).
+
+    Dispatches to ``np.bitwise_count`` when available (NumPy ≥ 2), else the
+    SWAR fallback — both bit-exact with :func:`popcount_lut`.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> popcount(np.array([0, 1, 255], dtype=np.uint8))
+    array([0, 1, 8])
+    """
     return popcount_words(words).astype(np.int64)
 
 
@@ -281,6 +328,17 @@ def xor_popcount_gemm(
     The computation is tiled over both rows and columns so the broadcast
     xor/popcount temporaries stay at ``ROW_TILE × COL_TILE × n_words`` words
     no matter how large the operands are.
+
+    Examples
+    --------
+    A packed ±1 dot product is ``Len − 2 · disagreements`` (Eqn. 1):
+
+    >>> import numpy as np
+    >>> a = pack_bits(np.array([[1, 1, 0, 0]]), word_size=8)  # + + - -
+    >>> b = pack_bits(np.array([[1, 0, 0, 1]]), word_size=8)  # + - - +
+    >>> disagree = xor_popcount_gemm(a, b)
+    >>> int(4 - 2 * disagree[0, 0])   # two agreements, two disagreements
+    0
     """
     return _popcount_gemm(a, b, np.bitwise_xor, out)
 

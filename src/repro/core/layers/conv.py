@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import binary_conv
+from repro.core import binary_conv, bitpack
 from repro.core.binarize import binarize_sign
 from repro.core.branchless import branchless_binarize
 from repro.core.fusion import (
@@ -65,6 +65,7 @@ class _FusedBinaryConvBase(Layer):
         word_size: int = 64,
         output_binary: bool = True,
         weight_bits: np.ndarray | None = None,
+        weights_packed: np.ndarray | None = None,
         batchnorm: BatchNormParams | None = None,
         bias: np.ndarray | None = None,
         rng=None,
@@ -83,10 +84,17 @@ class _FusedBinaryConvBase(Layer):
         self.word_size = word_size
         self.output_binary = output_binary
 
-        rng = require_rng(rng)
-        if weight_bits is None:
-            weight_bits = _random_weight_bits(rng, kernel_size, in_channels, out_channels)
-        self.weight_bits = weight_bits
+        if weights_packed is not None:
+            if weight_bits is not None:
+                raise ValueError("pass weight_bits or weights_packed, not both")
+            self.adopt_packed_weights(weights_packed)
+        else:
+            rng = require_rng(rng)
+            if weight_bits is None:
+                weight_bits = _random_weight_bits(
+                    rng, kernel_size, in_channels, out_channels
+                )
+            self.weight_bits = weight_bits
 
         self.batchnorm = batchnorm or _default_batchnorm(out_channels)
         if self.batchnorm.channels != out_channels:
@@ -101,8 +109,29 @@ class _FusedBinaryConvBase(Layer):
 
     @property
     def weight_bits(self) -> np.ndarray:
-        """Binary filter bank as bits of shape ``(KH, KW, Cin, Cout)``."""
-        return self._weight_bits
+        """Binary filter bank as bits of shape ``(KH, KW, Cin, Cout)``.
+
+        A layer constructed from already-packed weights (shared-memory
+        attach, see :meth:`adopt_packed_weights`) materializes the unpacked
+        bits lazily on first access; the fused execution path never needs
+        them, so a serving worker typically never pays the 8× expansion.
+        """
+        token = self._weight_bits
+        if not isinstance(token, np.ndarray):  # packed-only sentinel
+            cached = self._unpacked_cache
+            if cached is not None and cached[0] is token:
+                return cached[1]
+            packed = self._packed_cache[1]
+            transposed = np.transpose(packed, (1, 2, 3, 0))  # (KH, KW, Wc, Cout)
+            bits = bitpack.unpack_bits(transposed, self.in_channels, axis=2)
+            bits.setflags(write=False)
+            # Cached beside — not in place of — the sentinel: swapping
+            # _weight_bits itself would invalidate the warm execution plan
+            # (its snapshots key on this attribute's identity) on a mere
+            # inspection read.
+            self._unpacked_cache = (token, bits)
+            return bits
+        return token
 
     @weight_bits.setter
     def weight_bits(self, bits: np.ndarray) -> None:
@@ -120,6 +149,35 @@ class _FusedBinaryConvBase(Layer):
         bits.setflags(write=False)
         self._weight_bits = bits
         self._packed_cache = None
+
+    def adopt_packed_weights(self, packed: np.ndarray) -> None:
+        """Adopt an already-packed filter bank without copying it.
+
+        ``packed`` must be exactly what :attr:`weights_packed` would compute
+        — shape ``(Cout, KH, KW, words)`` in the layer's word dtype, packed
+        along the input-channel dimension.  The array is served as-is (a
+        shared-memory attach stays zero-copy) and frozen; the unpacked
+        :attr:`weight_bits` are materialized lazily if ever requested.
+        """
+        packed = np.asarray(packed)
+        words = bitpack.words_per_channel(self.in_channels, self.word_size)
+        expected = (self.out_channels, self.kernel_size, self.kernel_size, words)
+        dtype = bitpack.word_dtype(self.word_size)
+        if packed.shape != expected or packed.dtype != dtype:
+            raise ValueError(
+                f"packed weights must have shape {expected} and dtype {dtype}, "
+                f"got {packed.shape} / {packed.dtype}"
+            )
+        if packed.flags.writeable:
+            packed.setflags(write=False)
+        # A *fresh* sentinel per adoption: the execution-plan cache keys its
+        # validity on the identity of _weight_bits, so re-adopting new
+        # packed weights must change that identity or a stale plan would
+        # keep serving the old filters.
+        token = object()
+        self._weight_bits = token
+        self._packed_cache = (token, packed)
+        self._unpacked_cache = None
 
     @property
     def weights_packed(self) -> np.ndarray:
@@ -191,7 +249,10 @@ class _FusedBinaryConvBase(Layer):
         return Tensor(self.affine_values(x1), Layout.NHWC)
 
     def param_count(self) -> ParamCount:
-        binary = self.weight_bits.size + self.out_channels  # weights + γ signs
+        # Computed from the geometry (not weight_bits.size) so accounting
+        # never forces a packed-only layer to materialize unpacked bits.
+        weights = self.kernel_size ** 2 * self.in_channels * self.out_channels
+        binary = weights + self.out_channels  # weights + γ signs
         return ParamCount(binary=binary, float32=self.out_channels)  # thresholds ξ
 
 

@@ -50,6 +50,7 @@ class BinaryDense(Layer):
         word_size: int = 64,
         output_binary: bool = True,
         weight_bits: np.ndarray | None = None,
+        weights_packed: np.ndarray | None = None,
         batchnorm: BatchNormParams | None = None,
         bias: np.ndarray | None = None,
         rng=None,
@@ -63,10 +64,17 @@ class BinaryDense(Layer):
         self.word_size = word_size
         self.output_binary = output_binary
 
-        rng = require_rng(rng)
-        if weight_bits is None:
-            weight_bits = rng.integers(0, 2, size=(in_features, out_features), dtype=np.uint8)
-        self.weight_bits = weight_bits
+        if weights_packed is not None:
+            if weight_bits is not None:
+                raise ValueError("pass weight_bits or weights_packed, not both")
+            self.adopt_packed_weights(weights_packed)
+        else:
+            rng = require_rng(rng)
+            if weight_bits is None:
+                weight_bits = rng.integers(
+                    0, 2, size=(in_features, out_features), dtype=np.uint8
+                )
+            self.weight_bits = weight_bits
 
         self.batchnorm = batchnorm or _default_batchnorm(out_features)
         if self.batchnorm.channels != out_features:
@@ -79,8 +87,29 @@ class BinaryDense(Layer):
 
     @property
     def weight_bits(self) -> np.ndarray:
-        """Binary weight matrix as bits of shape ``(in_features, out_features)``."""
-        return self._weight_bits
+        """Binary weight matrix as bits of shape ``(in_features, out_features)``.
+
+        A layer constructed from already-packed weights (shared-memory
+        attach, see :meth:`adopt_packed_weights`) materializes the unpacked
+        bits lazily on first access; the execution path never needs them.
+        """
+        token = self._weight_bits
+        if not isinstance(token, np.ndarray):  # packed-only sentinel
+            cached = self._unpacked_cache
+            if cached is not None and cached[0] is token:
+                return cached[1]
+            packed = self._packed_cache[1]
+            bits = bitpack.unpack_bits(
+                np.ascontiguousarray(packed.T), self.in_features, axis=0
+            )
+            bits.setflags(write=False)
+            # Cached beside — not in place of — the sentinel: swapping
+            # _weight_bits itself would invalidate the warm execution plan
+            # (its snapshots key on this attribute's identity) on a mere
+            # inspection read.
+            self._unpacked_cache = (token, bits)
+            return bits
+        return token
 
     @weight_bits.setter
     def weight_bits(self, bits: np.ndarray) -> None:
@@ -95,6 +124,35 @@ class BinaryDense(Layer):
         bits.setflags(write=False)
         self._weight_bits = bits
         self._packed_cache = None
+
+    def adopt_packed_weights(self, packed: np.ndarray) -> None:
+        """Adopt an already-packed weight matrix without copying it.
+
+        ``packed`` must be exactly what :attr:`weights_packed` would compute
+        — shape ``(out_features, words)`` in the layer's word dtype, packed
+        along the input-feature dimension.  The array is served as-is (a
+        shared-memory attach stays zero-copy) and frozen; the unpacked
+        :attr:`weight_bits` are materialized lazily if ever requested.
+        """
+        packed = np.asarray(packed)
+        words = bitpack.words_per_channel(self.in_features, self.word_size)
+        expected = (self.out_features, words)
+        dtype = bitpack.word_dtype(self.word_size)
+        if packed.shape != expected or packed.dtype != dtype:
+            raise ValueError(
+                f"packed weights must have shape {expected} and dtype {dtype}, "
+                f"got {packed.shape} / {packed.dtype}"
+            )
+        if packed.flags.writeable:
+            packed.setflags(write=False)
+        # A *fresh* sentinel per adoption: the execution-plan cache keys its
+        # validity on the identity of _weight_bits, so re-adopting new
+        # packed weights must change that identity or a stale plan would
+        # keep serving the old filters.
+        token = object()
+        self._weight_bits = token
+        self._packed_cache = (token, packed)
+        self._unpacked_cache = None
 
     @property
     def weights_packed(self) -> np.ndarray:
@@ -164,7 +222,9 @@ class BinaryDense(Layer):
         return Tensor(self.affine_values(x1), Layout.NHWC)
 
     def param_count(self) -> ParamCount:
-        binary = self.weight_bits.size + self.out_features
+        # Computed from the geometry (not weight_bits.size) so accounting
+        # never forces a packed-only layer to materialize unpacked bits.
+        binary = self.in_features * self.out_features + self.out_features
         return ParamCount(binary=binary, float32=self.out_features)
 
 

@@ -124,9 +124,14 @@ def _serialize_binary_conv(layer) -> Tuple[dict, Dict[str, np.ndarray]]:
     return config, arrays
 
 
-def _deserialize_binary_conv(cls, name, config, arrays):
+def _deserialize_binary_conv(cls, name, config, arrays, zero_copy=False):
     weights_packed = arrays["weights_packed"]
-    weight_bits = _unpack_conv_weights(weights_packed, config["in_channels"])
+    if zero_copy:
+        weight_kwargs = {"weights_packed": weights_packed}
+    else:
+        weight_kwargs = {
+            "weight_bits": _unpack_conv_weights(weights_packed, config["in_channels"])
+        }
     if config["output_binary"]:
         bn = _bn_from_threshold(arrays["threshold"], arrays["gamma"])
         bias = None
@@ -144,10 +149,10 @@ def _deserialize_binary_conv(cls, name, config, arrays):
         padding=config["padding"],
         word_size=config["word_size"],
         output_binary=config["output_binary"],
-        weight_bits=weight_bits,
         batchnorm=bn,
         bias=bias,
         name=name,
+        **weight_kwargs,
         **kwargs,
     )
 
@@ -173,8 +178,15 @@ def _serialize_binary_dense(layer: BinaryDense) -> Tuple[dict, Dict[str, np.ndar
     return config, arrays
 
 
-def _deserialize_binary_dense(name, config, arrays) -> BinaryDense:
-    weight_bits = _unpack_dense_weights(arrays["weights_packed"], config["in_features"])
+def _deserialize_binary_dense(name, config, arrays, zero_copy=False) -> BinaryDense:
+    if zero_copy:
+        weight_kwargs = {"weights_packed": arrays["weights_packed"]}
+    else:
+        weight_kwargs = {
+            "weight_bits": _unpack_dense_weights(
+                arrays["weights_packed"], config["in_features"]
+            )
+        }
     if config["output_binary"]:
         bn = _bn_from_threshold(arrays["threshold"], arrays["gamma"])
     else:
@@ -184,9 +196,9 @@ def _deserialize_binary_dense(name, config, arrays) -> BinaryDense:
         config["out_features"],
         word_size=config["word_size"],
         output_binary=config["output_binary"],
-        weight_bits=weight_bits,
         batchnorm=bn,
         name=name,
+        **weight_kwargs,
     )
 
 
@@ -247,11 +259,12 @@ def _layer_record(layer) -> Tuple[str, dict, Dict[str, np.ndarray]]:
     raise ModelFormatError(f"layer type {type(layer).__name__} cannot be serialized")
 
 
-def _build_layer(type_name: str, name: str, config: dict, arrays: Dict[str, np.ndarray]):
+def _build_layer(type_name: str, name: str, config: dict,
+                 arrays: Dict[str, np.ndarray], zero_copy: bool = False):
     if type_name == "input_conv2d":
-        return _deserialize_binary_conv(InputConv2d, name, config, arrays)
+        return _deserialize_binary_conv(InputConv2d, name, config, arrays, zero_copy)
     if type_name == "binary_conv2d":
-        return _deserialize_binary_conv(BinaryConv2d, name, config, arrays)
+        return _deserialize_binary_conv(BinaryConv2d, name, config, arrays, zero_copy)
     if type_name == "float_conv2d":
         return FloatConv2d(
             config["in_channels"], config["out_channels"], config["kernel_size"],
@@ -260,7 +273,7 @@ def _build_layer(type_name: str, name: str, config: dict, arrays: Dict[str, np.n
             weights=arrays["weights"], bias=arrays["bias"], name=name,
         )
     if type_name == "binary_dense":
-        return _deserialize_binary_dense(name, config, arrays)
+        return _deserialize_binary_dense(name, config, arrays, zero_copy)
     if type_name == "dense":
         return Dense(
             config["in_features"], config["out_features"],
@@ -350,21 +363,73 @@ def save_network(network: Network, target) -> int:
         return _write(handle)
 
 
+def serialize_network(network: Network) -> bytes:
+    """Serialize ``network`` to an in-memory ``.pbit`` payload.
+
+    Convenience wrapper over :func:`save_network` used by the shared-memory
+    model store, which needs the byte length before allocating the segment.
+
+    Examples
+    --------
+    >>> from repro.models.zoo import build_phonebit_network, micro_cnn_config
+    >>> raw = serialize_network(build_phonebit_network(micro_cnn_config()))
+    >>> raw[:4]
+    b'PBIT'
+    """
+    buffer = io.BytesIO()
+    save_network(network, buffer)
+    return buffer.getvalue()
+
+
 def load_network(source) -> Network:
-    """Deserialize a network from ``source`` (path or binary file object)."""
+    """Deserialize a network from ``source`` (path or binary file object).
+
+    Every array is copied out of the file image, so the returned network
+    owns its memory.  To attach to an existing buffer without copying the
+    bulk weights (e.g. a ``multiprocessing.shared_memory`` segment), use
+    :func:`load_network_from_buffer` with ``zero_copy=True``.
+    """
     if hasattr(source, "read"):
         raw = source.read()
     else:
         with open(source, "rb") as handle:
             raw = handle.read()
-    if raw[:4] != MAGIC:
+    return load_network_from_buffer(raw)
+
+
+def load_network_from_buffer(buffer, zero_copy: bool = False) -> Network:
+    """Deserialize a network from a bytes-like ``.pbit`` image.
+
+    Parameters
+    ----------
+    buffer:
+        Bytes-like object (``bytes``, ``memoryview``, ``shm.buf``) holding a
+        complete ``.pbit`` image.
+    zero_copy:
+        When True, the packed binary weights of conv/dense layers are
+        *views* into ``buffer`` — nothing is unpacked or copied, which is
+        how cluster workers attach to the shared-memory model store.  The
+        caller must keep the underlying buffer alive (and should keep it
+        unmodified) for the lifetime of the returned network; weight arrays
+        are frozen read-only.  Small per-channel vectors (thresholds, γ,
+        batch-norm statistics) are always copied into float64 working form
+        by layer construction.
+
+    Returns
+    -------
+    Network
+        Functionally identical to the network that was saved; outputs are
+        bit-identical between ``zero_copy=True`` and ``False``.
+    """
+    view = memoryview(buffer)
+    if bytes(view[:4]) != MAGIC:
         raise ModelFormatError("not a PhoneBit model file (bad magic)")
-    version = int.from_bytes(raw[4:6], "little")
+    version = int.from_bytes(view[4:6], "little")
     if version != FORMAT_VERSION:
         raise ModelFormatError(f"unsupported format version {version}")
-    header_len = int.from_bytes(raw[6:14], "little")
-    header = json.loads(raw[14:14 + header_len].decode("utf-8"))
-    payload = raw[14 + header_len:]
+    header_len = int.from_bytes(view[6:14], "little")
+    header = json.loads(bytes(view[14:14 + header_len]).decode("utf-8"))
+    payload = view[14 + header_len:]
 
     layers = []
     for entry in header["layers"]:
@@ -375,10 +440,17 @@ def load_network(source) -> Network:
             count = int(np.prod(shape)) if shape else 1
             start = info["offset"]
             stop = start + count * dtype.itemsize
-            arrays[array_name] = np.frombuffer(
-                payload[start:stop], dtype=dtype
-            ).reshape(shape).copy()
-        layers.append(_build_layer(entry["type"], entry["name"], entry["config"], arrays))
+            array = np.frombuffer(payload[start:stop], dtype=dtype).reshape(shape)
+            if zero_copy:
+                if array.flags.writeable:
+                    array.setflags(write=False)
+            else:
+                array = array.copy()
+            arrays[array_name] = array
+        layers.append(
+            _build_layer(entry["type"], entry["name"], entry["config"], arrays,
+                         zero_copy=zero_copy)
+        )
     return Network(
         header["name"],
         input_shape=tuple(header["input_shape"]),

@@ -103,6 +103,23 @@ def _shared_pool(threads: int) -> ThreadPoolExecutor:
         return pool
 
 
+def _reset_pools_after_fork() -> None:
+    """Drop inherited thread-pool handles in a forked child.
+
+    A ``fork()``ed child inherits the parent's ``_POOLS`` dict, but not the
+    pool *threads* — submitting to an inherited executor would hang forever.
+    The cluster workers (``repro.serving.cluster``) fork after the parent
+    has warmed plans, so fresh pools must be lazily rebuilt in the child.
+    """
+    global _POOL_LOCK
+    _POOL_LOCK = threading.Lock()  # the inherited lock may be mid-acquire
+    _POOLS.clear()
+
+
+if hasattr(os, "register_at_fork"):  # POSIX only; spawn contexts start clean
+    os.register_at_fork(after_in_child=_reset_pools_after_fork)
+
+
 def _row_tiles(rows: int, threads: int) -> List[Tuple[int, int]]:
     """Split ``rows`` into contiguous tile ranges for (threaded) execution."""
     tile = _ROW_TILE
@@ -674,6 +691,22 @@ def get_plan(network) -> ExecutionPlan:
     layer list) triggers a transparent recompile.  Concurrent first calls
     may compile twice — both results are identical and the last store wins,
     mirroring the packed-weight caches' lock-free discipline.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.core.plan import get_plan
+    >>> from repro.models.zoo import build_phonebit_network, micro_cnn_config
+    >>> network = build_phonebit_network(micro_cnn_config())
+    >>> plan = get_plan(network)
+    >>> plan.fused_step_count >= 2        # conv + dense blocks were fused
+    True
+    >>> get_plan(network) is plan         # cached until weights change
+    True
+    >>> batch = np.zeros((2, 8, 8, 3), dtype=np.uint8)
+    >>> out = plan.execute(batch, threads=1)
+    >>> bool(np.array_equal(out.data, network.forward(batch).data))
+    True
     """
     plan = getattr(network, "_plan_cache", None)
     if plan is not None and plan.is_current(network):

@@ -9,6 +9,14 @@ metrics.  See ``docs/serving.md`` for the architecture.
 """
 
 from repro.serving.cache import CacheStats, LRUResponseCache, input_digest
+from repro.serving.cluster import (
+    ClusterOverloadError,
+    ClusterReport,
+    ClusterService,
+    WorkerConfig,
+    WorkerCrashError,
+    scaling_sweep,
+)
 from repro.serving.loadgen import (
     LoadgenResult,
     run_closed_loop,
@@ -28,22 +36,41 @@ from repro.serving.scheduler import (
     SchedulerStats,
     TRIGGERS,
 )
+from repro.serving.router import LeastOutstandingRouter, RouterStats
 from repro.serving.service import InferenceService, ServiceReport
+from repro.serving.shm_store import (
+    AttachedModel,
+    SharedModelStore,
+    ShmModelHandle,
+    attach_model,
+)
 
 __all__ = [
+    "AttachedModel",
     "BatchRecord",
     "BatchingScheduler",
     "CacheStats",
+    "ClusterOverloadError",
+    "ClusterReport",
+    "ClusterService",
     "InferenceService",
     "LRUResponseCache",
     "LatencySummary",
     "LatencyTracker",
+    "LeastOutstandingRouter",
     "LoadgenResult",
     "ModelPool",
     "PoolEntry",
+    "RouterStats",
     "SchedulerStats",
     "ServiceReport",
+    "SharedModelStore",
+    "ShmModelHandle",
     "TRIGGERS",
+    "WorkerConfig",
+    "WorkerCrashError",
+    "attach_model",
+    "scaling_sweep",
     "input_digest",
     "percentile_ms",
     "run_closed_loop",

@@ -1,0 +1,1132 @@
+"""Sharded multi-process serving: N worker processes, one shared model store.
+
+The single-process :class:`~repro.serving.service.InferenceService` is
+capped by the GIL once the fused kernels saturate one interpreter.
+:class:`ClusterService` scales horizontally:
+
+* the packed model zoo is serialized **once** into shared memory
+  (:mod:`repro.serving.shm_store`); every worker process attaches read-only
+  and zero-copy — no per-worker unpack, no N× weight memory;
+* each worker hosts a warmed :class:`InferenceService` (micro-batching,
+  fused plans compiled at attach time) and talks to the front end over a
+  request queue / shared response queue pair;
+* the front end routes with least-outstanding-requests balancing and
+  per-model consistent tie-breaking (:mod:`repro.serving.router`), applies
+  admission control (bounded per-worker outstanding windows,
+  shed-with-retry-after on overload), supervises worker health (heartbeats,
+  crash → respawn + requeue of in-flight work) and aggregates per-worker
+  :class:`~repro.serving.service.ServiceReport` s into a cluster-wide view.
+
+``ClusterService`` duck-types the service surface the load generators use
+(``submit`` / ``submit_batch`` / ``infer`` / ``report`` / ``close``), so
+:func:`repro.serving.loadgen.run_closed_loop` and ``run_open_loop`` drive a
+cluster unmodified.  Outputs are bit-identical to a single-process service
+serving the same published artifact (``tests/test_cluster.py`` and
+``benchmarks/bench_cluster_scaling.py`` gate this).
+
+See ``docs/architecture.md`` for where this layer sits in the system.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_mod
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.reporting import format_kv
+from repro.serving.metrics import LatencyTracker
+from repro.serving.router import LeastOutstandingRouter, RouterStats
+from repro.serving.scheduler import TRIGGERS, SchedulerStats
+from repro.serving.service import ServiceReport
+from repro.serving.shm_store import SharedModelStore, ShmModelHandle, attach_model
+
+__all__ = [
+    "ClusterOverloadError",
+    "ClusterReport",
+    "ClusterService",
+    "WorkerCrashError",
+    "WorkerConfig",
+    "scaling_sweep",
+]
+
+
+class ClusterOverloadError(RuntimeError):
+    """Raised when every worker is at its admission bound (request shed).
+
+    ``retry_after_s`` is the suggested client back-off before retrying.
+    """
+
+    def __init__(self, retry_after_s: float) -> None:
+        super().__init__(
+            f"cluster saturated; retry after {retry_after_s * 1000.0:.1f} ms"
+        )
+        self.retry_after_s = retry_after_s
+
+
+class WorkerCrashError(RuntimeError):
+    """A request's worker died and the request could not be re-dispatched."""
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Picklable per-worker service configuration."""
+
+    max_batch_size: int = 32
+    max_wait_ms: float = 2.0
+    cache_capacity: int = 0
+    chunk_bytes: Optional[int] = None
+    threads: Optional[int] = 1
+    heartbeat_interval_s: float = 0.2
+
+
+# ---------------------------------------------------------------------------
+# worker process
+# ---------------------------------------------------------------------------
+
+def _worker_submit(service, response_q, worker_id: str, rid: int,
+                   model: str, image: np.ndarray) -> None:
+    """Feed one routed request into the worker's local service."""
+    try:
+        future = service.submit(model, image)
+    except Exception as exc:
+        response_q.put(("err", worker_id, rid, f"{type(exc).__name__}: {exc}"))
+        return
+
+    def _done(done: Future, _rid: int = rid) -> None:
+        error = done.exception()
+        if error is not None:
+            response_q.put(
+                ("err", worker_id, _rid, f"{type(error).__name__}: {error}")
+            )
+        else:
+            response_q.put(("res", worker_id, _rid, done.result()))
+
+    future.add_done_callback(_done)
+
+
+def _worker_main(worker_id: str, handles: Dict[str, ShmModelHandle],
+                 config: WorkerConfig, request_q, response_q) -> None:
+    """Entry point of one worker process.
+
+    Attaches every published model zero-copy, warms a local
+    :class:`InferenceService` over them and serves the request queue until
+    a ``stop`` message arrives; heartbeats ride the response queue.
+    """
+    # Imported here (not at module top-level use sites) so a spawn-context
+    # worker pays its imports once, inside the child.
+    from repro.core.engine import PhoneBitEngine
+    from repro.serving.pool import ModelPool
+    from repro.serving.service import InferenceService
+
+    try:
+        pool = ModelPool()
+        attached = []
+        attach_ms: Dict[str, float] = {}
+        for model, handle in handles.items():
+            a = attach_model(handle)
+            attached.append(a)
+            pool.register(a.network, name=model, warm=True)
+            attach_ms[model] = a.attach_ms
+        service = InferenceService(
+            pool=pool,
+            engine=PhoneBitEngine(num_threads=config.threads),
+            max_batch_size=config.max_batch_size,
+            max_wait_ms=config.max_wait_ms,
+            cache_capacity=config.cache_capacity,
+            chunk_bytes=config.chunk_bytes,
+        )
+    except BaseException as exc:  # noqa: BLE001 - reported to the front end
+        response_q.put(("init_error", worker_id,
+                        f"{type(exc).__name__}: {exc}"))
+        return
+
+    response_q.put(("ready", worker_id, os.getpid(), attach_ms))
+    last_hb = time.time()
+    interval = max(0.01, config.heartbeat_interval_s)
+    try:
+        while True:
+            now = time.time()
+            if now - last_hb >= interval:
+                response_q.put(("hb", worker_id, now))
+                last_hb = now
+            try:
+                message = request_q.get(timeout=interval / 2.0)
+            except queue_mod.Empty:
+                continue
+            kind = message[0]
+            if kind == "reqs":
+                for rid, model, image in message[1]:
+                    _worker_submit(service, response_q, worker_id, rid, model,
+                                   image)
+            elif kind == "report":
+                response_q.put(("reports", worker_id, message[1],
+                                service.reports()))
+            elif kind == "stop":
+                break
+    finally:
+        # Drain: every accepted request resolves (and its response has been
+        # queued by the done-callback) before the final report goes out.
+        service.close(drain=True)
+        response_q.put(("reports", worker_id, -1, service.reports()))
+        response_q.put(("bye", worker_id))
+
+
+# ---------------------------------------------------------------------------
+# front end
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _Pending:
+    """Front-end record of one dispatched request."""
+
+    future: Future
+    model: str
+    image: np.ndarray
+    worker: str
+    submitted_at: float
+    requeues: int = 0
+
+
+@dataclass
+class _Worker:
+    """Front-end view of one worker process."""
+
+    worker_id: str
+    process: multiprocessing.process.BaseProcess
+    request_q: object
+    spawned_at: float
+    ready: bool = False
+    pid: Optional[int] = None
+    last_heartbeat: float = 0.0
+    attach_ms: Dict[str, float] = field(default_factory=dict)
+    ready_ms: float = 0.0
+    stopping: bool = False
+
+
+class _ModelTraffic:
+    """Router-side per-model accounting (end-to-end, includes IPC)."""
+
+    def __init__(self) -> None:
+        self.latencies = LatencyTracker()
+        self.requests = 0
+        self.shed = 0
+        self.first_submit: Optional[float] = None
+        self.last_done: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class ClusterReport:
+    """Cluster-wide aggregation of per-worker serving reports."""
+
+    workers: int
+    models: Tuple[str, ...]
+    #: ``{worker_id: {model: ServiceReport}}`` exactly as the workers sent.
+    worker_reports: Dict[str, Dict[str, ServiceReport]]
+    #: Aggregated per-model view (router-side latency, summed counters).
+    aggregated: Dict[str, ServiceReport]
+    router: RouterStats
+    respawns: int
+    requeued: int
+    shed: int
+    attach_ms_mean: float
+    store_bytes: int
+
+    def table(self, model: Optional[str] = None) -> str:
+        """Aligned rendering: cluster summary plus one model's aggregate."""
+        rows = [
+            ("workers", self.workers),
+            ("models", ", ".join(self.models)),
+            ("dispatched", self.router.dispatched),
+            ("shed", self.shed),
+            ("requeued", self.requeued),
+            ("respawns", self.respawns),
+            ("shm attach mean (ms)", self.attach_ms_mean),
+            ("store bytes", self.store_bytes),
+        ]
+        parts = [format_kv(rows, title="Cluster report")]
+        keys = [model] if model else list(self.aggregated)
+        for key in keys:
+            parts.append(self.aggregated[key].table())
+        return "\n\n".join(parts)
+
+
+def _merge_scheduler_stats(stats: Sequence[SchedulerStats]) -> SchedulerStats:
+    """Sum per-worker scheduler counters into one cluster-wide view."""
+    triggers = {trigger: 0 for trigger in TRIGGERS}
+    batches = []
+    for s in stats:
+        for name, count in s.trigger_counts.items():
+            triggers[name] = triggers.get(name, 0) + count
+        batches.extend(s.batches)
+    return SchedulerStats(
+        submitted=sum(s.submitted for s in stats),
+        completed=sum(s.completed for s in stats),
+        failed=sum(s.failed for s in stats),
+        batch_count=sum(s.batch_count for s in stats),
+        batched_requests=sum(s.batched_requests for s in stats),
+        trigger_counts=triggers,
+        batches=batches,
+        max_queue_depth=max((s.max_queue_depth for s in stats), default=0),
+    )
+
+
+def _default_context() -> multiprocessing.context.BaseContext:
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def usable_cpus() -> int:
+    """CPUs this process may actually run on.
+
+    ``os.cpu_count()`` reports the host's cores even inside an
+    affinity/cgroup-limited container, which would let the scaling gate
+    demand parallelism that does not exist; the scheduler affinity mask is
+    the honest number where available.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+class ClusterService:
+    """Front end of the sharded serving cluster.
+
+    Parameters
+    ----------
+    models:
+        Serving-zoo model names to publish (ignored when ``store`` already
+        holds published handles).
+    workers:
+        Number of worker processes to spawn.
+    store:
+        An externally owned :class:`SharedModelStore`; by default the
+        cluster builds the models, publishes them and owns the store.
+    max_batch_size / max_wait_ms / cache_capacity / chunk_bytes:
+        Per-worker :class:`InferenceService` configuration.  Worker response
+        caches default to **off** — a cluster-wide cache lives on the
+        roadmap, and per-worker caches would make hit rates routing-shaped.
+    worker_threads:
+        Fused-executor threads per worker (default 1: the cluster already
+        provides the process-level parallelism).
+    max_outstanding:
+        Admission bound per worker (default ``2 × max_batch_size``): enough
+        queued work to cut full micro-batches back-to-back, small enough
+        that overload sheds instead of building unbounded queues.
+    heartbeat_interval_s / heartbeat_timeout_s:
+        Worker liveness reporting and the staleness threshold after which
+        the supervisor declares a worker dead.
+    max_respawns:
+        Total crash-respawn budget (default: ``workers``).
+    mp_context:
+        ``"fork"`` / ``"spawn"`` / a context object; default prefers fork
+        (instant worker start; the plan module resets its thread pools via
+        ``os.register_at_fork``).
+    """
+
+    def __init__(
+        self,
+        models: Sequence[str] = ("MicroCNN",),
+        workers: int = 2,
+        store: Optional[SharedModelStore] = None,
+        max_batch_size: int = 32,
+        max_wait_ms: float = 2.0,
+        cache_capacity: int = 0,
+        chunk_bytes: Optional[int] = None,
+        worker_threads: Optional[int] = 1,
+        max_outstanding: Optional[int] = None,
+        heartbeat_interval_s: float = 0.2,
+        heartbeat_timeout_s: float = 3.0,
+        max_respawns: Optional[int] = None,
+        mp_context=None,
+        startup_timeout_s: float = 120.0,
+        rng: int = 0,
+        word_size: int = 64,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        if isinstance(mp_context, str):
+            mp_context = multiprocessing.get_context(mp_context)
+        self._ctx = mp_context or _default_context()
+
+        self._owns_store = store is None
+        self.store = store or SharedModelStore()
+        if not self.store.handles():
+            self.store.publish_models(models, rng=rng, word_size=word_size)
+        self._handles = self.store.handles()
+
+        self.config = WorkerConfig(
+            max_batch_size=max_batch_size,
+            max_wait_ms=max_wait_ms,
+            cache_capacity=cache_capacity,
+            chunk_bytes=chunk_bytes,
+            threads=worker_threads,
+            heartbeat_interval_s=heartbeat_interval_s,
+        )
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.router = LeastOutstandingRouter(
+            max_outstanding=max_outstanding or 2 * max_batch_size
+        )
+        self.max_respawns = workers if max_respawns is None else max_respawns
+
+        self._lock = threading.Lock()
+        self._slot_free = threading.Condition(self._lock)
+        self._report_arrived = threading.Condition(self._lock)
+        self._report_inbox: Dict[tuple, Dict[str, ServiceReport]] = {}
+        self._report_gen = 0
+        self._workers: Dict[str, _Worker] = {}
+        self._pending: Dict[int, _Pending] = {}
+        self._orphans: List[int] = []  #: admitted req ids awaiting a worker
+        self._stale_assignee: Dict[int, str] = {}
+        self._traffic: Dict[str, _ModelTraffic] = {}
+        self._init_errors: List[str] = []
+        self._next_rid = 0
+        self._next_worker = 0
+        self._respawns = 0
+        self._requeued = 0
+        self._closed = False
+
+        self._response_q = self._ctx.Queue()
+        for _ in range(workers):
+            self._spawn_worker()
+
+        self._pump_thread = threading.Thread(
+            target=self._pump, name="cluster-pump", daemon=True
+        )
+        self._pump_thread.start()
+        self._supervisor_thread = threading.Thread(
+            target=self._supervise, name="cluster-supervisor", daemon=True
+        )
+        self._supervise_stop = threading.Event()
+        self._supervisor_thread.start()
+
+        self._wait_ready(startup_timeout_s)
+
+    # ------------------------------------------------------------- lifecycle
+    def _spawn_worker(self) -> str:
+        worker_id = f"w{self._next_worker}"
+        self._next_worker += 1
+        request_q = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(worker_id, self._handles, self.config, request_q,
+                  self._response_q),
+            name=f"cluster-{worker_id}",
+            daemon=True,
+        )
+        process.start()
+        with self._lock:
+            self._workers[worker_id] = _Worker(
+                worker_id=worker_id,
+                process=process,
+                request_q=request_q,
+                spawned_at=time.perf_counter(),
+            )
+        return worker_id
+
+    def _wait_ready(self, timeout_s: float) -> None:
+        deadline = time.perf_counter() + timeout_s
+        while True:
+            with self._lock:
+                errors = list(self._init_errors)
+                ready = sum(1 for w in self._workers.values() if w.ready)
+                total = len(self._workers)
+            if errors:
+                self.close(drain=False)
+                raise RuntimeError(
+                    "cluster worker failed to initialize: " + "; ".join(errors)
+                )
+            if ready == total:
+                return
+            if time.perf_counter() > deadline:
+                self.close(drain=False)
+                raise RuntimeError(
+                    f"cluster startup timed out: {ready}/{total} workers ready"
+                )
+            time.sleep(0.01)
+
+    def close(self, drain: bool = True, timeout_s: float = 30.0) -> None:
+        """Stop workers (draining in-flight work by default) and clean up."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            workers = list(self._workers.values())
+        self._supervise_stop.set()
+        for worker in workers:
+            worker.stopping = True
+            try:
+                worker.request_q.put(("stop",))
+            except Exception:  # pragma: no cover - queue already broken
+                pass
+        deadline = time.perf_counter() + timeout_s
+        if drain:
+            while time.perf_counter() < deadline:
+                with self._lock:
+                    if not self._pending and not self._orphans:
+                        break
+                time.sleep(0.005)
+        for worker in workers:
+            worker.process.join(timeout=max(0.1, deadline - time.perf_counter()))
+            if worker.process.is_alive():  # pragma: no cover - stragglers
+                worker.process.terminate()
+                worker.process.join(timeout=5.0)
+            worker.request_q.close()
+            worker.request_q.cancel_join_thread()
+        self._fail_outstanding(RuntimeError("cluster closed"))
+        # Stop the pump after the queues are finished with.
+        self._pump_thread.join(timeout=5.0)
+        self._response_q.close()
+        self._response_q.cancel_join_thread()
+        if self._supervisor_thread.is_alive():
+            self._supervisor_thread.join(timeout=5.0)
+        if self._owns_store:
+            self.store.close()
+
+    def __enter__(self) -> "ClusterService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _fail_outstanding(self, error: BaseException) -> None:
+        with self._lock:
+            pending = list(self._pending.values())
+            self._pending.clear()
+            self._orphans.clear()
+            self._slot_free.notify_all()
+        for entry in pending:
+            if not entry.future.done():
+                entry.future.set_exception(error)
+
+    # ------------------------------------------------------------- submission
+    def canonical_name(self, model: str) -> str:
+        for key in self._handles:
+            if key.lower() == model.lower():
+                return key
+        raise KeyError(
+            f"model {model!r} is not published; available: {sorted(self._handles)}"
+        )
+
+    def _traffic_for(self, model: str) -> _ModelTraffic:
+        traffic = self._traffic.get(model)
+        if traffic is None:
+            traffic = self._traffic.setdefault(model, _ModelTraffic())
+        return traffic
+
+    def _admit(self, key: str, image: np.ndarray, block: bool,
+               deadline: Optional[float], count_shed: bool = True) -> tuple:
+        """Acquire a routing slot and register the pending entry.
+
+        Returns ``(rid, worker_id, future)``; the caller is responsible for
+        dispatching (:meth:`_dispatch`).  Raises
+        :class:`ClusterOverloadError` on shed, :class:`WorkerCrashError`
+        when the cluster has no workers left and no replacement is coming
+        (waiting would hang forever), ``RuntimeError`` after close.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("cluster is closed")
+            traffic = self._traffic_for(key)
+            while True:
+                if not self._workers:
+                    # Every worker is gone and the respawn budget is spent —
+                    # nothing will ever free a slot.
+                    raise WorkerCrashError(
+                        "cluster has no workers left and no replacement is coming"
+                    )
+                # record_shed=False: a blocked submitter polling for a slot
+                # is waiting, not shedding — only the client-visible raise
+                # below counts as a shed.
+                worker_id = self.router.acquire(key, record_shed=False)
+                if worker_id is not None and worker_id in self._workers:
+                    break
+                if worker_id is not None:
+                    # Router raced a worker death; slot is already counted —
+                    # undo and retry.
+                    self.router.release(worker_id)
+                if not block:
+                    # count_shed=False marks an internal saturation *probe*
+                    # (submit_batch flushing before it waits), which is not
+                    # a client-visible shed.
+                    if count_shed:
+                        traffic.shed += 1
+                        self.router.record_shed()
+                    raise ClusterOverloadError(
+                        self.router.retry_after_s(self.config.max_wait_ms)
+                    )
+                remaining = None if deadline is None else deadline - time.perf_counter()
+                if remaining is not None and remaining <= 0:
+                    traffic.shed += 1
+                    self.router.record_shed()
+                    raise ClusterOverloadError(
+                        self.router.retry_after_s(self.config.max_wait_ms)
+                    )
+                self._slot_free.wait(timeout=0.05 if remaining is None
+                                     else min(0.05, remaining))
+                if self._closed:
+                    raise RuntimeError("cluster is closed")
+            now = time.perf_counter()
+            traffic.requests += 1
+            if traffic.first_submit is None:
+                traffic.first_submit = now
+            rid = self._next_rid
+            self._next_rid += 1
+            future: Future = Future()
+            future.set_running_or_notify_cancel()
+            self._pending[rid] = _Pending(
+                future=future, model=key, image=image, worker=worker_id,
+                submitted_at=time.perf_counter(),
+            )
+            return rid, worker_id, future
+
+    def _dispatch(self, key: str, assignments: Sequence[tuple]) -> None:
+        """Send admitted ``(rid, worker_id, image)`` entries, one queue
+        message per worker.
+
+        A worker whose queue was closed under us (its death handler won the
+        race) gets its slots released and the requests re-dispatched rather
+        than surfacing transport errors to clients.
+        """
+        groups: Dict[str, List[tuple]] = {}
+        for rid, worker_id, image in assignments:
+            groups.setdefault(worker_id, []).append((rid, key, image))
+        for worker_id, items in groups.items():
+            with self._lock:
+                worker = self._workers.get(worker_id)
+                request_q = worker.request_q if worker is not None else None
+            delivered = False
+            if request_q is not None:
+                try:
+                    request_q.put(("reqs", items))
+                    delivered = True
+                except (ValueError, OSError):
+                    pass
+            if not delivered:
+                for rid, _, _ in items:
+                    self.router.release(worker_id)
+                    self._redispatch(rid)
+
+    def submit(self, model: str, image: np.ndarray, block: bool = True,
+               timeout: Optional[float] = None) -> Future:
+        """Route one request to a worker; resolves to the output row.
+
+        With ``block=True`` (default — what the closed-loop load generators
+        want) submission waits for an admission slot; with ``block=False``
+        a saturated cluster sheds immediately by raising
+        :class:`ClusterOverloadError` carrying ``retry_after_s``.
+        """
+        key = self.canonical_name(model)
+        image = np.asarray(image)
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        rid, worker_id, future = self._admit(key, image, block, deadline)
+        self._dispatch(key, [(rid, worker_id, image)])
+        return future
+
+    def submit_batch(self, model: str, images: np.ndarray) -> List[Future]:
+        """Enqueue one request per leading row of ``images`` (blocking).
+
+        Admissions are coalesced: all of a run's requests routed to one
+        worker travel in a single queue message, so a closed-loop burst
+        costs a handful of IPC round trips instead of one per request.
+        Accumulated admissions are always flushed *before* waiting for a
+        slot — a blocked submitter never holds undispatched work, so
+        concurrent batch submitters cannot deadlock each other.  Bursts
+        larger than the cluster's admission window are paced by
+        backpressure, mirroring the single-process semantics.
+        """
+        key = self.canonical_name(model)
+        futures: List[Future] = []
+        assignments: List[tuple] = []
+        for image in np.asarray(images):
+            try:
+                rid, worker_id, future = self._admit(
+                    key, image, block=False, deadline=None, count_shed=False
+                )
+            except ClusterOverloadError:
+                # Saturated: dispatch what we hold, then wait empty-handed.
+                if assignments:
+                    self._dispatch(key, assignments)
+                    assignments = []
+                rid, worker_id, future = self._admit(
+                    key, image, block=True, deadline=None
+                )
+            futures.append(future)
+            assignments.append((rid, worker_id, image))
+        if assignments:
+            self._dispatch(key, assignments)
+        return futures
+
+    def infer(self, model: str, image: np.ndarray,
+              timeout: Optional[float] = None) -> np.ndarray:
+        """Blocking single-request inference."""
+        return self.submit(model, image).result(timeout=timeout)
+
+    # ------------------------------------------------------------- pump
+    def _pump(self) -> None:
+        """Drain the shared response queue until close() finishes."""
+        while True:
+            try:
+                message = self._response_q.get(timeout=0.05)
+            except queue_mod.Empty:
+                with self._lock:
+                    if self._closed and not self._pending:
+                        alive = any(w.process.is_alive()
+                                    for w in self._workers.values())
+                        if not alive:
+                            return
+                continue
+            except (EOFError, OSError):  # pragma: no cover - queue torn down
+                return
+            try:
+                self._handle_message(message)
+            except Exception:  # pragma: no cover - defensive
+                # The pump is the only consumer of worker responses; one
+                # malformed message must never kill it (that would hang
+                # every in-flight future).
+                pass
+
+    def _handle_message(self, message: tuple) -> None:
+        kind = message[0]
+        if kind == "res" or kind == "err":
+            self._handle_response(message)
+        elif kind == "hb":
+            _, worker_id, _stamp = message
+            with self._lock:
+                worker = self._workers.get(worker_id)
+                if worker is not None:
+                    worker.last_heartbeat = time.perf_counter()
+        elif kind == "ready":
+            self._handle_ready(message)
+        elif kind == "reports":
+            _, worker_id, generation, reports = message
+            with self._lock:
+                self._report_inbox[(worker_id, generation)] = reports
+                self._report_arrived.notify_all()
+        elif kind == "init_error":
+            _, worker_id, text = message
+            with self._lock:
+                self._init_errors.append(f"{worker_id}: {text}")
+        elif kind == "bye":
+            pass
+
+    def _handle_ready(self, message: tuple) -> None:
+        _, worker_id, pid, attach_ms = message
+        orphans: List[int] = []
+        with self._lock:
+            worker = self._workers.get(worker_id)
+            if worker is None:  # pragma: no cover - raced close()
+                return
+            worker.ready = True
+            worker.pid = pid
+            worker.attach_ms = dict(attach_ms)
+            worker.ready_ms = (time.perf_counter() - worker.spawned_at) * 1000.0
+            worker.last_heartbeat = time.perf_counter()
+            self.router.add_worker(worker_id)
+            orphans, self._orphans = self._orphans, []
+            self._slot_free.notify_all()
+        for rid in orphans:
+            self._redispatch(rid)
+
+    def _handle_response(self, message: tuple) -> None:
+        kind, worker_id, rid, payload = message
+        with self._lock:
+            entry = self._pending.pop(rid, None)
+            if entry is None:
+                # Late answer for a request that was requeued after this
+                # sender was (wrongly or rightly) declared dead, and that
+                # the replacement already answered — release the slot the
+                # replacement still holds.
+                assignee = self._stale_assignee.pop(rid, None)
+                if assignee == worker_id:
+                    self.router.release(worker_id)
+                    self._slot_free.notify_all()
+                return
+            if entry.worker != worker_id:
+                # Answered by a worker we had already given up on; the
+                # current assignee's answer will arrive later — remember it
+                # so its slot gets released too.
+                self._stale_assignee[rid] = entry.worker
+            self.router.release(worker_id)
+            now = time.perf_counter()
+            traffic = self._traffic_for(entry.model)
+            traffic.last_done = now
+            traffic.latencies.record(max(0.0, now - entry.submitted_at))
+            self._slot_free.notify_all()
+        if kind == "res":
+            result = payload
+            if isinstance(result, np.ndarray) and result.flags.writeable:
+                result.setflags(write=False)
+            entry.future.set_result(result)
+        else:
+            entry.future.set_exception(RuntimeError(
+                f"worker {worker_id} failed request: {payload}"
+            ))
+
+    # ------------------------------------------------------------- supervision
+    def _supervise(self) -> None:
+        interval = max(0.05, min(self.config.heartbeat_interval_s,
+                                 self.heartbeat_timeout_s / 4.0))
+        while not self._supervise_stop.wait(interval):
+            self._check_workers()
+
+    def _check_workers(self) -> None:
+        now = time.perf_counter()
+        dead: List[_Worker] = []
+        with self._lock:
+            for worker in self._workers.values():
+                if worker.stopping:
+                    continue
+                alive = worker.process.is_alive()
+                stale = (
+                    worker.ready
+                    and self.heartbeat_timeout_s > 0
+                    and now - worker.last_heartbeat > self.heartbeat_timeout_s
+                )
+                if not alive or stale:
+                    dead.append(worker)
+        for worker in dead:
+            self._handle_worker_death(worker)
+
+    def _handle_worker_death(self, worker: _Worker) -> None:
+        """Respawn a crashed worker and re-dispatch its in-flight requests."""
+        with self._lock:
+            if worker.worker_id not in self._workers:
+                return
+            del self._workers[worker.worker_id]
+            self.router.remove_worker(worker.worker_id)
+            victims = [rid for rid, entry in self._pending.items()
+                       if entry.worker == worker.worker_id]
+            # Orphans were parked waiting for *some* replacement to become
+            # ready; if the worker that just died was that replacement, the
+            # wait is over — re-run them through _redispatch, which either
+            # re-parks (another respawn is coming) or fails them.  Leaving
+            # them parked would hang their futures forever.
+            victims.extend(self._orphans)
+            self._orphans = []
+            respawn = self._respawns < self.max_respawns and not self._closed
+            if respawn:
+                self._respawns += 1
+            self._slot_free.notify_all()
+        if worker.process.is_alive():  # pragma: no cover - hb-stale only
+            worker.process.terminate()
+        worker.request_q.close()
+        worker.request_q.cancel_join_thread()
+        if respawn:
+            self._spawn_worker()
+        for rid in victims:
+            self._redispatch(rid)
+
+    def _redispatch(self, rid: int) -> None:
+        """Move an admitted request onto a live worker (crash requeue)."""
+        request_q = None
+        failed_future: Optional[Future] = None
+        with self._lock:
+            entry = self._pending.get(rid)
+            if entry is None:
+                return
+            entry.requeues += 1
+            self._requeued += 1
+            # force=True: this work was admitted once already; shedding it
+            # now would turn a worker crash into client-visible errors.
+            worker_id = self.router.acquire(entry.model, force=True)
+            if worker_id is None or worker_id not in self._workers:
+                if worker_id is not None:
+                    self.router.release(worker_id)
+                replacement_coming = not self._closed and (
+                    any(not w.ready for w in self._workers.values())
+                )
+                if replacement_coming:
+                    # Park until the replacement's "ready" drains orphans.
+                    self._orphans.append(rid)
+                    return
+                self._pending.pop(rid, None)
+                failed_future = entry.future
+            else:
+                entry.worker = worker_id
+                request_q = self._workers[worker_id].request_q
+                message = ("reqs", [(rid, entry.model, entry.image)])
+        if failed_future is not None:
+            if not failed_future.done():
+                failed_future.set_exception(WorkerCrashError(
+                    f"request {rid} lost its worker and no replacement is "
+                    f"available"
+                ))
+            return
+        try:
+            request_q.put(message)
+        except (ValueError, OSError):
+            # The replacement died too (queue closed under us).  Its death
+            # handler has already removed it from the router/worker maps,
+            # so this recursion terminates: each retry sees one fewer
+            # candidate until the request lands, parks, or fails.
+            self.router.release(worker_id)
+            self._redispatch(rid)
+
+    # ------------------------------------------------------------- reporting
+    def worker_reports(self, timeout: float = 10.0) -> Dict[str, Dict[str, ServiceReport]]:
+        """Poll every ready worker for its per-model ``ServiceReport`` s."""
+        with self._lock:
+            self._report_gen += 1
+            generation = self._report_gen
+            candidates = [w for w in self._workers.values()
+                          if w.ready and not w.stopping]
+            targets = []
+            for worker in candidates:
+                try:
+                    worker.request_q.put(("report", generation))
+                except (ValueError, OSError):  # pragma: no cover - dying worker
+                    continue  # don't wait on a reply that can never come
+                targets.append(worker)
+        deadline = time.perf_counter() + timeout
+        collected: Dict[str, Dict[str, ServiceReport]] = {}
+        with self._lock:
+            while len(collected) < len(targets):
+                for worker in targets:
+                    key = (worker.worker_id, generation)
+                    if key in self._report_inbox:
+                        collected[worker.worker_id] = self._report_inbox.pop(key)
+                if len(collected) >= len(targets):
+                    break
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    break
+                self._report_arrived.wait(timeout=min(0.05, remaining))
+        return collected
+
+    def report(self, model: str,
+               worker_reports: Optional[Dict[str, Dict[str, ServiceReport]]] = None
+               ) -> ServiceReport:
+        """Aggregated cluster-wide report for one model.
+
+        Shape-compatible with the single-process
+        :meth:`InferenceService.report`: latency figures are the front
+        end's end-to-end measurements (queueing + IPC + worker service
+        time), scheduler/cache counters are summed across workers.
+        ``worker_reports`` lets a caller that already polled the workers
+        (:meth:`cluster_report`) reuse one IPC round trip for every model.
+        """
+        key = self.canonical_name(model)
+        reports = (self.worker_reports() if worker_reports is None
+                   else worker_reports)
+        per_worker = [wr[key] for wr in reports.values() if key in wr]
+        with self._lock:
+            traffic = self._traffic.get(key)
+            if traffic is None:
+                raise KeyError(f"model {model!r} has not served any requests")
+            first, last = traffic.first_submit, traffic.last_done
+            requests = traffic.requests
+            latency = traffic.latencies.summary()
+        duration = (last - first) if (first is not None and last is not None) else 0.0
+        device = per_worker[0].device if per_worker else "cluster"
+        return ServiceReport(
+            model=key,
+            device=f"{device} ×{len(reports)} workers",
+            duration_s=max(0.0, duration),
+            requests=requests,
+            cache_hits=sum(r.cache_hits for r in per_worker),
+            cache_misses=sum(r.cache_misses for r in per_worker),
+            latency=latency,
+            scheduler=_merge_scheduler_stats([r.scheduler for r in per_worker]),
+            cache=None,
+        )
+
+    def cluster_report(self) -> ClusterReport:
+        """Full cluster view: per-worker reports plus aggregates.
+
+        Polls the workers once and reuses that snapshot for every model's
+        aggregation, so the cost is one IPC round trip regardless of how
+        many models are published.
+        """
+        reports = self.worker_reports()
+        models = tuple(self._handles)
+        aggregated = {}
+        for model in models:
+            with self._lock:
+                served = model in self._traffic
+            if served:
+                aggregated[model] = self.report(model, worker_reports=reports)
+        with self._lock:
+            attach_values = [ms for w in self._workers.values()
+                             for ms in w.attach_ms.values()]
+            shed = sum(t.shed for t in self._traffic.values())
+            workers = len(self._workers)
+            respawns = self._respawns
+            requeued = self._requeued
+        return ClusterReport(
+            workers=workers,
+            models=models,
+            worker_reports=reports,
+            aggregated=aggregated,
+            router=self.router.stats(),
+            respawns=respawns,
+            requeued=requeued,
+            shed=shed,
+            attach_ms_mean=(sum(attach_values) / len(attach_values))
+            if attach_values else 0.0,
+            store_bytes=self.store.total_bytes(),
+        )
+
+    # ------------------------------------------------------------- baseline
+    def baseline_service(self, **service_kwargs):
+        """Single-process :class:`InferenceService` over the same artifacts.
+
+        Attaches the published models locally (zero-copy, same bytes the
+        workers serve), which is what makes cluster-vs-single-process
+        output comparisons bit-identical rather than merely close.  The
+        caller owns the returned service (and should ``close()`` it).
+        """
+        from repro.serving.pool import ModelPool
+        from repro.serving.service import InferenceService
+
+        pool = ModelPool()
+        self._baseline_attachments = []
+        for model, handle in self._handles.items():
+            attached = attach_model(handle)
+            self._baseline_attachments.append(attached)
+            pool.register(attached.network, name=model, warm=True)
+        service_kwargs.setdefault("max_batch_size", self.config.max_batch_size)
+        service_kwargs.setdefault("max_wait_ms", self.config.max_wait_ms)
+        service_kwargs.setdefault("cache_capacity", self.config.cache_capacity)
+        service_kwargs.setdefault("chunk_bytes", self.config.chunk_bytes)
+        return InferenceService(pool=pool, **service_kwargs)
+
+
+# ---------------------------------------------------------------------------
+# scaling sweep (shared by the CLI and benchmarks/bench_cluster_scaling.py)
+# ---------------------------------------------------------------------------
+
+def scaling_table(records: Sequence[dict], title: Optional[str] = None) -> str:
+    """Render :func:`scaling_sweep` records as an aligned table.
+
+    Single rendering path shared by ``repro.cli serve-bench --workers N``
+    and ``benchmarks/bench_cluster_scaling.py`` (same discipline as
+    :func:`repro.serving.loadgen.sweep_table`).
+    """
+    from repro.analysis.reporting import format_table
+
+    return format_table(
+        ["workers", "batch", "req/s", "1-proc req/s", "speedup",
+         "p50 (ms)", "p99 (ms)", "attach (ms)"],
+        [
+            [r["workers"], r["batch"], r["req_per_s"],
+             r["single_process_rps"],
+             f"{r['speedup_vs_single_process']:.2f}x",
+             r["latency_p50_ms"], r["latency_p99_ms"],
+             r["shm_attach_ms_mean"]]
+            for r in records
+        ],
+        title=title,
+    )
+
+def scaling_sweep(
+    model: str = "MicroCNN",
+    worker_counts: Sequence[int] = (1, 2, 4, 8),
+    offered_batch: int = 64,
+    requests: int = 256,
+    max_wait_ms: float = 2.0,
+    seed: int = 0,
+    mp_context=None,
+    worker_threads: Optional[int] = 1,
+    chunk_bytes: Optional[int] = None,
+) -> List[dict]:
+    """Closed-loop cluster throughput vs the single-process service.
+
+    Publishes ``model`` once into shared memory, measures a single-process
+    :class:`InferenceService` over the attached artifact as the baseline,
+    then sweeps the worker counts.  Every sweep point's outputs are checked
+    bit-identical against the baseline before anything is recorded — both
+    sides serve the same published bytes, so equality is exact.
+
+    Warm-up (weight packing, plan compilation, NumPy internals) runs
+    through ``engine.run_batch`` on the attached artifact *before* any
+    measured service exists, so the recorded throughput and latency
+    percentiles cover exactly the measured requests — the same discipline
+    as :func:`repro.serving.loadgen.throughput_sweep`.  Cluster workers
+    warm themselves at attach time (``ModelPool.register(warm=True)``);
+    their residual first-batch cost is part of every sweep point equally.
+    """
+    from repro.serving.loadgen import run_closed_loop, synthetic_images
+
+    store = SharedModelStore()
+    try:
+        handles = store.publish_models([model], rng=0)
+        key = next(iter(handles))
+        attached = attach_model(handles[key])
+        images = synthetic_images(attached.network.input_shape, requests,
+                                  seed=seed)
+
+        from repro.core.engine import PhoneBitEngine
+        from repro.serving.pool import ModelPool
+        from repro.serving.service import InferenceService
+
+        # One warm pass outside all timings and outside the measured
+        # services, so their request counters and latency windows stay
+        # exactly the measured run.
+        warm_engine = PhoneBitEngine(num_threads=worker_threads)
+        warm_engine.run_batch(attached.network, images[:2],
+                              collect_estimate=False, chunk_bytes=chunk_bytes)
+
+        pool = ModelPool()
+        pool.register(attached.network, name=key, warm=True)
+        baseline = InferenceService(
+            pool=pool, engine=warm_engine, max_batch_size=offered_batch,
+            max_wait_ms=max_wait_ms, cache_capacity=0, chunk_bytes=chunk_bytes,
+        )
+        try:
+            result = run_closed_loop(baseline, key, images)
+        finally:
+            baseline.close()
+        baseline_out = result.outputs
+        baseline_rps = result.achieved_rps
+
+        records: List[dict] = []
+        for workers in worker_counts:
+            cluster = ClusterService(
+                store=store, workers=int(workers),
+                max_batch_size=offered_batch, max_wait_ms=max_wait_ms,
+                cache_capacity=0, worker_threads=worker_threads,
+                chunk_bytes=chunk_bytes, mp_context=mp_context,
+            )
+            try:
+                run = run_closed_loop(cluster, key, images)
+                cluster_detail = cluster.cluster_report()
+            finally:
+                cluster.close()
+            if not np.array_equal(run.outputs, baseline_out):
+                raise AssertionError(
+                    f"cluster outputs diverged from the single-process "
+                    f"service at {workers} workers"
+                )
+            report = run.report
+            records.append({
+                "op": "cluster_scaling",
+                "model": key,
+                "workers": int(workers),
+                "batch": int(offered_batch),
+                "shape": list(attached.network.input_shape),
+                "requests": int(images.shape[0]),
+                "req_per_s": run.achieved_rps,
+                "requests_per_s": run.achieved_rps,
+                "single_process_rps": baseline_rps,
+                "speedup_vs_single_process": (
+                    run.achieved_rps / baseline_rps if baseline_rps else float("inf")
+                ),
+                "latency_p50_ms": report.latency.p50_ms,
+                "latency_p99_ms": report.latency.p99_ms,
+                "mean_batch_size": report.scheduler.mean_batch_size,
+                "shm_attach_ms_mean": cluster_detail.attach_ms_mean,
+                "store_bytes": cluster_detail.store_bytes,
+                "host_cpus": usable_cpus(),
+                "bit_identical": True,
+            })
+        return records
+    finally:
+        store.close()

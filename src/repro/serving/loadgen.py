@@ -257,6 +257,11 @@ def throughput_sweep(
                 "op": "serving_throughput",
                 "model": model,
                 "offered_batch": int(offered),
+                # Canonical trajectory aliases (tools/check_bench_schema.py):
+                # every BENCH record carries {op|model, shape|batch,
+                # ns_per_op|req_per_s} under exactly those key spellings.
+                "batch": int(offered),
+                "req_per_s": result.achieved_rps,
                 "requests": int(images.shape[0]),
                 "requests_per_s": result.achieved_rps,
                 "sequential_rps": baseline_rps,

@@ -1,0 +1,196 @@
+"""Request routing and admission control for the serving cluster.
+
+:class:`LeastOutstandingRouter` is pure bookkeeping — no processes, no
+queues — so the routing policy is unit-testable in isolation and the
+cluster front-end (:mod:`repro.serving.cluster`) stays an I/O shell around
+it.  The policy has two layers:
+
+* **Least outstanding requests** — a request goes to the eligible worker
+  with the fewest requests currently dispatched-but-unanswered.  This is
+  the classic load-balancing improvement over round-robin for workloads
+  with variable batch latency: a worker stuck on a big micro-batch simply
+  stops winning ties until it drains.
+* **Per-model consistent tie-breaking (rendezvous hashing)** — ties are
+  broken by the highest-random-weight hash of ``(model, worker)``, so each
+  model has a stable preference order over workers.  At low load one
+  model's traffic keeps landing on the same workers (warm plans, warm
+  caches); when workers join or die, only the affected slots reshuffle.
+
+Admission control is a bounded outstanding window per worker
+(``max_outstanding``): when every eligible worker is at its bound the
+router *sheds* instead of queueing unboundedly, and reports a suggested
+retry-after so clients can back off (the cluster surfaces this as
+:class:`~repro.serving.cluster.ClusterOverloadError`).
+
+Examples
+--------
+>>> router = LeastOutstandingRouter(max_outstanding=2)
+>>> router.add_worker("w0"); router.add_worker("w1")
+>>> first = router.acquire("MicroCNN")
+>>> second = router.acquire("MicroCNN")
+>>> {first, second} == {"w0", "w1"}  # least-outstanding spreads the pair
+True
+>>> router.acquire("MicroCNN") in ("w0", "w1")
+True
+>>> router.acquire("MicroCNN") in ("w0", "w1")
+True
+>>> router.acquire("MicroCNN") is None  # both at the bound: shed
+True
+>>> router.release(first)
+>>> router.acquire("MicroCNN") == first
+True
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = ["LeastOutstandingRouter", "RouterStats"]
+
+
+def rendezvous_score(model: str, worker: str) -> int:
+    """Stable highest-random-weight score for a ``(model, worker)`` pair."""
+    digest = hashlib.blake2b(
+        f"{model}\x00{worker}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+@dataclass(frozen=True)
+class RouterStats:
+    """Counters over the router's lifetime."""
+
+    dispatched: int
+    completed: int
+    shed: int
+    workers: int
+
+    @property
+    def outstanding(self) -> int:
+        return self.dispatched - self.completed
+
+
+class LeastOutstandingRouter:
+    """Pick workers by least-outstanding with consistent tie-breaking.
+
+    Parameters
+    ----------
+    max_outstanding:
+        Admission-control bound per worker: :meth:`acquire` returns ``None``
+        (shed) when every eligible worker already has this many requests in
+        flight.  This bounds every per-worker queue — the cluster's
+        backpressure comes from here, not from unbounded OS pipes.
+    """
+
+    def __init__(self, max_outstanding: int = 64) -> None:
+        if max_outstanding < 1:
+            raise ValueError("max_outstanding must be at least 1")
+        self.max_outstanding = int(max_outstanding)
+        self._lock = threading.Lock()
+        self._outstanding: Dict[str, int] = {}
+        self._dispatched = 0
+        self._completed = 0
+        self._shed = 0
+
+    # ------------------------------------------------------------- membership
+    def add_worker(self, worker: str) -> None:
+        """Register a worker (respawns re-register under the same id)."""
+        with self._lock:
+            self._outstanding.setdefault(worker, 0)
+
+    def remove_worker(self, worker: str) -> int:
+        """Drop a worker; returns the outstanding count it died with.
+
+        The dropped slots will never see a ``release`` (their responses
+        died with the worker), so they are credited to the completed
+        counter here — otherwise every crashed in-flight request would
+        inflate ``RouterStats.outstanding`` forever, since its re-dispatch
+        counts as a fresh acquire.
+        """
+        with self._lock:
+            count = self._outstanding.pop(worker, 0)
+            self._completed += count
+            return count
+
+    def workers(self) -> List[str]:
+        with self._lock:
+            return sorted(self._outstanding)
+
+    def outstanding(self, worker: str) -> int:
+        with self._lock:
+            return self._outstanding.get(worker, 0)
+
+    # ------------------------------------------------------------- routing
+    def acquire(self, model: str, force: bool = False,
+                record_shed: bool = True) -> Optional[str]:
+        """Reserve a dispatch slot; returns the worker id or ``None`` (shed).
+
+        The caller owns the returned slot and must pair it with
+        :meth:`release` (request answered) or :meth:`remove_worker`
+        (worker died; in-flight slots die with it).  ``force=True`` ignores
+        the admission bound — used when re-dispatching work that was
+        already admitted once (crashed-worker requeue must not shed).
+        ``record_shed=False`` keeps a ``None`` return out of the shed
+        counter — a backpressured caller polling for a free slot is
+        *waiting*, not shedding, and must not inflate the statistic.
+        """
+        with self._lock:
+            best: Optional[str] = None
+            best_key = None
+            for worker, count in self._outstanding.items():
+                if count >= self.max_outstanding and not force:
+                    continue
+                key = (count, -rendezvous_score(model, worker))
+                if best_key is None or key < best_key:
+                    best, best_key = worker, key
+            if best is None:
+                if record_shed:
+                    self._shed += 1
+                return None
+            self._outstanding[best] += 1
+            self._dispatched += 1
+            return best
+
+    def record_shed(self) -> None:
+        """Count one client-visible shed (used with ``record_shed=False``)."""
+        with self._lock:
+            self._shed += 1
+
+    def release(self, worker: str) -> None:
+        """Return one slot on ``worker`` (no-op if it was removed).
+
+        A removed worker's slots were already credited to the completed
+        counter by :meth:`remove_worker`; counting its late responses again
+        would overstate completions.
+        """
+        with self._lock:
+            count = self._outstanding.get(worker)
+            if count is None:
+                return
+            self._completed += 1
+            if count > 0:
+                self._outstanding[worker] = count - 1
+
+    def retry_after_s(self, batch_wall_ms: float = 2.0) -> float:
+        """Suggested client back-off when shedding.
+
+        A saturated cluster drains roughly one batch per worker per batch
+        wall time; half that horizon is a reasonable first retry.
+        """
+        with self._lock:
+            workers = max(1, len(self._outstanding))
+        return max(0.001, (batch_wall_ms / 1000.0) * self.max_outstanding
+                   / (2.0 * workers))
+
+    # ------------------------------------------------------------- stats
+    def stats(self) -> RouterStats:
+        with self._lock:
+            return RouterStats(
+                dispatched=self._dispatched,
+                completed=self._completed,
+                shed=self._shed,
+                workers=len(self._outstanding),
+            )

@@ -102,6 +102,19 @@ class BatchingScheduler:
     clock:
         Injectable monotonic clock (tests use a fake to make the timeout
         policy deterministic).
+
+    Examples
+    --------
+    Four queued requests and ``max_batch_size=4`` flush as one batch:
+
+    >>> with BatchingScheduler(lambda xs: [x * 2 for x in xs],
+    ...                        max_batch_size=4, max_wait_ms=60_000.0) as s:
+    ...     futures = [s.submit(i) for i in range(4)]
+    ...     results = [f.result(timeout=30) for f in futures]
+    >>> results
+    [0, 2, 4, 6]
+    >>> s.stats().batch_count
+    1
     """
 
     def __init__(
@@ -195,6 +208,22 @@ class BatchingScheduler:
             self._cond.notify_all()
         if self._worker is not threading.current_thread():
             self._worker.join()
+        # The worker only drains what it can reach: if it died abnormally
+        # (see _run) — or its death raced the close — requests may still be
+        # queued.  They must resolve with an error, never hang a client.
+        self._fail_pending(RuntimeError(f"{self.name} worker thread died"))
+
+    def _fail_pending(self, error: BaseException) -> None:
+        """Resolve every still-queued request with ``error``."""
+        with self._cond:
+            pending, self._pending = list(self._pending), deque()
+            self._failed += len(pending)
+        for request in pending:
+            if request.future.set_running_or_notify_cancel():
+                try:
+                    request.future.set_exception(error)
+                except Exception:  # pragma: no cover - defensive
+                    pass
 
     def __enter__(self) -> "BatchingScheduler":
         return self
@@ -271,17 +300,30 @@ class BatchingScheduler:
                 self._cond.wait()
 
     def _run(self) -> None:
-        while True:
-            batch, trigger, depth = self._cut_batch()
-            if batch is None:
-                return
-            self._run_batch(batch, trigger, depth)
+        try:
+            while True:
+                batch, trigger, depth = self._cut_batch()
+                if batch is None:
+                    return
+                self._run_batch(batch, trigger, depth)
+        except BaseException as exc:  # noqa: BLE001 - worker must not hang clients
+            # Executor exceptions are forwarded per batch by _run_batch; only
+            # infrastructure failures land here (e.g. a poisoned clock).  A
+            # dead worker can never cut another batch, so every queued — and
+            # every future — request must fail instead of waiting forever.
+            with self._cond:
+                self._closed = True
+                self._cond.notify_all()
+            self._fail_pending(
+                RuntimeError(f"{self.name} worker thread died: {exc!r}")
+            )
 
     def _run_batch(self, batch: List[_PendingRequest], trigger: str, depth: int) -> None:
         payloads = [request.payload for request in batch]
         t0 = time.perf_counter()
         error: Optional[BaseException] = None
         results: Sequence[object] = ()
+        now = 0.0
         try:
             results = self._execute(payloads)
             if len(results) != len(batch):
@@ -289,6 +331,10 @@ class BatchingScheduler:
                     f"executor returned {len(results)} results for "
                     f"{len(batch)} requests"
                 )
+            # Inside the guard: the batch's futures are already claimed, so
+            # anything raising past this point — even the injectable clock —
+            # must fail the batch, not strand resolved-never futures.
+            now = self._clock()
         except BaseException as exc:  # noqa: BLE001 - forwarded to futures
             error = exc
         wall_ms = (time.perf_counter() - t0) * 1000.0
@@ -297,7 +343,6 @@ class BatchingScheduler:
         # cannot race a client cancel; the guard below is a last line of
         # defence keeping the worker alive should a future somehow already
         # be resolved — one wedged future must never kill the loop.
-        now = self._clock()
         if error is not None:
             for request in batch:
                 try:

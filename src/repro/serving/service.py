@@ -153,6 +153,19 @@ class InferenceService:
     chunk_bytes:
         Byte budget for ``run_batch``'s working-set-aware chunk heuristic
         (the CLI's ``--chunk-hint``); ``None`` uses the engine default.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.serving import InferenceService
+    >>> with InferenceService(max_batch_size=8, max_wait_ms=1.0) as service:
+    ...     image = np.zeros((8, 8, 3), dtype=np.uint8)
+    ...     out = service.infer("MicroCNN", image, timeout=60)
+    ...     report = service.report("MicroCNN")
+    >>> out.shape                  # per-image output row, no batch dim
+    (10,)
+    >>> report.requests
+    1
     """
 
     def __init__(

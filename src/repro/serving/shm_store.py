@@ -1,0 +1,271 @@
+"""Shared-memory model store: serialize packed weights once, attach N times.
+
+A cluster of worker processes must not hold N private copies of the model
+zoo.  :class:`SharedModelStore` serializes each network **once** into a
+``multiprocessing.shared_memory`` segment using the ``.pbit`` format
+(:mod:`repro.core.model_format`), and every worker attaches with
+:func:`attach_model`, which maps the segment and rebuilds the network with
+``zero_copy=True`` — the packed filter banks and dense weight matrices end
+up as read-only NumPy views straight into the shared pages.  No worker
+unpacks, repacks or copies the bulk weights; the only per-worker costs are
+the small per-channel vectors and the plan compilation at warm time.
+
+Ownership and cleanup discipline:
+
+* The **owner** (the process that published) unlinks every segment in
+  :meth:`SharedModelStore.close`; a ``weakref.finalize`` hook makes a
+  best-effort cleanup on interpreter exit, and the stdlib resource tracker
+  reclaims the segments even if the owner is SIGKILLed.
+* **Attachers** never unlink.  Python < 3.13 registers every attached
+  segment with the resource tracker, whose exit-time cleanup would destroy
+  the owner's segment the moment *one worker* dies — exactly wrong for a
+  cluster that respawns crashed workers.  :func:`attach_model` therefore
+  suppresses the attach-side registration, which is what keeps a worker
+  crash from tearing the model store out from under the survivors (pinned
+  by ``tests/test_cluster.py``).
+
+Note the ``.pbit`` round trip stores thresholds in float32, so an attached
+network is bit-identical to *any other load of the same published bytes* —
+the invariant the cluster relies on — but only approximately equal
+(``allclose``-level) to the float64 in-memory network it was serialized
+from.  Cluster-vs-single-process comparisons must therefore serve the same
+published artifact on both sides.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+import weakref
+from dataclasses import dataclass, field
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, Iterable, Iterator, Optional
+
+from repro.core.model_format import load_network_from_buffer, serialize_network
+from repro.core.network import Network
+
+__all__ = [
+    "AttachedModel",
+    "SharedModelStore",
+    "ShmModelHandle",
+    "attach_model",
+]
+
+_ATTACH_LOCK = threading.Lock()
+
+
+class _QuietSharedMemory(shared_memory.SharedMemory):
+    """``SharedMemory`` whose close tolerates still-exported buffer views.
+
+    The zero-copy design makes "NumPy views alive at close time" a normal
+    state, not a bug: a network's packed weights are views into the
+    mapping, and interpreter shutdown tears objects down in arbitrary
+    order.  The stdlib ``close()`` raises ``BufferError`` then (loudly, in
+    ``__del__``); here the mapping simply stays open until process exit,
+    when the OS reclaims it anyway.
+    """
+
+    def close(self) -> None:
+        try:
+            super().close()
+        except BufferError:
+            pass
+
+
+@contextlib.contextmanager
+def _untracked_attach() -> Iterator[None]:
+    """Suppress resource-tracker registration while attaching a segment.
+
+    Python < 3.13 registers shared memory with the resource tracker on
+    *attach*, not just on create.  A spawned worker runs its own tracker,
+    which unlinks everything it registered when the worker exits — so the
+    first worker death would destroy the store for every survivor.
+    Unregistering after the fact is no better: forked workers share the
+    owner's tracker, and the unregister would strip the owner's own
+    leak-protection entry.  Suppressing the registration only for the
+    attach call leaves exactly one tracked owner.
+    """
+    with _ATTACH_LOCK:
+        original = resource_tracker.register
+
+        def _register(name: str, rtype: str) -> None:  # pragma: no cover
+            if rtype != "shared_memory":
+                original(name, rtype)
+
+        resource_tracker.register = _register
+        try:
+            yield
+        finally:
+            resource_tracker.register = original
+
+
+@dataclass(frozen=True)
+class ShmModelHandle:
+    """Picklable descriptor of one published model.
+
+    Everything a worker process needs to attach: the canonical model name,
+    the shared-memory segment name and the exact payload length (the OS may
+    round the segment itself up to a page multiple).
+    """
+
+    model: str
+    shm_name: str
+    nbytes: int
+
+
+@dataclass
+class AttachedModel:
+    """A network mapped zero-copy from a shared-memory segment.
+
+    Keeps the :class:`~multiprocessing.shared_memory.SharedMemory` object
+    referenced — the network's packed weights are views into its buffer, so
+    the mapping must outlive the network.  ``close()`` only detaches this
+    process's mapping; it never unlinks the owner's segment.
+    """
+
+    network: Network
+    handle: ShmModelHandle
+    attach_ms: float
+    shm: shared_memory.SharedMemory = field(repr=False)
+
+    def close(self) -> None:
+        """Detach the local mapping (call only once the network is dead)."""
+        # NumPy views exported from shm.buf must be gone first, otherwise
+        # the mmap refuses to close; dropping the network is the caller's
+        # job, hence "only once the network is dead".
+        self.network = None  # type: ignore[assignment]
+        try:
+            self.shm.close()
+        except BufferError:  # pragma: no cover - live views still exported
+            pass
+
+
+def attach_model(handle: ShmModelHandle) -> AttachedModel:
+    """Attach to a published model, zero-copy.
+
+    Maps the segment named by ``handle`` and deserializes with
+    ``zero_copy=True``: packed binary weights are read-only views into the
+    shared pages — no unpack, no copy.  The returned
+    :class:`AttachedModel` records the wall-clock attach time
+    (``attach_ms``), which the cluster benchmark reports.
+
+    Raises
+    ------
+    FileNotFoundError
+        If the owner has already unlinked the segment (store closed).
+    """
+    t0 = time.perf_counter()
+    with _untracked_attach():
+        shm = _QuietSharedMemory(name=handle.shm_name, create=False)
+    try:
+        network = load_network_from_buffer(
+            shm.buf[: handle.nbytes], zero_copy=True
+        )
+    except Exception:
+        shm.close()
+        raise
+    attach_ms = (time.perf_counter() - t0) * 1000.0
+    return AttachedModel(network=network, handle=handle, attach_ms=attach_ms,
+                         shm=shm)
+
+
+class SharedModelStore:
+    """Owner side of the shared-memory model zoo.
+
+    Examples
+    --------
+    Publish a model once, attach (here: in the same process — workers do
+    exactly this after ``fork``/``spawn``) and run it zero-copy:
+
+    >>> import numpy as np
+    >>> from repro.core.model_format import (
+    ...     load_network_from_buffer, serialize_network)
+    >>> from repro.models.zoo import build_phonebit_network, micro_cnn_config
+    >>> from repro.serving.shm_store import SharedModelStore, attach_model
+    >>> network = build_phonebit_network(micro_cnn_config())
+    >>> reloaded = load_network_from_buffer(serialize_network(network))
+    >>> with SharedModelStore() as store:
+    ...     handle = store.publish(network)
+    ...     attached = attach_model(handle)
+    ...     packed_is_view = not attached.network.layers[2].weights_packed.flags.owndata
+    ...     image = np.zeros((1, 8, 8, 3), dtype=np.uint8)
+    ...     same = np.array_equal(
+    ...         attached.network(image).data, reloaded(image).data)
+    ...     attached.close()
+    >>> (packed_is_view, same)
+    (True, True)
+    """
+
+    def __init__(self, prefix: str = "repro-model") -> None:
+        self.prefix = prefix
+        self._segments: Dict[str, shared_memory.SharedMemory] = {}
+        self._handles: Dict[str, ShmModelHandle] = {}
+        # Best-effort unlink when the owner exits without close(); SIGKILL
+        # is covered by the stdlib resource tracker instead.
+        self._finalizer = weakref.finalize(self, _close_segments, self._segments)
+
+    # ------------------------------------------------------------- publish
+    def publish(self, network: Network, name: Optional[str] = None) -> ShmModelHandle:
+        """Serialize ``network`` into a fresh segment; returns its handle."""
+        key = name or network.name
+        if key in self._handles:
+            raise ValueError(f"model {key!r} is already published")
+        raw = serialize_network(network)
+        shm = _QuietSharedMemory(create=True, size=len(raw))
+        shm.buf[: len(raw)] = raw
+        self._segments[key] = shm
+        handle = ShmModelHandle(model=key, shm_name=shm.name, nbytes=len(raw))
+        self._handles[key] = handle
+        return handle
+
+    def publish_models(self, models: Iterable[str], rng: int = 0,
+                       word_size: int = 64) -> Dict[str, ShmModelHandle]:
+        """Build zoo models by name and publish each (serving-zoo lookup)."""
+        from repro.models.zoo import build_phonebit_network, get_serving_config
+
+        handles = {}
+        for model in models:
+            config = get_serving_config(model)
+            network = build_phonebit_network(config, rng=rng, word_size=word_size)
+            handles[config.name] = self.publish(network, name=config.name)
+        return handles
+
+    # ------------------------------------------------------------- lookup
+    def handles(self) -> Dict[str, ShmModelHandle]:
+        """Snapshot of every published handle, keyed by model name."""
+        return dict(self._handles)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._handles
+
+    def total_bytes(self) -> int:
+        """Sum of published payload bytes across all models."""
+        return sum(handle.nbytes for handle in self._handles.values())
+
+    # ------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Unmap and unlink every published segment (idempotent)."""
+        _close_segments(self._segments)
+        self._handles.clear()
+        self._finalizer.detach()
+
+    def __enter__(self) -> "SharedModelStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _close_segments(segments: Dict[str, shared_memory.SharedMemory]) -> None:
+    """Unmap + unlink helper shared by close() and the GC finalizer."""
+    while segments:
+        _, shm = segments.popitem()
+        try:
+            shm.close()
+        except Exception:  # pragma: no cover - defensive
+            pass
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already reclaimed
+            pass

@@ -31,6 +31,42 @@ class TestRoundTrip:
             rtol=1e-4, atol=1e-3,
         )
 
+    def test_buffer_load_zero_copy_matches_copy_load(self, tiny_bnn_network,
+                                                     tiny_images):
+        raw = model_format.serialize_network(tiny_bnn_network)
+        copied = model_format.load_network_from_buffer(raw)
+        zero_copy = model_format.load_network_from_buffer(raw, zero_copy=True)
+        # Bit-identical across load modes: the zero-copy path changes memory
+        # ownership, never values.
+        np.testing.assert_array_equal(
+            copied.forward(tiny_images).data,
+            zero_copy.forward(tiny_images).data,
+        )
+
+    def test_zero_copy_weights_are_frozen_views(self, tiny_bnn_network):
+        raw = bytearray(model_format.serialize_network(tiny_bnn_network))
+        network = model_format.load_network_from_buffer(raw, zero_copy=True)
+        saw_packed = False
+        for layer in network.layers:
+            packed = getattr(layer, "weights_packed", None)
+            if packed is not None and not isinstance(packed, property):
+                saw_packed = True
+                assert not packed.flags.owndata  # a view into ``raw``
+                assert not packed.flags.writeable
+        assert saw_packed
+
+    def test_zero_copy_lazy_weight_bits_round_trip(self, tiny_bnn_network):
+        """Unpacked bits materialize lazily and match the original."""
+        raw = model_format.serialize_network(tiny_bnn_network)
+        network = model_format.load_network_from_buffer(raw, zero_copy=True)
+        for original, restored in zip(tiny_bnn_network.layers, network.layers):
+            bits = getattr(original, "weight_bits", None)
+            if bits is None:
+                continue
+            np.testing.assert_array_equal(bits, restored.weight_bits)
+            # Materializing the bits must not invalidate the packed view.
+            assert not restored.weights_packed.flags.owndata
+
     def test_metadata_and_names_preserved(self, tiny_bnn_network):
         tiny_bnn_network.metadata["dataset"] = "synthetic"
         buffer = io.BytesIO()

@@ -232,6 +232,39 @@ class TestPlanCacheInvalidation:
         # The recompiled plan matches the layerwise path for the new weights.
         np.testing.assert_array_equal(after.output.data, net.forward(images).data)
 
+    def test_adopt_packed_weights_never_serves_stale_plan(self, rng):
+        """Re-adopting packed weights must invalidate the cached plan.
+
+        Packed-only layers (shared-memory attach) keep ``_weight_bits`` as a
+        sentinel; the plan snapshot keys on its identity, so every adoption
+        must install a *fresh* sentinel — a constant one would let a stale
+        plan keep serving the previous filters.
+        """
+        from repro.core import model_format
+
+        net = build_phonebit_network(get_serving_config("MicroCNN"), rng=11)
+        zc = model_format.load_network_from_buffer(
+            model_format.serialize_network(net), zero_copy=True
+        )
+        from repro.core import binary_conv
+
+        engine = PhoneBitEngine()
+        images = rng.integers(0, 256, size=(2,) + zc.input_shape).astype(np.uint8)
+        before = engine.run_batch(zc, images, collect_estimate=False)
+        plan_before = plan_mod.get_plan(zc)
+        conv = next(l for l in zc.layers if isinstance(l, BinaryConv2d))
+        flipped_bits = 1 - conv.weight_bits  # also exercises lazy unpack
+        # A mere inspection read must NOT invalidate the warm plan...
+        assert plan_mod.get_plan(zc) is plan_before
+        # ...but adopting new packed weights must.
+        conv.adopt_packed_weights(
+            binary_conv.pack_weights(flipped_bits, word_size=conv.word_size)
+        )
+        assert plan_mod.get_plan(zc) is not plan_before
+        after = engine.run_batch(zc, images, collect_estimate=False)
+        assert not np.array_equal(before.output.data, after.output.data)
+        np.testing.assert_array_equal(after.output.data, zc.forward(images).data)
+
     def test_batchnorm_reassignment_invalidates(self, rng, random_batchnorm):
         net = Network("bn-swap", input_shape=(8, 8, 3), input_dtype="uint8")
         net.add(InputConv2d(3, 8, 3, padding=1, rng=1, name="conv1"))

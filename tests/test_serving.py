@@ -170,6 +170,98 @@ class TestBatchingScheduler:
         assert [3] in calls and [1] not in calls
 
 
+class TestSchedulerWorkerDeath:
+    """The worker thread dying must fail futures, never hang them.
+
+    Executor exceptions are forwarded per batch; these tests kill the worker
+    *infrastructure* instead — a poisoned injectable clock raises inside the
+    wait loop, exactly the kind of failure that used to leave queued futures
+    unresolved forever.
+    """
+
+    @staticmethod
+    def poisoned_clock(fail_after):
+        """Clock that explodes on the worker thread's ``fail_after``-th call.
+
+        Calls from other threads (submit timestamps) pass through, so the
+        failure is deterministic: it always lands inside the worker loop.
+        """
+        state = {"calls": 0}
+
+        def clock():
+            if threading.current_thread().name.endswith("-worker"):
+                state["calls"] += 1
+                if state["calls"] > fail_after:
+                    raise RuntimeError("clock exploded")
+            return 0.0
+
+        return clock
+
+    def test_queued_futures_resolve_with_error_on_worker_death(self):
+        scheduler = BatchingScheduler(
+            echo_executor, max_batch_size=100, max_wait_ms=60_000.0,
+            clock=self.poisoned_clock(fail_after=1),
+        )
+        accepted = []
+        for payload in (1, 2, 3):
+            try:
+                accepted.append(scheduler.submit(payload))
+            except RuntimeError:
+                break  # worker already died and closed the scheduler
+        assert accepted, "first submit must be accepted"
+        scheduler.flush()  # wake the parked worker into its fatal clock call
+        for future in accepted:
+            # Depending on where the clock lands, the batch fails with the
+            # raw clock error (claimed futures) or the queued requests fail
+            # with the worker-died error — either way, no future may hang.
+            with pytest.raises(RuntimeError, match="clock exploded|worker thread died"):
+                future.result(timeout=WAIT_S)
+        assert scheduler.stats().failed == len(accepted)
+        scheduler.close()  # must not hang or raise
+
+    def test_drain_close_after_worker_death_does_not_hang(self):
+        scheduler = BatchingScheduler(
+            echo_executor, max_batch_size=100, max_wait_ms=60_000.0,
+            clock=self.poisoned_clock(fail_after=1),
+        )
+        future = scheduler.submit(1)
+        start = time.perf_counter()
+        scheduler.close(drain=True)
+        assert time.perf_counter() - start < WAIT_S
+        assert future.done()
+        with pytest.raises(RuntimeError):
+            future.result(timeout=0)
+
+    def test_submit_after_worker_death_raises(self):
+        scheduler = BatchingScheduler(
+            echo_executor, max_batch_size=100, max_wait_ms=60_000.0,
+            clock=self.poisoned_clock(fail_after=0),
+        )
+        try:
+            scheduler.submit(1)
+        except RuntimeError:
+            pass
+        deadline = time.perf_counter() + WAIT_S
+        while not scheduler.closed and time.perf_counter() < deadline:
+            time.sleep(0.01)
+        assert scheduler.closed
+        with pytest.raises(RuntimeError):
+            scheduler.submit(2)
+        scheduler.close()
+
+    def test_base_exception_from_executor_fails_batch_not_worker(self):
+        def exploding(payloads):
+            raise KeyboardInterrupt  # BaseException, not Exception
+
+        with BatchingScheduler(exploding, max_batch_size=2,
+                               max_wait_ms=5.0) as scheduler:
+            future = scheduler.submit(1)
+            with pytest.raises(BaseException):
+                future.result(timeout=WAIT_S)
+            follow_up_executor_alive = scheduler.stats().failed == 1
+        assert follow_up_executor_alive
+
+
 class TestLatencyMetrics:
     def test_summary_percentiles(self):
         tracker = LatencyTracker()

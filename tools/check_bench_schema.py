@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Schema check for the BENCH trajectory files.
+
+Every ``BENCH_*.json`` holds ``{"records": [...]}`` where each record must
+carry the keys the trajectory tooling pivots on — one from each group:
+
+* identity:  ``op`` or ``model``
+* workload:  ``shape`` or ``batch``
+* rate:      ``ns_per_op`` or ``req_per_s``
+
+Emitters may (and do) record richer fields alongside — ``offered_batch``,
+``speedup_vs_sequential``, ``workers`` — but the canonical spellings above
+must always be present so cross-benchmark tooling never needs per-file
+adapters.  Run with explicit paths or no arguments (discovers
+``benchmarks/BENCH_*.json`` relative to the repository root):
+
+    python tools/check_bench_schema.py
+    python tools/check_bench_schema.py benchmarks/BENCH_kernels_micro.json
+"""
+
+import glob
+import json
+import os
+import sys
+
+#: Each record must contain at least one key from every group.
+KEY_GROUPS = (
+    ("op", "model"),
+    ("shape", "batch"),
+    ("ns_per_op", "req_per_s"),
+)
+
+
+def check_file(path: str) -> list:
+    """Return a list of problem strings for one BENCH file."""
+    problems = []
+    try:
+        with open(path) as fh:
+            payload = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable ({exc})"]
+    records = payload.get("records") if isinstance(payload, dict) else None
+    if not isinstance(records, list) or not records:
+        return [f"{path}: expected a non-empty {{'records': [...]}} payload"]
+    for index, record in enumerate(records):
+        if not isinstance(record, dict):
+            problems.append(f"{path}: record {index} is not an object")
+            continue
+        for group in KEY_GROUPS:
+            if not any(key in record for key in group):
+                problems.append(
+                    f"{path}: record {index} is missing every one of "
+                    f"{'/'.join(group)} (keys: {sorted(record)})"
+                )
+    return problems
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv:
+        paths = argv
+    else:
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        paths = sorted(glob.glob(os.path.join(root, "benchmarks", "BENCH_*.json")))
+    if not paths:
+        print("no BENCH_*.json files found", file=sys.stderr)
+        return 1
+    problems = []
+    for path in paths:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(f"SCHEMA: {problem}", file=sys.stderr)
+    if not problems:
+        print(f"bench schema OK: {len(paths)} file(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

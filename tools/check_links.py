@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Markdown link checker for the repository docs.
+
+Walks the given markdown files (default: every ``*.md`` at the repository
+root plus ``docs/``), extracts inline links and validates the *relative*
+ones:
+
+* the target file must exist (relative to the linking file);
+* a ``#fragment`` pointing into a markdown file must match one of its
+  headings (GitHub anchor slugging: lowercase, spaces to dashes,
+  punctuation dropped).
+
+External ``http(s)``/``mailto`` links are not fetched — CI must not depend
+on the network — but a bare-looking target with a scheme typo still fails
+the existence check, which is the drift this tool exists to catch.
+
+    python tools/check_links.py
+    python tools/check_links.py README.md docs/architecture.md
+"""
+
+import glob
+import os
+import re
+import sys
+
+#: Inline markdown links: [text](target) — images share the syntax.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's heading → anchor slug (lowercase, dashes, punctuation out)."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: str) -> set:
+    with open(path, encoding="utf-8") as fh:
+        content = CODE_FENCE_RE.sub("", fh.read())
+    return {github_anchor(m.group(1)) for m in HEADING_RE.finditer(content)}
+
+
+def check_file(path: str) -> list:
+    problems = []
+    with open(path, encoding="utf-8") as fh:
+        raw = fh.read()
+    content = CODE_FENCE_RE.sub("", raw)  # fenced blocks are not links
+    for match in LINK_RE.finditer(content):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue  # external; not fetched in CI
+        base, _, fragment = target.partition("#")
+        directory = os.path.dirname(os.path.abspath(path))
+        if base:
+            resolved = os.path.normpath(os.path.join(directory, base))
+            if not os.path.exists(resolved):
+                problems.append(f"{path}: broken link target {target!r}")
+                continue
+        else:
+            resolved = os.path.abspath(path)  # same-file anchor
+        if fragment and resolved.endswith(".md"):
+            if github_anchor(fragment) not in anchors_of(resolved):
+                problems.append(
+                    f"{path}: link {target!r} points at a missing heading "
+                    f"anchor #{fragment}"
+                )
+    return problems
+
+
+def default_paths() -> list:
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    paths = sorted(glob.glob(os.path.join(root, "*.md")))
+    paths += sorted(glob.glob(os.path.join(root, "docs", "**", "*.md"),
+                              recursive=True))
+    return paths
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    paths = argv or default_paths()
+    problems = []
+    for path in paths:
+        if not os.path.exists(path):
+            problems.append(f"{path}: file not found")
+            continue
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(f"LINK: {problem}", file=sys.stderr)
+    if not problems:
+        print(f"links OK: {len(paths)} file(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

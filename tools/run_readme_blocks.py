@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Execute every fenced shell block of the README (the docs-smoke gate).
+
+A quickstart that drifts from the code is worse than none, so CI runs each
+```bash``/```sh`` fence of ``README.md`` through ``bash -euo pipefail``
+from the repository root with ``PYTHONPATH=src`` pre-set.  Blocks that must
+not execute (sample output, sketches of future work) belong in ```text``
+fences — the runner only picks up ``bash``/``sh``/``shell`` languages.
+
+    python tools/run_readme_blocks.py              # README.md
+    python tools/run_readme_blocks.py docs/foo.md  # any markdown file
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+FENCE_RE = re.compile(
+    r"^```(bash|sh|shell)\s*\n(.*?)^```\s*$", re.MULTILINE | re.DOTALL
+)
+
+#: Generous per-block timeout: the heaviest quickstart block is a serving
+#: benchmark sweep, which finishes in well under this even on tiny runners.
+BLOCK_TIMEOUT_S = 1200
+
+
+def shell_blocks(path: str) -> list:
+    with open(path, encoding="utf-8") as fh:
+        content = fh.read()
+    return [match.group(2) for match in FENCE_RE.finditer(content)]
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    paths = argv or [os.path.join(root, "README.md")]
+
+    env = dict(os.environ)
+    src = os.path.join(root, "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+
+    total = 0
+    for path in paths:
+        blocks = shell_blocks(path)
+        if not blocks:
+            print(f"WARNING: {path} has no executable shell blocks",
+                  file=sys.stderr)
+        for index, block in enumerate(blocks, start=1):
+            total += 1
+            label = f"{os.path.relpath(path, root)} block {index}/{len(blocks)}"
+            print(f"=== {label} ===")
+            print(block.rstrip())
+            result = subprocess.run(
+                ["bash", "-euo", "pipefail", "-c", block],
+                cwd=root, env=env, timeout=BLOCK_TIMEOUT_S,
+            )
+            if result.returncode != 0:
+                print(f"FAIL: {label} exited {result.returncode}",
+                      file=sys.stderr)
+                return result.returncode
+    print(f"docs-smoke OK: {total} shell block(s) executed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
