@@ -1,32 +1,49 @@
-"""Cluster scaling benchmark (wall-clock, not simulated).
+"""Cluster scaling + overload benchmark (wall-clock, not simulated).
 
-Measures the sharded multi-process :class:`repro.serving.ClusterService`
-against the single-process :class:`InferenceService` serving the *same
-shared-memory artifact*, across a sweep of worker counts, and emits
-machine-readable JSON records for the BENCH trajectory:
+Two modes, one BENCH trajectory file:
 
-    {op, model, workers, batch, shape, requests, req_per_s, requests_per_s,
-     single_process_rps, speedup_vs_single_process, latency_p50_ms,
-     latency_p99_ms, mean_batch_size, shm_attach_ms_mean, store_bytes,
-     host_cpus, bit_identical}
+**Closed loop** (default) measures the sharded
+:class:`repro.serving.ClusterService` against the single-process
+:class:`InferenceService` serving the *same published artifact*, across a
+sweep of worker counts and transports (``--transports pipe,uds,tcp``), and
+emits JSON records:
 
-Every sweep point first verifies that cluster outputs are bit-identical to
-the single-process service (both sides attach the same published ``.pbit``
-bytes, so equality is exact, not approximate), so a throughput win can
-never hide a correctness drift.
+    {op: "cluster_scaling", model, transport, workers, batch, shape,
+     requests, req_per_s, requests_per_s, single_process_rps,
+     speedup_vs_single_process, latency_p50_ms, latency_p99_ms,
+     mean_batch_size, shm_attach_ms_mean, store_bytes, host_cpus,
+     bit_identical}
 
-The ``--min-speedup`` floor applies to the *largest* worker count's
-``speedup_vs_single_process``.  Process-level scaling needs physical
-parallelism: on a host with a single usable CPU the cluster can only
-measure its IPC overhead (every record carries ``host_cpus`` so trajectory
-tooling can tell these runs apart), so the floor is checked only when the
-host has at least ``--gate-min-cpus`` usable CPUs and is otherwise reported
-as skipped.  CI runs on multi-core runners, where the gate is real.
+**Open loop** (``--open-loop``) measures what *overload* looks like: the
+cluster's closed-loop capacity is calibrated first, then non-blocking
+Poisson arrivals are offered at each ``--overload-x`` multiple of it.
+Backpressure never stalls the arrival clock, so the admission controller's
+shed / retry-after behaviour becomes a recorded trajectory instead of just
+a test assertion:
+
+    {op: "cluster_open_loop", model, transport, workers, batch, shape,
+     requests, offered_rps, offered_x_capacity, capacity_rps, req_per_s,
+     completed, shed, shed_rate, retry_after_ms_mean, latency_p50_ms,
+     latency_p99_ms, host_cpus, bit_identical}
+
+Every closed-loop sweep point verifies cluster outputs bit-identical to
+the single-process service; every open-loop point verifies each *completed*
+response bit-identical to the engine's direct ``run_batch`` rows — a
+throughput or overload result can never hide a correctness drift.
+
+The ``--min-speedup`` floor applies to the largest worker count of the
+**first** listed transport (pipe by default; socket transports carry real
+framing overhead and are compared, not gated).  Process-level scaling
+needs physical parallelism: the floor is checked only when the host has at
+least ``--gate-min-cpus`` usable CPUs (every record carries ``host_cpus``
+so trajectory tooling can tell single-CPU runs apart).
 
 Usage:
 
     PYTHONPATH=src python benchmarks/bench_cluster_scaling.py \
         --json benchmarks/BENCH_cluster_scaling.json --min-speedup 2
+    PYTHONPATH=src python benchmarks/bench_cluster_scaling.py \
+        --open-loop --transports pipe,uds,tcp --json -
 """
 
 import argparse
@@ -38,7 +55,12 @@ def main(argv=None) -> int:
     parser.add_argument("--model", default="MicroCNN",
                         help="serving-zoo model to benchmark")
     parser.add_argument("--workers", default="1,2,4,8",
-                        help="comma-separated worker counts")
+                        help="comma-separated worker counts (closed loop); "
+                             "open loop uses the largest")
+    parser.add_argument("--transports", default="pipe",
+                        help="comma-separated transports to compare "
+                             "(pipe,uds,tcp); the speedup gate applies to "
+                             "the first")
     parser.add_argument("--batch", type=int, default=64,
                         help="offered batch level (per-worker micro-batch bound)")
     parser.add_argument("--requests", type=int, default=256,
@@ -46,50 +68,96 @@ def main(argv=None) -> int:
     parser.add_argument("--max-wait-ms", type=float, default=2.0)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--mp-context", default=None,
-                        help="multiprocessing start method (fork/spawn)")
+                        help="multiprocessing start method for the pipe "
+                             "transport (fork/spawn)")
+    parser.add_argument("--open-loop", action="store_true",
+                        help="record the shed/retry-after overload "
+                             "trajectory instead of closed-loop scaling")
+    parser.add_argument("--overload-x", default="0.5,1.5,3.0",
+                        help="open-loop offered-load multiples of the "
+                             "calibrated closed-loop capacity")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="write records to PATH ('-' for stdout)")
     parser.add_argument("--quick", action="store_true",
                         help="fewer requests / worker counts (CI smoke mode)")
     parser.add_argument("--min-speedup", type=float, default=None,
-                        help="fail unless the largest worker count reaches this "
-                             "speedup over the single-process service")
+                        help="fail unless the first transport's largest "
+                             "worker count reaches this speedup over the "
+                             "single-process service (closed loop only)")
     parser.add_argument("--gate-min-cpus", type=int, default=2,
                         help="skip the --min-speedup gate below this many "
                              "usable host CPUs (scaling needs parallelism)")
     args = parser.parse_args(argv)
 
-    from repro.serving.cluster import scaling_sweep, scaling_table, usable_cpus
+    from repro.serving.cluster import (
+        open_loop_sweep,
+        open_loop_table,
+        scaling_sweep,
+        scaling_table,
+        usable_cpus,
+    )
     from repro.serving.loadgen import write_sweep_records
 
+    transports = tuple(
+        t.strip() for t in str(args.transports).split(",") if t.strip()
+    )
     if args.quick:
-        worker_counts = (1, 8)
+        # Socket workers are full subprocesses (interpreter + NumPy import
+        # per worker), so the smoke sweep keeps their counts small.
+        worker_counts = (1, 8) if transports == ("pipe",) else (1, 2)
         requests = min(args.requests, 128)
+        overload_x = (0.5, 3.0)
     else:
         worker_counts = tuple(
             int(w) for w in str(args.workers).split(",") if w.strip()
         )
         requests = args.requests
+        overload_x = tuple(
+            float(x) for x in str(args.overload_x).split(",") if x.strip()
+        )
 
-    records = scaling_sweep(
-        model=args.model,
-        worker_counts=worker_counts,
-        offered_batch=args.batch,
-        requests=requests,
-        max_wait_ms=args.max_wait_ms,
-        seed=args.seed,
-        mp_context=args.mp_context,
-    )
-
-    print(scaling_table(
-        records,
-        title=f"Cluster scaling — {args.model} (offered batch {args.batch}, "
-              "outputs bit-identical to the single-process service)",
-    ))
+    records = []
+    if args.open_loop:
+        for transport in transports:
+            records.extend(open_loop_sweep(
+                model=args.model,
+                workers=max(worker_counts),
+                offered_batch=args.batch,
+                requests=requests,
+                overload_x=overload_x,
+                max_wait_ms=args.max_wait_ms,
+                seed=args.seed,
+                mp_context=args.mp_context,
+                transport=transport,
+            ))
+        print(open_loop_table(
+            records,
+            title=f"Cluster open-loop overload — {args.model} "
+                  f"({max(worker_counts)} workers; completed outputs "
+                  "bit-identical to run_batch)",
+        ))
+    else:
+        for transport in transports:
+            records.extend(scaling_sweep(
+                model=args.model,
+                worker_counts=worker_counts,
+                offered_batch=args.batch,
+                requests=requests,
+                max_wait_ms=args.max_wait_ms,
+                seed=args.seed,
+                mp_context=args.mp_context,
+                transport=transport,
+            ))
+        print(scaling_table(
+            records,
+            title=f"Cluster scaling — {args.model} (offered batch "
+                  f"{args.batch}, transports {'/'.join(transports)}, outputs "
+                  "bit-identical to the single-process service)",
+        ))
     if args.json:
         print(write_sweep_records(records, args.json))
 
-    if args.min_speedup is not None:
+    if args.min_speedup is not None and not args.open_loop:
         cpus = usable_cpus()
         if cpus < args.gate_min_cpus:
             print(
@@ -99,10 +167,12 @@ def main(argv=None) -> int:
                 file=sys.stderr,
             )
             return 0
-        top = max(records, key=lambda r: r["workers"])
+        gated = [r for r in records if r["transport"] == transports[0]]
+        top = max(gated, key=lambda r: r["workers"])
         if top["speedup_vs_single_process"] < args.min_speedup:
             print(
-                f"FAIL: cluster speedup at {top['workers']} workers is "
+                f"FAIL: cluster speedup at {top['workers']} workers over "
+                f"{top['transport']} is "
                 f"{top['speedup_vs_single_process']:.2f}x < required "
                 f"{args.min_speedup:.2f}x",
                 file=sys.stderr,

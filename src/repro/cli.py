@@ -11,14 +11,20 @@ Usage (no console-script entry point is installed; invoke the module):
     python -m repro.cli summary     <model.pbit>
     python -m repro.cli serve-bench [--model MicroCNN] [--batches 1,4,16,64]
     python -m repro.cli loadgen     [--model MicroCNN] [--rps 200]
+    python -m repro.cli cluster-worker --connect tcp://HOST:PORT
 
 Each sub-command regenerates one of the paper's tables/figures, inspects a
 ``.pbit`` model file, or exercises the micro-batching inference service
 (``serve-bench`` sweeps closed-loop throughput vs the sequential engine;
 ``loadgen`` offers an open-loop Poisson load and reports tail latency).
 Both serving commands take ``--workers N`` to route the same traffic
-through a sharded multi-process :class:`~repro.serving.cluster.ClusterService`
-instead of one in-process service (see ``docs/architecture.md``).
+through a sharded :class:`~repro.serving.cluster.ClusterService` instead
+of one in-process service, and ``--transport pipe|uds|tcp`` to pick the
+worker wire (see ``docs/architecture.md`` and ``docs/deployment.md``).
+``cluster-worker`` runs one self-registering worker process — on the
+router's host or any other — that dials the router, fetches model bytes
+it has never seen into the per-host digest cache, and serves until the
+router stops it.
 """
 
 from __future__ import annotations
@@ -72,6 +78,33 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_transport_arguments(parser: argparse.ArgumentParser) -> None:
+    """Shared cluster-transport knobs for the serving subcommands."""
+    parser.add_argument(
+        "--transport", choices=("pipe", "uds", "tcp"), default="pipe",
+        help="cluster worker wire: multiprocessing pipes (single host, "
+             "default), Unix-domain sockets, or TCP (cross-host)",
+    )
+    parser.add_argument(
+        "--bind", default=None, metavar="ADDR",
+        help="socket-transport listen address (tcp://host:port or "
+             "uds:///path); defaults to TCP loopback on an ephemeral port "
+             "or a temp-dir socket path",
+    )
+    parser.add_argument(
+        "--expect-workers", type=int, default=0, metavar="N",
+        help="wait for N externally launched cluster-worker processes to "
+             "self-register (socket transports; combine with --workers 0 "
+             "to spawn none locally)",
+    )
+
+
+def _wants_cluster(args) -> bool:
+    """Route through a ClusterService instead of one in-process service?"""
+    return (args.workers > 1 or args.transport != "pipe"
+            or args.expect_workers > 0)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -117,6 +150,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve_bench.add_argument("--workers", type=int, default=1, metavar="N",
                              help="serve through a ClusterService of N worker "
                                   "processes instead of one in-process service")
+    _add_transport_arguments(serve_bench)
     _add_execution_arguments(serve_bench)
 
     loadgen = subparsers.add_parser(
@@ -139,7 +173,30 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--workers", type=int, default=1, metavar="N",
                          help="offer the load to a ClusterService of N worker "
                               "processes instead of one in-process service")
+    _add_transport_arguments(loadgen)
     _add_execution_arguments(loadgen)
+
+    cluster_worker = subparsers.add_parser(
+        "cluster-worker",
+        help="run one self-registering cluster worker (remote or loopback)",
+    )
+    cluster_worker.add_argument(
+        "--connect", required=True, metavar="ADDR",
+        help="router address: tcp://host:port or uds:///path/to.sock",
+    )
+    cluster_worker.add_argument(
+        "--retry-s", type=float, default=30.0, metavar="S",
+        help="keep dialing a router that is not up yet for this long "
+             "(lets workers start before the router)",
+    )
+    cluster_worker.add_argument(
+        "--no-reconnect", action="store_true",
+        help="exit on connection loss instead of re-registering",
+    )
+    cluster_worker.add_argument(
+        "--threads", type=int, default=None, metavar="N",
+        help="fused-executor threads (overrides the router-sent config)",
+    )
     return parser
 
 
@@ -161,9 +218,15 @@ def _command_serve_bench(args) -> str:
     from repro.serving import sweep_table, throughput_sweep, write_sweep_records
 
     batches = tuple(int(b) for b in str(args.batches).split(",") if b.strip())
-    if args.workers > 1:
+    if _wants_cluster(args):
         from repro.serving.cluster import scaling_sweep, scaling_table
 
+        if args.expect_workers > 0 and len(batches) > 1:
+            raise SystemExit(
+                "serve-bench: --expect-workers supports a single --batches "
+                "level (each level's cluster close() stops the external "
+                "workers; restart them between levels or use one level)"
+            )
         records = []
         for batch in batches:
             records.extend(scaling_sweep(
@@ -175,11 +238,15 @@ def _command_serve_bench(args) -> str:
                 seed=args.seed,
                 worker_threads=args.threads,
                 chunk_bytes=args.chunk_hint,
+                transport=args.transport,
+                bind=args.bind,
+                expect_workers=args.expect_workers,
             ))
         table = scaling_table(
             records,
             title=f"Cluster serving throughput — {args.model} "
-                  f"({args.workers} workers, outputs verified bit-identical "
+                  f"({args.workers}+{args.expect_workers} workers over "
+                  f"{args.transport}, outputs verified bit-identical "
                   "to the single-process service)",
         )
         if args.json:
@@ -208,7 +275,7 @@ def _command_loadgen(args) -> str:
     from repro.core.engine import PhoneBitEngine
     from repro.serving import InferenceService, run_open_loop, synthetic_images
 
-    if args.workers > 1:
+    if _wants_cluster(args):
         from repro.models.zoo import get_serving_config
         from repro.serving import ClusterService
 
@@ -221,6 +288,9 @@ def _command_loadgen(args) -> str:
             cache_capacity=args.cache_capacity,
             chunk_bytes=args.chunk_hint,
             worker_threads=args.threads,
+            transport=args.transport,
+            bind=args.bind,
+            expect_workers=args.expect_workers,
         )
     else:
         service = InferenceService(
@@ -277,6 +347,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         output = _command_serve_bench(args)
     elif args.command == "loadgen":
         output = _command_loadgen(args)
+    elif args.command == "cluster-worker":
+        from repro.serving.transport import run_cluster_worker
+
+        return run_cluster_worker(
+            args.connect,
+            threads=args.threads,
+            retry_s=args.retry_s,
+            reconnect=not args.no_reconnect,
+        )
     else:  # pragma: no cover - argparse enforces the choices
         raise SystemExit(2)
     print(output)

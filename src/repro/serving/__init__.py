@@ -15,12 +15,15 @@ from repro.serving.cluster import (
     ClusterService,
     WorkerConfig,
     WorkerCrashError,
+    open_loop_sweep,
     scaling_sweep,
 )
 from repro.serving.loadgen import (
     LoadgenResult,
+    ShedLoadResult,
     run_closed_loop,
     run_open_loop,
+    run_open_loop_shedding,
     sequential_baseline,
     sequential_forward_baseline,
     sweep_table,
@@ -40,9 +43,18 @@ from repro.serving.router import LeastOutstandingRouter, RouterStats
 from repro.serving.service import InferenceService, ServiceReport
 from repro.serving.shm_store import (
     AttachedModel,
+    HostModelCache,
     SharedModelStore,
     ShmModelHandle,
+    artifact_digest,
     attach_model,
+)
+from repro.serving.transport import (
+    Channel,
+    PipeTransport,
+    SocketTransport,
+    TransportClosed,
+    run_cluster_worker,
 )
 
 __all__ = [
@@ -50,6 +62,13 @@ __all__ = [
     "BatchRecord",
     "BatchingScheduler",
     "CacheStats",
+    "Channel",
+    "HostModelCache",
+    "PipeTransport",
+    "SocketTransport",
+    "TransportClosed",
+    "artifact_digest",
+    "run_cluster_worker",
     "ClusterOverloadError",
     "ClusterReport",
     "ClusterService",
@@ -70,7 +89,10 @@ __all__ = [
     "WorkerConfig",
     "WorkerCrashError",
     "attach_model",
+    "open_loop_sweep",
+    "run_open_loop_shedding",
     "scaling_sweep",
+    "ShedLoadResult",
     "input_digest",
     "percentile_ms",
     "run_closed_loop",

@@ -1,39 +1,48 @@
-"""Sharded multi-process serving: N worker processes, one shared model store.
+"""Sharded multi-worker serving: N workers, one digest-addressed model zoo.
 
 The single-process :class:`~repro.serving.service.InferenceService` is
 capped by the GIL once the fused kernels saturate one interpreter.
 :class:`ClusterService` scales horizontally:
 
 * the packed model zoo is serialized **once** into shared memory
-  (:mod:`repro.serving.shm_store`); every worker process attaches read-only
-  and zero-copy — no per-worker unpack, no N× weight memory;
+  (:mod:`repro.serving.shm_store`); every same-host worker attaches
+  read-only and zero-copy — no per-worker unpack, no N× weight memory —
+  while remote workers fetch each artifact's bytes once per host into a
+  digest-keyed :class:`~repro.serving.shm_store.HostModelCache`;
 * each worker hosts a warmed :class:`InferenceService` (micro-batching,
   fused plans compiled at attach time) and talks to the front end over a
-  request queue / shared response queue pair;
+  pluggable transport (:mod:`repro.serving.transport`): ``multiprocessing``
+  pipes on one host, Unix-domain or TCP sockets across hosts;
 * the front end routes with least-outstanding-requests balancing and
   per-model consistent tie-breaking (:mod:`repro.serving.router`), applies
   admission control (bounded per-worker outstanding windows,
-  shed-with-retry-after on overload), supervises worker health (heartbeats,
-  crash → respawn + requeue of in-flight work) and aggregates per-worker
+  shed-with-retry-after on overload), supervises worker health (heartbeats
+  plus connection loss, crash → respawn/re-admission + requeue of in-flight
+  work) and aggregates per-worker
   :class:`~repro.serving.service.ServiceReport` s into a cluster-wide view.
 
 ``ClusterService`` duck-types the service surface the load generators use
 (``submit`` / ``submit_batch`` / ``infer`` / ``report`` / ``close``), so
 :func:`repro.serving.loadgen.run_closed_loop` and ``run_open_loop`` drive a
 cluster unmodified.  Outputs are bit-identical to a single-process service
-serving the same published artifact (``tests/test_cluster.py`` and
+serving the same published artifact regardless of transport
+(``tests/test_cluster.py``, ``tests/test_transport.py`` and
 ``benchmarks/bench_cluster_scaling.py`` gate this).
 
-See ``docs/architecture.md`` for where this layer sits in the system.
+See ``docs/architecture.md`` for where this layer sits in the system and
+``docs/deployment.md`` for the operator's guide (topologies, transport
+selection, failure semantics).
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import queue as queue_mod
+import subprocess
+import tempfile
 import threading
 import time
+import uuid
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -46,6 +55,13 @@ from repro.serving.router import LeastOutstandingRouter, RouterStats
 from repro.serving.scheduler import TRIGGERS, SchedulerStats
 from repro.serving.service import ServiceReport
 from repro.serving.shm_store import SharedModelStore, ShmModelHandle, attach_model
+from repro.serving.transport import (
+    PipeTransport,
+    SocketTransport,
+    TransportClosed,
+    WorkerEndpoint,
+    build_worker_service,
+)
 
 __all__ = [
     "ClusterOverloadError",
@@ -53,6 +69,7 @@ __all__ = [
     "ClusterService",
     "WorkerCrashError",
     "WorkerConfig",
+    "open_loop_sweep",
     "scaling_sweep",
 ]
 
@@ -119,29 +136,9 @@ def _worker_main(worker_id: str, handles: Dict[str, ShmModelHandle],
     :class:`InferenceService` over them and serves the request queue until
     a ``stop`` message arrives; heartbeats ride the response queue.
     """
-    # Imported here (not at module top-level use sites) so a spawn-context
-    # worker pays its imports once, inside the child.
-    from repro.core.engine import PhoneBitEngine
-    from repro.serving.pool import ModelPool
-    from repro.serving.service import InferenceService
-
     try:
-        pool = ModelPool()
-        attached = []
-        attach_ms: Dict[str, float] = {}
-        for model, handle in handles.items():
-            a = attach_model(handle)
-            attached.append(a)
-            pool.register(a.network, name=model, warm=True)
-            attach_ms[model] = a.attach_ms
-        service = InferenceService(
-            pool=pool,
-            engine=PhoneBitEngine(num_threads=config.threads),
-            max_batch_size=config.max_batch_size,
-            max_wait_ms=config.max_wait_ms,
-            cache_capacity=config.cache_capacity,
-            chunk_bytes=config.chunk_bytes,
-        )
+        attached = [attach_model(handle) for handle in handles.values()]
+        service, attach_ms = build_worker_service(attached, config)
     except BaseException as exc:  # noqa: BLE001 - reported to the front end
         response_q.put(("init_error", worker_id,
                         f"{type(exc).__name__}: {exc}"))
@@ -196,11 +193,10 @@ class _Pending:
 
 @dataclass
 class _Worker:
-    """Front-end view of one worker process."""
+    """Front-end view of one worker, behind its transport endpoint."""
 
     worker_id: str
-    process: multiprocessing.process.BaseProcess
-    request_q: object
+    endpoint: WorkerEndpoint
     spawned_at: float
     ready: bool = False
     pid: Optional[int] = None
@@ -277,11 +273,6 @@ def _merge_scheduler_stats(stats: Sequence[SchedulerStats]) -> SchedulerStats:
     )
 
 
-def _default_context() -> multiprocessing.context.BaseContext:
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
-
-
 def usable_cpus() -> int:
     """CPUs this process may actually run on.
 
@@ -326,9 +317,29 @@ class ClusterService:
     max_respawns:
         Total crash-respawn budget (default: ``workers``).
     mp_context:
-        ``"fork"`` / ``"spawn"`` / a context object; default prefers fork
-        (instant worker start; the plan module resets its thread pools via
-        ``os.register_at_fork``).
+        ``"fork"`` / ``"spawn"`` / a context object for the pipe transport;
+        default prefers fork (instant worker start; the plan module resets
+        its thread pools via ``os.register_at_fork``).
+    transport:
+        ``"pipe"`` (default — today's single-host child processes),
+        ``"uds"`` / ``"tcp"`` (socket transports: workers are separate
+        ``repro.cli cluster-worker`` processes that self-register), or a
+        ready-made transport object.  See :mod:`repro.serving.transport`.
+    bind:
+        Socket-transport listen address (``tcp://host:port``,
+        ``uds:///path``).  Defaults: TCP loopback on an ephemeral port, or
+        a temp-dir socket path.  The resolved address is
+        ``cluster.transport.address``.
+    expect_workers:
+        Additionally wait at startup for this many *externally launched*
+        workers to self-register (socket transports only) — the two-
+        terminal topology in ``docs/deployment.md``.  ``workers=0`` with
+        ``expect_workers>0`` runs the router with no locally spawned
+        workers at all.
+    reconnect_grace_s:
+        After a socket worker's connection drops while its process is
+        still alive, how long requeued work may park waiting for the
+        reconnection before the worker is declared dead for good.
     """
 
     def __init__(
@@ -349,12 +360,20 @@ class ClusterService:
         startup_timeout_s: float = 120.0,
         rng: int = 0,
         word_size: int = 64,
+        transport="pipe",
+        bind: Optional[str] = None,
+        expect_workers: int = 0,
+        reconnect_grace_s: float = 15.0,
     ) -> None:
-        if workers < 1:
+        socket_mode = (transport in ("uds", "tcp") if isinstance(transport, str)
+                       else getattr(transport, "spawns_via_registration", False))
+        if expect_workers and not socket_mode:
+            raise ValueError("expect_workers requires a socket transport")
+        if workers < 1 and not (socket_mode and expect_workers > 0):
             raise ValueError("workers must be at least 1")
-        if isinstance(mp_context, str):
-            mp_context = multiprocessing.get_context(mp_context)
-        self._ctx = mp_context or _default_context()
+        self.transport = self._build_transport(transport, bind, mp_context)
+        self._startup_target = workers + expect_workers
+        self.reconnect_grace_s = reconnect_grace_s
 
         self._owns_store = store is None
         self.store = store or SharedModelStore()
@@ -392,15 +411,18 @@ class ClusterService:
         self._respawns = 0
         self._requeued = 0
         self._closed = False
+        #: Socket workers the router launched that have not yet said hello,
+        #: keyed by subprocess pid.
+        self._spawn_pending: Dict[int, subprocess.Popen] = {}
+        #: Socket workers whose link dropped but whose process is alive and
+        #: expected to dial back: ``{pid: (popen, deadline)}``.
+        self._rejoin_pending: Dict[int, tuple] = {}
 
-        self._response_q = self._ctx.Queue()
+        self.transport.start(deliver=self._handle_message,
+                             register=self._register_worker)
         for _ in range(workers):
             self._spawn_worker()
 
-        self._pump_thread = threading.Thread(
-            target=self._pump, name="cluster-pump", daemon=True
-        )
-        self._pump_thread.start()
         self._supervisor_thread = threading.Thread(
             target=self._supervise, name="cluster-supervisor", daemon=True
         )
@@ -410,45 +432,101 @@ class ClusterService:
         self._wait_ready(startup_timeout_s)
 
     # ------------------------------------------------------------- lifecycle
-    def _spawn_worker(self) -> str:
+    @staticmethod
+    def _build_transport(transport, bind: Optional[str], mp_context):
+        if not isinstance(transport, str):
+            return transport
+        if transport == "pipe":
+            if bind is not None:
+                raise ValueError("bind is only meaningful for socket transports")
+            return PipeTransport(mp_context=mp_context)
+        if transport == "tcp":
+            return SocketTransport(bind or "tcp://127.0.0.1:0")
+        if transport == "uds":
+            if bind is None:
+                path = os.path.join(
+                    tempfile.gettempdir(),
+                    f"repro-cluster-{os.getpid()}-{uuid.uuid4().hex[:8]}.sock",
+                )
+                bind = f"uds://{path}"
+            return SocketTransport(bind)
+        raise ValueError(
+            f"unknown transport {transport!r}; expected pipe, uds or tcp"
+        )
+
+    def _spawn_worker(self) -> None:
+        """Start one router-owned worker (child process or subprocess)."""
+        if self.transport.spawns_via_registration:
+            process = self.transport.launch_worker()
+            with self._lock:
+                self._spawn_pending[process.pid] = process
+            return
         worker_id = f"w{self._next_worker}"
         self._next_worker += 1
-        request_q = self._ctx.Queue()
-        process = self._ctx.Process(
-            target=_worker_main,
-            args=(worker_id, self._handles, self.config, request_q,
-                  self._response_q),
-            name=f"cluster-{worker_id}",
-            daemon=True,
-        )
-        process.start()
+        endpoint = self.transport.spawn(worker_id, self._handles, self.config)
         with self._lock:
             self._workers[worker_id] = _Worker(
                 worker_id=worker_id,
-                process=process,
-                request_q=request_q,
+                endpoint=endpoint,
                 spawned_at=time.perf_counter(),
             )
-        return worker_id
+
+    def _register_worker(self, channel, hello: dict):
+        """Admit a socket worker that said hello (new spawn or reconnect).
+
+        Runs on the transport's handshake thread.  Returns the endpoint to
+        start reading from, or ``None`` to reject (cluster closed).
+        """
+        pid = hello.get("pid")
+        with self._lock:
+            if self._closed:
+                return None
+            worker_id = f"w{self._next_worker}"
+            self._next_worker += 1
+            process = self._spawn_pending.pop(pid, None)
+            rejoin = self._rejoin_pending.pop(pid, None)
+            if rejoin is not None:
+                # A reconnect restores capacity the same way a respawn does.
+                # External workers have no router-held process (rejoin[0] is
+                # None); router-launched ones carry their Popen forward.
+                if process is None:
+                    process = rejoin[0]
+                self._respawns += 1
+        endpoint = self.transport.make_endpoint(worker_id, channel, process)
+        manifest = [(h.model, h.digest, h.nbytes, h.shm_name)
+                    for h in self._handles.values()]
+        try:
+            endpoint.send(("welcome", worker_id, manifest, self.config))
+        except TransportClosed:
+            return None
+        with self._lock:
+            if self._closed:  # raced close(); do not admit
+                return None
+            self._workers[worker_id] = _Worker(
+                worker_id=worker_id,
+                endpoint=endpoint,
+                spawned_at=time.perf_counter(),
+            )
+        return endpoint
 
     def _wait_ready(self, timeout_s: float) -> None:
         deadline = time.perf_counter() + timeout_s
+        target = self._startup_target
         while True:
             with self._lock:
                 errors = list(self._init_errors)
                 ready = sum(1 for w in self._workers.values() if w.ready)
-                total = len(self._workers)
             if errors:
                 self.close(drain=False)
                 raise RuntimeError(
                     "cluster worker failed to initialize: " + "; ".join(errors)
                 )
-            if ready == total:
+            if ready >= target:
                 return
             if time.perf_counter() > deadline:
                 self.close(drain=False)
                 raise RuntimeError(
-                    f"cluster startup timed out: {ready}/{total} workers ready"
+                    f"cluster startup timed out: {ready}/{target} workers ready"
                 )
             time.sleep(0.01)
 
@@ -459,13 +537,15 @@ class ClusterService:
                 return
             self._closed = True
             workers = list(self._workers.values())
+            unjoined = list(self._spawn_pending.values())
+            unjoined += [proc for proc, _ in self._rejoin_pending.values()
+                         if proc is not None]
+            self._spawn_pending.clear()
+            self._rejoin_pending.clear()
         self._supervise_stop.set()
         for worker in workers:
             worker.stopping = True
-            try:
-                worker.request_q.put(("stop",))
-            except Exception:  # pragma: no cover - queue already broken
-                pass
+            worker.endpoint.request_stop()
         deadline = time.perf_counter() + timeout_s
         if drain:
             while time.perf_counter() < deadline:
@@ -474,17 +554,19 @@ class ClusterService:
                         break
                 time.sleep(0.005)
         for worker in workers:
-            worker.process.join(timeout=max(0.1, deadline - time.perf_counter()))
-            if worker.process.is_alive():  # pragma: no cover - stragglers
-                worker.process.terminate()
-                worker.process.join(timeout=5.0)
-            worker.request_q.close()
-            worker.request_q.cancel_join_thread()
+            worker.endpoint.shutdown(
+                timeout_s=max(0.1, deadline - time.perf_counter())
+            )
+        for process in unjoined:  # never registered: nothing to drain
+            process.terminate()
+        for process in unjoined:
+            try:
+                process.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:  # pragma: no cover - stragglers
+                process.kill()
         self._fail_outstanding(RuntimeError("cluster closed"))
-        # Stop the pump after the queues are finished with.
-        self._pump_thread.join(timeout=5.0)
-        self._response_q.close()
-        self._response_q.cancel_join_thread()
+        # Stop inbound delivery after the endpoints are finished with.
+        self.transport.close()
         if self._supervisor_thread.is_alive():
             self._supervisor_thread.join(timeout=5.0)
         if self._owns_store:
@@ -536,7 +618,8 @@ class ClusterService:
                 raise RuntimeError("cluster is closed")
             traffic = self._traffic_for(key)
             while True:
-                if not self._workers:
+                if not (self._workers or self._spawn_pending
+                        or self._rejoin_pending):
                     # Every worker is gone and the respawn budget is spent —
                     # nothing will ever free a slot.
                     raise WorkerCrashError(
@@ -601,13 +684,13 @@ class ClusterService:
         for worker_id, items in groups.items():
             with self._lock:
                 worker = self._workers.get(worker_id)
-                request_q = worker.request_q if worker is not None else None
+                endpoint = worker.endpoint if worker is not None else None
             delivered = False
-            if request_q is not None:
+            if endpoint is not None:
                 try:
-                    request_q.put(("reqs", items))
+                    endpoint.send(("reqs", items))
                     delivered = True
-                except (ValueError, OSError):
+                except (TransportClosed, ValueError, OSError):
                     pass
             if not delivered:
                 for rid, _, _ in items:
@@ -669,31 +752,14 @@ class ClusterService:
         """Blocking single-request inference."""
         return self.submit(model, image).result(timeout=timeout)
 
-    # ------------------------------------------------------------- pump
-    def _pump(self) -> None:
-        """Drain the shared response queue until close() finishes."""
-        while True:
-            try:
-                message = self._response_q.get(timeout=0.05)
-            except queue_mod.Empty:
-                with self._lock:
-                    if self._closed and not self._pending:
-                        alive = any(w.process.is_alive()
-                                    for w in self._workers.values())
-                        if not alive:
-                            return
-                continue
-            except (EOFError, OSError):  # pragma: no cover - queue torn down
-                return
-            try:
-                self._handle_message(message)
-            except Exception:  # pragma: no cover - defensive
-                # The pump is the only consumer of worker responses; one
-                # malformed message must never kill it (that would hang
-                # every in-flight future).
-                pass
-
+    # ------------------------------------------------------------- inbound
     def _handle_message(self, message: tuple) -> None:
+        """Inbound dispatch; called from the transport's delivery thread(s).
+
+        The pipe transport delivers from one pump thread, socket transports
+        from one reader thread per connection — every branch takes the
+        cluster lock, so concurrent delivery is safe.
+        """
         kind = message[0]
         if kind == "res" or kind == "err":
             self._handle_response(message)
@@ -710,12 +776,38 @@ class ClusterService:
             with self._lock:
                 self._report_inbox[(worker_id, generation)] = reports
                 self._report_arrived.notify_all()
+        elif kind == "fetch":
+            self._handle_fetch(message)
+        elif kind == "conn_lost":
+            _, worker_id = message
+            with self._lock:
+                worker = self._workers.get(worker_id)
+            if worker is not None and not worker.stopping:
+                self._handle_worker_death(worker)
         elif kind == "init_error":
             _, worker_id, text = message
             with self._lock:
                 self._init_errors.append(f"{worker_id}: {text}")
         elif kind == "bye":
             pass
+
+    def _handle_fetch(self, message: tuple) -> None:
+        """Serve a remote worker's artifact-bytes request by digest."""
+        _, worker_id, digest = message
+        with self._lock:
+            worker = self._workers.get(worker_id)
+        if worker is None:  # pragma: no cover - raced removal
+            return
+        try:
+            payload = np.frombuffer(self.store.payload_view(digest),
+                                    dtype=np.uint8)
+            reply = ("blob", digest, payload)
+        except KeyError as exc:
+            reply = ("blob_error", digest, str(exc))
+        try:
+            worker.endpoint.send(reply)
+        except (TransportClosed, ValueError, OSError):
+            pass  # dead link: its conn_lost handler owns the cleanup
 
     def _handle_ready(self, message: tuple) -> None:
         _, worker_id, pid, attach_ms = message
@@ -784,7 +876,7 @@ class ClusterService:
             for worker in self._workers.values():
                 if worker.stopping:
                     continue
-                alive = worker.process.is_alive()
+                alive = worker.endpoint.alive()
                 stale = (
                     worker.ready
                     and self.heartbeat_timeout_s > 0
@@ -794,9 +886,64 @@ class ClusterService:
                     dead.append(worker)
         for worker in dead:
             self._handle_worker_death(worker)
+        self._check_unjoined(now)
+
+    def _check_unjoined(self, now: float) -> None:
+        """Reap socket workers that died before (re)registering.
+
+        A launched subprocess that exits before its hello, or a
+        disconnected worker whose process dies (or whose reconnect grace
+        expires) while work is parked waiting for it, must convert into a
+        respawn or a drained orphan — never a silent hang.
+        """
+        #: (process-or-None, router_owned) — external rejoin entries carry
+        #: no process handle and are never respawned by the router.
+        failed: List[tuple] = []
+        with self._lock:
+            for pid, process in list(self._spawn_pending.items()):
+                code = process.poll()
+                if code is not None:
+                    del self._spawn_pending[pid]
+                    self._init_errors.append(
+                        f"worker pid {pid} exited with code {code} before "
+                        f"registering"
+                    )
+                    failed.append((process, True))
+            for pid, (process, deadline) in list(self._rejoin_pending.items()):
+                process_died = process is not None and process.poll() is not None
+                if process_died or now > deadline:
+                    del self._rejoin_pending[pid]
+                    failed.append((process, process is not None))
+        for process, router_owned in failed:
+            if process is not None and process.poll() is None:
+                process.terminate()  # pragma: no cover - grace expired
+            with self._lock:
+                respawn = (router_owned
+                           and self._respawns < self.max_respawns
+                           and not self._closed)
+                if respawn:
+                    self._respawns += 1
+                orphans, self._orphans = self._orphans, []
+                self._slot_free.notify_all()
+            if respawn:
+                self._spawn_worker()
+            # _redispatch re-parks orphans when another replacement is
+            # coming, otherwise fails their futures — never leaves them.
+            for rid in orphans:
+                self._redispatch(rid)
 
     def _handle_worker_death(self, worker: _Worker) -> None:
-        """Respawn a crashed worker and re-dispatch its in-flight requests."""
+        """Recover a dead worker link: respawn/await-reconnect + requeue.
+
+        Pipe workers are child processes — death means the process died,
+        so the recovery is a respawn (budget permitting).  Socket workers
+        die in two ways: the *process* died (respawn if the router launched
+        it) or only the *connection* died while the process lives — then
+        the worker is expected to dial back within ``reconnect_grace_s``
+        and requeued work may park for it.  Externally launched workers
+        are never respawned; they re-admit themselves by reconnecting.
+        """
+        endpoint = worker.endpoint
         with self._lock:
             if worker.worker_id not in self._workers:
                 return
@@ -811,14 +958,36 @@ class ClusterService:
             # them parked would hang their futures forever.
             victims.extend(self._orphans)
             self._orphans = []
-            respawn = self._respawns < self.max_respawns and not self._closed
+            rejoining = False
+            process = endpoint.surviving_process()
+            external = (getattr(endpoint, "reconnects", False)
+                        and not endpoint.respawnable)
+            if not self._closed:
+                if process is not None:
+                    # Link lost but the router-owned process lives: it will
+                    # reconnect.
+                    self._rejoin_pending[process.pid] = (
+                        process,
+                        time.perf_counter() + self.reconnect_grace_s,
+                    )
+                    rejoining = True
+                elif external and worker.pid is not None:
+                    # Externally launched worker: the router cannot see its
+                    # process, so grant the same reconnect grace on faith —
+                    # the entry expires (and parked work drains) if it never
+                    # dials back.
+                    self._rejoin_pending[worker.pid] = (
+                        None,
+                        time.perf_counter() + self.reconnect_grace_s,
+                    )
+                    rejoining = True
+            respawn = (endpoint.respawnable and not rejoining
+                       and self._respawns < self.max_respawns
+                       and not self._closed)
             if respawn:
                 self._respawns += 1
             self._slot_free.notify_all()
-        if worker.process.is_alive():  # pragma: no cover - hb-stale only
-            worker.process.terminate()
-        worker.request_q.close()
-        worker.request_q.cancel_join_thread()
+        endpoint.reap()
         if respawn:
             self._spawn_worker()
         for rid in victims:
@@ -826,7 +995,7 @@ class ClusterService:
 
     def _redispatch(self, rid: int) -> None:
         """Move an admitted request onto a live worker (crash requeue)."""
-        request_q = None
+        endpoint = None
         failed_future: Optional[Future] = None
         with self._lock:
             entry = self._pending.get(rid)
@@ -842,16 +1011,22 @@ class ClusterService:
                     self.router.release(worker_id)
                 replacement_coming = not self._closed and (
                     any(not w.ready for w in self._workers.values())
+                    or bool(self._spawn_pending)
+                    or bool(self._rejoin_pending)
                 )
                 if replacement_coming:
-                    # Park until the replacement's "ready" drains orphans.
+                    # Park until the replacement's "ready" drains orphans
+                    # (spawned workers and expected reconnects both end in
+                    # a "ready"; the supervisor reaps the ones that never
+                    # arrive and drains the orphans again).
                     self._orphans.append(rid)
                     return
                 self._pending.pop(rid, None)
                 failed_future = entry.future
             else:
                 entry.worker = worker_id
-                request_q = self._workers[worker_id].request_q
+                worker = self._workers[worker_id]
+                endpoint = worker.endpoint
                 message = ("reqs", [(rid, entry.model, entry.image)])
         if failed_future is not None:
             if not failed_future.done():
@@ -861,14 +1036,16 @@ class ClusterService:
                 ))
             return
         try:
-            request_q.put(message)
-        except (ValueError, OSError):
-            # The replacement died too (queue closed under us).  Its death
-            # handler has already removed it from the router/worker maps,
-            # so this recursion terminates: each retry sees one fewer
-            # candidate until the request lands, parks, or fails.
+            endpoint.send(message)
+        except (TransportClosed, ValueError, OSError):
+            # The replacement's link closed under us.  Its conn_lost event
+            # may not have arrived yet, so declare the death ourselves:
+            # that removes the worker from the router/worker maps and
+            # requeues this rid (it is pending on this worker) along with
+            # any other victims.  Each level of this recursion removes one
+            # worker, so it is bounded by the worker count — never by luck.
             self.router.release(worker_id)
-            self._redispatch(rid)
+            self._handle_worker_death(worker)
 
     # ------------------------------------------------------------- reporting
     def worker_reports(self, timeout: float = 10.0) -> Dict[str, Dict[str, ServiceReport]]:
@@ -881,9 +1058,9 @@ class ClusterService:
             targets = []
             for worker in candidates:
                 try:
-                    worker.request_q.put(("report", generation))
-                except (ValueError, OSError):  # pragma: no cover - dying worker
-                    continue  # don't wait on a reply that can never come
+                    worker.endpoint.send(("report", generation))
+                except (TransportClosed, ValueError, OSError):  # pragma: no cover
+                    continue  # dying worker: a reply can never come
                 targets.append(worker)
         deadline = time.perf_counter() + timeout
         collected: Dict[str, Dict[str, ServiceReport]] = {}
@@ -1036,8 +1213,17 @@ def scaling_sweep(
     mp_context=None,
     worker_threads: Optional[int] = 1,
     chunk_bytes: Optional[int] = None,
+    transport: str = "pipe",
+    bind: Optional[str] = None,
+    expect_workers: int = 0,
 ) -> List[dict]:
     """Closed-loop cluster throughput vs the single-process service.
+
+    ``transport`` selects the worker wire (``pipe`` / ``uds`` / ``tcp``;
+    see :mod:`repro.serving.transport`) and is recorded on every sweep
+    point, so one BENCH file can compare transports at equal worker
+    counts.  ``expect_workers`` waits for externally launched
+    ``cluster-worker`` processes on top of the locally spawned ones.
 
     Publishes ``model`` once into shared memory, measures a single-process
     :class:`InferenceService` over the attached artifact as the baseline,
@@ -1055,6 +1241,14 @@ def scaling_sweep(
     """
     from repro.serving.loadgen import run_closed_loop, synthetic_images
 
+    if expect_workers > 0 and len(tuple(worker_counts)) > 1:
+        # close() gracefully stops external workers, so only one sweep
+        # point can ever see them — the second would hang at startup
+        # waiting for registrations that cannot come.
+        raise ValueError(
+            "expect_workers supports a single worker_counts entry: external "
+            "workers exit when the first sweep point's cluster closes"
+        )
     store = SharedModelStore()
     try:
         handles = store.publish_models([model], rng=0)
@@ -1094,6 +1288,8 @@ def scaling_sweep(
                 max_batch_size=offered_batch, max_wait_ms=max_wait_ms,
                 cache_capacity=0, worker_threads=worker_threads,
                 chunk_bytes=chunk_bytes, mp_context=mp_context,
+                transport=transport, bind=bind,
+                expect_workers=expect_workers,
             )
             try:
                 run = run_closed_loop(cluster, key, images)
@@ -1103,13 +1299,14 @@ def scaling_sweep(
             if not np.array_equal(run.outputs, baseline_out):
                 raise AssertionError(
                     f"cluster outputs diverged from the single-process "
-                    f"service at {workers} workers"
+                    f"service at {workers} workers over {transport}"
                 )
             report = run.report
             records.append({
                 "op": "cluster_scaling",
                 "model": key,
-                "workers": int(workers),
+                "transport": transport,
+                "workers": cluster_detail.workers,
                 "batch": int(offered_batch),
                 "shape": list(attached.network.input_shape),
                 "requests": int(images.shape[0]),
@@ -1130,3 +1327,156 @@ def scaling_sweep(
         return records
     finally:
         store.close()
+
+
+def open_loop_sweep(
+    model: str = "MicroCNN",
+    workers: int = 2,
+    offered_batch: int = 32,
+    requests: int = 256,
+    overload_x: Sequence[float] = (0.5, 1.5, 3.0),
+    max_wait_ms: float = 2.0,
+    seed: int = 0,
+    mp_context=None,
+    worker_threads: Optional[int] = 1,
+    transport: str = "pipe",
+    bind: Optional[str] = None,
+    expect_workers: int = 0,
+    max_outstanding: Optional[int] = None,
+) -> List[dict]:
+    """Open-loop overload trajectory: shed / retry-after vs offered load.
+
+    ``max_outstanding`` is the **cluster-wide** admission budget for this
+    sweep (default: ``offered_batch``), divided across the workers —
+    deliberately tighter than the serving default of ``2 × offered_batch``
+    *per worker* — so the overload regime actually sheds within a bounded
+    request budget instead of parking the whole benchmark inside the
+    admission window.
+
+    The closed-loop sweep (:func:`scaling_sweep`) measures peak sustainable
+    throughput — it can never observe a shed, because backpressure stalls
+    the submitter instead.  This sweep measures what *overload* looks like:
+    a fresh cluster is first driven closed-loop to calibrate its capacity,
+    then non-blocking Poisson arrivals are offered at each
+    ``overload_x`` multiple of that capacity
+    (:func:`repro.serving.loadgen.run_open_loop_shedding`).  Each record
+    captures the admitted/shed split, the shed rate, the mean suggested
+    retry-after and the completed requests' latency percentiles.
+
+    Every completed response is verified bit-identical to the engine's
+    direct ``run_batch`` rows over the same published artifact — overload
+    must never buy throughput with a correctness drift.
+    """
+    from repro.core.engine import PhoneBitEngine
+    from repro.serving.loadgen import (
+        run_closed_loop,
+        run_open_loop_shedding,
+        synthetic_images,
+    )
+
+    if expect_workers > 0:
+        # The sweep builds several sequential clusters (calibration + one
+        # per overload multiple) and close() gracefully stops external
+        # workers, so the second cluster could never reach its startup
+        # target — fail fast instead of hanging for startup_timeout_s.
+        raise ValueError(
+            "open_loop_sweep cannot use expect_workers: it builds multiple "
+            "sequential clusters and external workers exit on the first "
+            "close(); use router-spawned workers (workers=N) instead"
+        )
+    store = SharedModelStore()
+    try:
+        handles = store.publish_models([model], rng=0)
+        key = next(iter(handles))
+        attached = attach_model(handles[key])
+        images = synthetic_images(attached.network.input_shape, requests,
+                                  seed=seed)
+        engine = PhoneBitEngine(num_threads=worker_threads)
+        baseline_rows = engine.run_batch(
+            attached.network, images, collect_estimate=False
+        ).output.data
+
+        budget = offered_batch if max_outstanding is None else max_outstanding
+        window = max(2, budget // max(1, workers))
+
+        def make_cluster() -> ClusterService:
+            return ClusterService(
+                store=store, workers=workers,
+                max_batch_size=offered_batch, max_wait_ms=max_wait_ms,
+                cache_capacity=0, worker_threads=worker_threads,
+                mp_context=mp_context, transport=transport, bind=bind,
+                expect_workers=expect_workers, max_outstanding=window,
+            )
+
+        # Calibrate: closed-loop capacity of this cluster configuration on
+        # this host, so the overload multiples mean the same thing on a
+        # laptop and a CI runner.
+        cluster = make_cluster()
+        try:
+            capacity_rps = run_closed_loop(cluster, key, images).achieved_rps
+        finally:
+            cluster.close()
+
+        records: List[dict] = []
+        for multiple in overload_x:
+            offered_rps = max(1.0, capacity_rps * float(multiple))
+            cluster = make_cluster()
+            try:
+                run = run_open_loop_shedding(cluster, key, images,
+                                             offered_rps=offered_rps,
+                                             seed=seed)
+                cluster_detail = cluster.cluster_report()
+            finally:
+                cluster.close()
+            for index, row in run.outputs.items():
+                if not np.array_equal(row, baseline_rows[index]):
+                    raise AssertionError(
+                        f"open-loop output {index} diverged from run_batch "
+                        f"at {multiple}x capacity over {transport}"
+                    )
+            latency = run.report.latency if run.report is not None else None
+            records.append({
+                "op": "cluster_open_loop",
+                "model": key,
+                "transport": transport,
+                "workers": cluster_detail.workers,
+                "batch": int(offered_batch),
+                "shape": list(attached.network.input_shape),
+                "requests": int(images.shape[0]),
+                "offered_rps": offered_rps,
+                "offered_x_capacity": float(multiple),
+                "capacity_rps": capacity_rps,
+                "admission_budget": budget,
+                "per_worker_window": window,
+                "req_per_s": run.achieved_rps,
+                "requests_per_s": run.achieved_rps,
+                "completed": run.completed,
+                "shed": run.shed,
+                "shed_rate": run.shed_rate,
+                "retry_after_ms_mean": run.retry_after_ms_mean,
+                "latency_p50_ms": latency.p50_ms if latency else 0.0,
+                "latency_p99_ms": latency.p99_ms if latency else 0.0,
+                "host_cpus": usable_cpus(),
+                "bit_identical": True,
+            })
+        return records
+    finally:
+        store.close()
+
+
+def open_loop_table(records: Sequence[dict], title: Optional[str] = None) -> str:
+    """Render :func:`open_loop_sweep` records as an aligned table."""
+    from repro.analysis.reporting import format_table
+
+    return format_table(
+        ["transport", "offered ×cap", "offered rps", "done rps", "shed %",
+         "retry-after (ms)", "p50 (ms)", "p99 (ms)"],
+        [
+            [r["transport"], f"{r['offered_x_capacity']:.1f}x",
+             r["offered_rps"], r["req_per_s"],
+             f"{100.0 * r['shed_rate']:.1f}", r["retry_after_ms_mean"],
+             r["latency_p50_ms"], r["latency_p99_ms"]]
+            for r in records
+        ],
+        title=title,
+    )

@@ -32,8 +32,10 @@ from repro.serving.service import InferenceService, ServiceReport
 
 __all__ = [
     "LoadgenResult",
+    "ShedLoadResult",
     "run_closed_loop",
     "run_open_loop",
+    "run_open_loop_shedding",
     "sequential_baseline",
     "sequential_forward_baseline",
     "sweep_table",
@@ -167,6 +169,93 @@ def run_open_loop(
         report=service.report(model),
         wall_s=wall_s,
         offered_rps=offered_rps,
+        outputs=outputs,
+    )
+
+
+@dataclass(frozen=True)
+class ShedLoadResult:
+    """Outcome of one non-blocking open-loop run against a cluster.
+
+    ``outputs`` holds the completed rows keyed by offered-request index, so
+    correctness checks can compare exactly the subset that was admitted.
+    """
+
+    report: Optional[ServiceReport]
+    wall_s: float
+    offered_rps: float
+    completed: int
+    shed: int
+    retry_after_ms_mean: float
+    outputs: dict
+
+    @property
+    def offered(self) -> int:
+        return self.completed + self.shed
+
+    @property
+    def achieved_rps(self) -> float:
+        if self.wall_s <= 0:
+            return float("inf") if self.completed else 0.0
+        return self.completed / self.wall_s
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.offered if self.offered else 0.0
+
+
+def run_open_loop_shedding(
+    cluster,
+    model: str,
+    images: np.ndarray,
+    offered_rps: float,
+    seed: int = 0,
+) -> ShedLoadResult:
+    """Open-loop Poisson arrivals with *non-blocking* admission.
+
+    :func:`run_open_loop` backpressures the arrival process when the
+    service saturates, which hides overload behaviour.  This variant is
+    how real open-loop traffic meets an admission-controlled front end:
+    every arrival calls ``submit(..., block=False)``, an overload shed
+    (:class:`~repro.serving.cluster.ClusterOverloadError`) is *counted* —
+    along with the router's suggested retry-after — and the arrival clock
+    never stalls.  Cluster-only: the single-process service has no
+    non-blocking admission surface.
+    """
+    from repro.serving.cluster import ClusterOverloadError
+
+    if offered_rps <= 0:
+        raise ValueError("offered_rps must be positive")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / offered_rps, size=len(images))
+    futures = {}
+    shed = 0
+    retry_after_sum = 0.0
+    t0 = time.perf_counter()
+    deadline = t0
+    for index, (image, gap) in enumerate(zip(images, gaps)):
+        deadline += gap
+        delay = deadline - time.perf_counter()
+        if delay > 0:
+            time.sleep(delay)
+        try:
+            futures[index] = cluster.submit(model, image, block=False)
+        except ClusterOverloadError as exc:
+            shed += 1
+            retry_after_sum += exc.retry_after_s
+    outputs = {index: future.result() for index, future in futures.items()}
+    wall_s = time.perf_counter() - t0
+    try:
+        report = cluster.report(model)
+    except KeyError:  # pragma: no cover - everything shed
+        report = None
+    return ShedLoadResult(
+        report=report,
+        wall_s=wall_s,
+        offered_rps=offered_rps,
+        completed=len(outputs),
+        shed=shed,
+        retry_after_ms_mean=(retry_after_sum / shed * 1000.0) if shed else 0.0,
         outputs=outputs,
     )
 

@@ -1,9 +1,14 @@
 """Request routing and admission control for the serving cluster.
 
 :class:`LeastOutstandingRouter` is pure bookkeeping — no processes, no
-queues — so the routing policy is unit-testable in isolation and the
-cluster front-end (:mod:`repro.serving.cluster`) stays an I/O shell around
-it.  The policy has two layers:
+queues, no sockets — so the routing policy is unit-testable in isolation
+and the cluster front-end (:mod:`repro.serving.cluster`) stays an I/O
+shell around it.  Workers are opaque endpoint ids: the router neither
+knows nor cares whether an id names a forked child process on a pipe
+transport or a remote host that self-registered over TCP
+(:mod:`repro.serving.transport`) — membership churn from crashes,
+connection losses and re-admissions all arrive as the same
+``add_worker`` / ``remove_worker`` calls.  The policy has two layers:
 
 * **Least outstanding requests** — a request goes to the eligible worker
   with the fewest requests currently dispatched-but-unanswered.  This is

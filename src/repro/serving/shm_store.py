@@ -30,25 +30,36 @@ the invariant the cluster relies on — but only approximately equal
 (``allclose``-level) to the float64 in-memory network it was serialized
 from.  Cluster-vs-single-process comparisons must therefore serve the same
 published artifact on both sides.
+
+Cross-host serving (:mod:`repro.serving.transport`) extends the same idea:
+every published artifact is identified by the SHA-256 **digest** of its
+``.pbit`` bytes (``ShmModelHandle.digest``), and remote workers keep a
+:class:`HostModelCache` — shared-memory segments *named by digest* — so a
+host fetches each artifact's bytes over the transport at most once, and
+every worker on that host attaches the cached segment zero-copy exactly
+like a local worker attaches the owner's segment.
 """
 
 from __future__ import annotations
 
 import contextlib
+import hashlib
 import threading
 import time
 import weakref
 from dataclasses import dataclass, field
 from multiprocessing import resource_tracker, shared_memory
-from typing import Dict, Iterable, Iterator, Optional
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.core.model_format import load_network_from_buffer, serialize_network
 from repro.core.network import Network
 
 __all__ = [
     "AttachedModel",
+    "HostModelCache",
     "SharedModelStore",
     "ShmModelHandle",
+    "artifact_digest",
     "attach_model",
 ]
 
@@ -100,18 +111,49 @@ def _untracked_attach() -> Iterator[None]:
             resource_tracker.register = original
 
 
+def artifact_digest(raw) -> str:
+    """SHA-256 hex digest of a published ``.pbit`` payload.
+
+    The digest is the artifact's *identity* across hosts: two stores that
+    publish bit-identical bytes produce the same digest, which is what lets
+    a remote worker answer "do I already hold this model?" without trusting
+    host-local segment names.
+
+    Parameters
+    ----------
+    raw : bytes-like
+        The exact serialized payload (``serialize_network`` output).
+
+    Returns
+    -------
+    str
+        64-character lowercase hex digest.
+
+    Examples
+    --------
+    >>> artifact_digest(b"phonebit")  # doctest: +ELLIPSIS
+    '9b978838ffc4ed...'
+    >>> artifact_digest(memoryview(b"phonebit")) == artifact_digest(b"phonebit")
+    True
+    """
+    return hashlib.sha256(raw).hexdigest()
+
+
 @dataclass(frozen=True)
 class ShmModelHandle:
     """Picklable descriptor of one published model.
 
     Everything a worker process needs to attach: the canonical model name,
-    the shared-memory segment name and the exact payload length (the OS may
-    round the segment itself up to a page multiple).
+    the shared-memory segment name, the exact payload length (the OS may
+    round the segment itself up to a page multiple) and the SHA-256 digest
+    of the payload bytes — the artifact's cross-host identity
+    (:func:`artifact_digest`).
     """
 
     model: str
     shm_name: str
     nbytes: int
+    digest: str = ""
 
 
 @dataclass
@@ -215,7 +257,8 @@ class SharedModelStore:
         shm = _QuietSharedMemory(create=True, size=len(raw))
         shm.buf[: len(raw)] = raw
         self._segments[key] = shm
-        handle = ShmModelHandle(model=key, shm_name=shm.name, nbytes=len(raw))
+        handle = ShmModelHandle(model=key, shm_name=shm.name, nbytes=len(raw),
+                                digest=artifact_digest(raw))
         self._handles[key] = handle
         return handle
 
@@ -243,6 +286,24 @@ class SharedModelStore:
         """Sum of published payload bytes across all models."""
         return sum(handle.nbytes for handle in self._handles.values())
 
+    def payload_view(self, digest: str) -> memoryview:
+        """Zero-copy view of one published payload, looked up by digest.
+
+        This is the router side of the cross-host model fetch: when a
+        remote worker asks for an artifact it does not hold, the bytes are
+        streamed straight out of the owner's segment — no intermediate
+        copy.  The caller must not outlive the store.
+
+        Raises
+        ------
+        KeyError
+            If no published model carries ``digest``.
+        """
+        for key, handle in self._handles.items():
+            if handle.digest == digest:
+                return memoryview(self._segments[key].buf)[: handle.nbytes]
+        raise KeyError(f"no published model with digest {digest[:16]}...")
+
     # ------------------------------------------------------------- lifecycle
     def close(self) -> None:
         """Unmap and unlink every published segment (idempotent)."""
@@ -269,3 +330,208 @@ def _close_segments(segments: Dict[str, shared_memory.SharedMemory]) -> None:
             shm.unlink()
         except FileNotFoundError:  # pragma: no cover - already reclaimed
             pass
+
+
+# ---------------------------------------------------------------------------
+# per-host digest-keyed cache (cross-host serving)
+# ---------------------------------------------------------------------------
+
+#: Digest-derived segment names make the cache host-global: every worker on
+#: a host computes the same name from the same artifact digest.
+CACHE_SEGMENT_PREFIX = "repro-mcache-"
+
+
+def cache_segment_name(digest: str) -> str:
+    """Deterministic per-host segment name for one artifact digest.
+
+    Examples
+    --------
+    >>> cache_segment_name("ab" * 32)
+    'repro-mcache-abababababababababababab'
+    """
+    if not digest:
+        raise ValueError("artifact digest is required for the host cache")
+    return CACHE_SEGMENT_PREFIX + digest[:24]
+
+
+class HostModelCache:
+    """Per-host cache of published artifacts, keyed by payload digest.
+
+    A remote worker cannot attach the router's shared-memory segment — it
+    lives on another host.  Instead each host keeps digest-named segments
+    (:func:`cache_segment_name`): the **first** worker on a host to need an
+    artifact fetches its ``.pbit`` bytes over the transport, publishes them
+    locally under the digest-derived name, and every later worker on that
+    host attaches the cached segment zero-copy — the fetch happens once per
+    host, not once per worker.
+
+    Cache segments carry one trailing *ready* byte after the payload so a
+    concurrent attacher never maps a half-written artifact: the publisher
+    flips it only after the payload is fully copied, and an attacher that
+    times out waiting for it (publisher crashed mid-write) reclaims the
+    segment and re-fetches.
+
+    The worker that *created* a cache segment unlinks it on
+    :meth:`close` / interpreter exit; co-hosted workers that merely
+    attached keep their existing mappings alive (Linux unlink semantics)
+    and later workers simply re-fetch.
+
+    Examples
+    --------
+    Same-host fast path — the handle's own segment is attached directly
+    (digest-verified) and no fetch ever happens:
+
+    >>> import numpy as np
+    >>> from repro.models.zoo import build_phonebit_network, micro_cnn_config
+    >>> from repro.serving.shm_store import HostModelCache, SharedModelStore
+    >>> with SharedModelStore() as store:
+    ...     handle = store.publish(build_phonebit_network(micro_cnn_config()))
+    ...     cache = HostModelCache()
+    ...     attached = cache.attach(handle, fetch=None)  # no fetch needed
+    ...     name, is_view = (attached.network.name,
+    ...                      not attached.network.layers[2].weights_packed.flags.owndata)
+    ...     attached.close()
+    ...     cache.close()
+    >>> (name, is_view)
+    ('MicroCNN', True)
+    """
+
+    def __init__(self, ready_timeout_s: float = 10.0) -> None:
+        self.ready_timeout_s = ready_timeout_s
+        self._segments: Dict[str, shared_memory.SharedMemory] = {}
+        self._finalizer = weakref.finalize(self, _close_segments, self._segments)
+        #: (digest, source) pairs, in attach order — benchmarks and tests
+        #: read this to prove the fetch-once-per-host property.
+        self.attach_log: List[Tuple[str, str]] = []
+
+    # ------------------------------------------------------------- attach
+    def attach(self, handle: ShmModelHandle,
+               fetch: Optional[Callable[[], bytes]] = None) -> AttachedModel:
+        """Attach ``handle``'s artifact from the fastest local source.
+
+        Resolution order:
+
+        1. **host cache** — a digest-named segment published by any worker
+           on this host;
+        2. **owner segment** — ``handle.shm_name`` directly (only succeeds
+           when the router is co-hosted), verified against the digest;
+        3. **fetch** — call ``fetch()`` for the payload bytes (the remote
+           path: one transport round trip), verify the digest, publish the
+           digest-named cache segment for co-hosted workers, attach it.
+
+        Returns an :class:`AttachedModel` exactly like :func:`attach_model`.
+
+        Raises
+        ------
+        FileNotFoundError
+            When no local source exists and ``fetch`` is ``None``.
+        ValueError
+            When fetched bytes do not hash to ``handle.digest``.
+        """
+        cache_name = cache_segment_name(handle.digest)
+        for _ in range(3):  # create/attach races resolve within a retry or two
+            attached = self._attach_ready(handle, cache_name)
+            if attached is not None:
+                return attached
+            attached = self._attach_owner(handle)
+            if attached is not None:
+                return attached
+            if fetch is None:
+                raise FileNotFoundError(
+                    f"artifact {handle.digest[:16]}... is not cached on this "
+                    f"host and no fetch path was provided"
+                )
+            attached = self._fetch_and_publish(handle, cache_name, fetch)
+            if attached is not None:
+                return attached
+        raise RuntimeError(  # pragma: no cover - repeated create/unlink races
+            f"could not attach artifact {handle.digest[:16]}... after retries"
+        )
+
+    def _load(self, shm: shared_memory.SharedMemory,
+              handle: ShmModelHandle, t0: float, source: str) -> AttachedModel:
+        try:
+            network = load_network_from_buffer(
+                shm.buf[: handle.nbytes], zero_copy=True
+            )
+        except Exception:
+            shm.close()
+            raise
+        self.attach_log.append((handle.digest, source))
+        attach_ms = (time.perf_counter() - t0) * 1000.0
+        return AttachedModel(network=network, handle=handle,
+                             attach_ms=attach_ms, shm=shm)
+
+    def _attach_ready(self, handle: ShmModelHandle,
+                      cache_name: str) -> Optional[AttachedModel]:
+        """Attach the digest-named cache segment if it exists and is ready."""
+        t0 = time.perf_counter()
+        try:
+            with _untracked_attach():
+                shm = _QuietSharedMemory(name=cache_name, create=False)
+        except FileNotFoundError:
+            return None
+        deadline = time.perf_counter() + self.ready_timeout_s
+        while shm.buf[handle.nbytes] != 1:
+            if time.perf_counter() > deadline:
+                # Publisher crashed mid-write: reclaim so a live worker can
+                # republish (the unlink only hides the name; crashed
+                # mappings are already gone).
+                shm.close()
+                with contextlib.suppress(FileNotFoundError):
+                    shared_memory.SharedMemory(name=cache_name,
+                                               create=False).unlink()
+                return None
+            time.sleep(0.01)
+        return self._load(shm, handle, t0, source="host-cache")
+
+    def _attach_owner(self, handle: ShmModelHandle) -> Optional[AttachedModel]:
+        """Attach the owner's segment directly (co-hosted router only)."""
+        if not handle.shm_name:
+            return None
+        t0 = time.perf_counter()
+        try:
+            with _untracked_attach():
+                shm = _QuietSharedMemory(name=handle.shm_name, create=False)
+        except (FileNotFoundError, ValueError):
+            return None
+        # Digest verification: shm names are host-local, so on a *different*
+        # host this name could coincidentally exist with other contents.
+        if artifact_digest(shm.buf[: handle.nbytes]) != handle.digest:
+            shm.close()  # pragma: no cover - name collision on foreign host
+            return None
+        return self._load(shm, handle, t0, source="owner-segment")
+
+    def _fetch_and_publish(self, handle: ShmModelHandle, cache_name: str,
+                           fetch: Callable[[], bytes]) -> Optional[AttachedModel]:
+        """Fetch payload bytes, publish the cache segment, attach it."""
+        t0 = time.perf_counter()
+        raw = fetch()
+        if len(raw) != handle.nbytes or artifact_digest(raw) != handle.digest:
+            raise ValueError(
+                f"fetched artifact does not match digest "
+                f"{handle.digest[:16]}... (got {len(raw)} bytes)"
+            )
+        try:
+            shm = _QuietSharedMemory(name=cache_name, create=True,
+                                     size=handle.nbytes + 1)
+        except FileExistsError:
+            # Another worker on this host won the race — attach its segment
+            # on the next loop iteration (waiting for its ready flag).
+            return None
+        shm.buf[: handle.nbytes] = bytes(raw)
+        shm.buf[handle.nbytes] = 1  # ready: attachers may trust the payload
+        self._segments[cache_name] = shm
+        return self._load(shm, handle, t0, source="fetched")
+
+    # ------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Unlink every cache segment this worker created (idempotent)."""
+        _close_segments(self._segments)
+        self._finalizer.detach()
+
+    def __enter__(self) -> "HostModelCache":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

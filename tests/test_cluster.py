@@ -247,7 +247,7 @@ class TestClusterService:
                         (w for w in cluster._workers.values()
                          if w.worker_id != first.worker_id), None)
                 if replacement is not None:
-                    replacement.process.kill()
+                    replacement.endpoint.kill()
                     break
                 time.sleep(0.005)
             # Every future must resolve — with a result (served before a

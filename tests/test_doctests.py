@@ -20,6 +20,7 @@ import repro.serving.router
 import repro.serving.scheduler
 import repro.serving.service
 import repro.serving.shm_store
+import repro.serving.transport
 
 #: Public-surface modules whose docstring examples must stay runnable.
 DOCUMENTED_MODULES = [
@@ -31,6 +32,7 @@ DOCUMENTED_MODULES = [
     repro.serving.scheduler,
     repro.serving.service,
     repro.serving.shm_store,
+    repro.serving.transport,
 ]
 
 
