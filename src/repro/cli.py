@@ -64,6 +64,12 @@ def parse_byte_size(text: str) -> int:
     return value
 
 
+#: Kernel-backend specs accepted by ``--backend`` — kept in lockstep with
+#: :data:`repro.core.backends.BACKEND_CHOICES` (asserted by the CLI tests)
+#: without importing the backend registry at parser-build time.
+BACKEND_CHOICES = ("auto", "numpy", "cffi", "numba")
+
+
 def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
     """Shared fused-executor knobs for the bench subcommands."""
     parser.add_argument(
@@ -75,6 +81,12 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
         "--threads", type=int, default=None, metavar="N",
         help="fused-executor tile threads (default: REPRO_NUM_THREADS or "
              "all cores)",
+    )
+    parser.add_argument(
+        "--backend", choices=BACKEND_CHOICES, default=None,
+        help="compiled kernel backend for the fused plan (default: "
+             "REPRO_BACKEND or auto — compile where possible, verified "
+             "bit-exact, NumPy fallback otherwise)",
     )
 
 
@@ -197,6 +209,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--threads", type=int, default=None, metavar="N",
         help="fused-executor threads (overrides the router-sent config)",
     )
+    cluster_worker.add_argument(
+        "--backend", choices=BACKEND_CHOICES, default=None,
+        help="kernel backend for this worker's host (overrides the "
+             "router-sent config; selection is per host because the "
+             "toolchain is)",
+    )
     return parser
 
 
@@ -237,6 +255,7 @@ def _command_serve_bench(args) -> str:
                 max_wait_ms=args.max_wait_ms,
                 seed=args.seed,
                 worker_threads=args.threads,
+                worker_backend=args.backend or "auto",
                 chunk_bytes=args.chunk_hint,
                 transport=args.transport,
                 bind=args.bind,
@@ -258,7 +277,7 @@ def _command_serve_bench(args) -> str:
         requests_per_level=args.requests,
         max_wait_ms=args.max_wait_ms,
         seed=args.seed,
-        engine=PhoneBitEngine(num_threads=args.threads),
+        engine=PhoneBitEngine(num_threads=args.threads, backend=args.backend),
         chunk_bytes=args.chunk_hint,
     )
     table = sweep_table(
@@ -288,13 +307,15 @@ def _command_loadgen(args) -> str:
             cache_capacity=args.cache_capacity,
             chunk_bytes=args.chunk_hint,
             worker_threads=args.threads,
+            worker_backend=args.backend or "auto",
             transport=args.transport,
             bind=args.bind,
             expect_workers=args.expect_workers,
         )
     else:
         service = InferenceService(
-            engine=PhoneBitEngine(num_threads=args.threads),
+            engine=PhoneBitEngine(num_threads=args.threads,
+                                  backend=args.backend),
             max_batch_size=args.max_batch_size,
             max_wait_ms=args.max_wait_ms,
             cache_capacity=args.cache_capacity,
@@ -355,6 +376,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             threads=args.threads,
             retry_s=args.retry_s,
             reconnect=not args.no_reconnect,
+            backend=args.backend,
         )
     else:  # pragma: no cover - argparse enforces the choices
         raise SystemExit(2)

@@ -1,0 +1,152 @@
+"""Numba-JIT twins of the C kernels, for hosts with Numba but no toolchain.
+
+Same byte-stream semantics as ``_kernels.c`` (little-endian packed bit
+rows, zero-padded taps), compiled with ``@njit(nogil=True)`` so the
+plan's tile thread pool still parallelizes across row ranges.  The
+backend is *gated*: it only loads when ``import numba`` succeeds, and —
+like every compiled backend — each plan step verifies the kernels
+bit-for-bit against the NumPy reference before adopting them, so a
+miscompilation degrades to the NumPy path rather than to wrong answers.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+
+def _build_kernels(numba):
+    """Compile the three kernels; returns (fused, gemm, patch) njit funcs."""
+    njit = numba.njit
+
+    @njit(cache=True, nogil=True)
+    def _row_xor_popcount(a, b, a_off, b_off, n_bytes, table):
+        count = 0
+        for i in range(n_bytes):
+            count += table[a[a_off + i] ^ b[b_off + i]]
+        return count
+
+    @njit(cache=True, nogil=True)
+    def fused(a, a_stride, b, b_stride, n_bytes, thresh, flip,
+              cols, out, out_stride, row_start, row_stop, table):
+        for i in range(row_start, row_stop):
+            a_off = i * a_stride
+            o_off = i * out_stride
+            for t in range(out_stride):
+                out[o_off + t] = 0
+            for j in range(cols):
+                d = _row_xor_popcount(a, b, a_off, j * b_stride, n_bytes, table)
+                bit = np.uint8(1) if (d <= thresh[j]) != flip[j] else np.uint8(0)
+                out[o_off + (j >> 3)] |= np.uint8(bit << (j & 7))
+
+    @njit(cache=True, nogil=True)
+    def gemm(a, a_stride, b, b_stride, n_bytes, cols, out,
+             row_start, row_stop, table):
+        for i in range(row_start, row_stop):
+            a_off = i * a_stride
+            for j in range(cols):
+                out[i, j] = _row_xor_popcount(
+                    a, b, a_off, j * b_stride, n_bytes, table
+                )
+
+    @njit(cache=True, nogil=True)
+    def patch(x, h, w, pix_bytes, k, stride, padding, oh, ow,
+              out, out_stride, row_start, row_stop):
+        img_bytes = h * w * pix_bytes
+        span = k * pix_bytes
+        for r in range(row_start, row_stop):
+            ox = r % ow
+            oy = (r // ow) % oh
+            img = r // (ow * oh)
+            x_base = img * img_bytes
+            o_base = r * out_stride
+            ix0 = ox * stride - padding
+            kw_lo = -ix0 if ix0 < 0 else 0
+            kw_hi = w - ix0 if w - ix0 < k else k
+            if kw_hi < kw_lo:
+                kw_hi = kw_lo
+            for kh in range(k):
+                iy = oy * stride - padding + kh
+                dst = o_base + kh * span
+                if iy < 0 or iy >= h or kw_lo >= k:
+                    for t in range(span):
+                        out[dst + t] = 0
+                    continue
+                for t in range(kw_lo * pix_bytes):
+                    out[dst + t] = 0
+                src = x_base + (iy * w + ix0 + kw_lo) * pix_bytes
+                n_copy = (kw_hi - kw_lo) * pix_bytes
+                out[dst + kw_lo * pix_bytes:dst + kw_lo * pix_bytes + n_copy] = \
+                    x[src:src + n_copy]
+                for t in range(kw_hi * pix_bytes, span):
+                    out[dst + t] = 0
+
+    return fused, gemm, patch
+
+
+def _flat_bytes(array: np.ndarray) -> np.ndarray:
+    """1-D uint8 view of a C-contiguous array (copy only if needed)."""
+    array = np.ascontiguousarray(array)
+    return array.view(np.uint8).reshape(-1)
+
+
+class NumbaKernelBackend:
+    """Numba-backed implementation of the compiled-kernel protocol."""
+
+    name = "numba"
+
+    def __init__(self, numba) -> None:
+        self._fused, self._gemm, self._patch = _build_kernels(numba)
+        self._table = np.array(
+            [bin(i).count("1") for i in range(256)], dtype=np.int32
+        )
+
+    def fused_xor_threshold_rows(self, a, b, acc_threshold, flip, out_words,
+                                 row_start, row_stop, word_size,
+                                 col_tile=None) -> None:
+        self._fused(
+            _flat_bytes(a), a.shape[1] * a.dtype.itemsize,
+            _flat_bytes(b), b.shape[1] * b.dtype.itemsize,
+            a.shape[1] * a.dtype.itemsize,
+            np.ascontiguousarray(acc_threshold, dtype=np.int32),
+            np.ascontiguousarray(flip, dtype=np.bool_),
+            b.shape[0],
+            out_words.view(np.uint8).reshape(-1),
+            out_words.strides[0],
+            int(row_start), int(row_stop), self._table,
+        )
+
+    def xor_popcount_gemm_rows(self, a, b, out, row_start, row_stop) -> None:
+        self._gemm(
+            _flat_bytes(a), a.shape[1] * a.dtype.itemsize,
+            _flat_bytes(b), b.shape[1] * b.dtype.itemsize,
+            a.shape[1] * a.dtype.itemsize, b.shape[0],
+            out, int(row_start), int(row_stop), self._table,
+        )
+
+    def packed_patch_rows(self, packed, kernel_size, stride, padding,
+                          oh, ow, out, row_start, row_stop) -> None:
+        n, h, w, wc = packed.shape
+        pix_bytes = wc * packed.dtype.itemsize
+        self._patch(
+            _flat_bytes(packed), h, w, pix_bytes,
+            int(kernel_size), int(stride), int(padding), int(oh), int(ow),
+            out.view(np.uint8).reshape(-1), out.strides[0],
+            int(row_start), int(row_stop),
+        )
+
+
+def load() -> NumbaKernelBackend:
+    """Import numba and JIT the kernels; raises BackendUnavailable."""
+    from repro.core.backends import BackendUnavailable
+
+    if sys.byteorder != "little":
+        raise BackendUnavailable(
+            "numba backend requires a little-endian host"
+        )
+    try:
+        import numba
+    except ImportError as exc:
+        raise BackendUnavailable(f"numba is not installed: {exc}") from exc
+    return NumbaKernelBackend(numba)

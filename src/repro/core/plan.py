@@ -66,24 +66,32 @@ _ROW_TILE = 512
 _MIN_ROW_TILE = 64
 
 
+def positive_int(value, name: str) -> int:
+    """Validate ``value`` as a positive integer (the single validation path).
+
+    Every thread-count source — the ``REPRO_NUM_THREADS`` environment
+    override, the CLI's ``--threads``, and tuned thread counts from
+    :mod:`repro.core.backends.tuner` — funnels through this helper, so
+    they cannot disagree on what counts as valid or how the error reads.
+    """
+    try:
+        parsed = int(value)
+    except (TypeError, ValueError):
+        parsed = 0
+    if parsed < 1 or (isinstance(value, float) and not value.is_integer()):
+        raise ValueError(f"{name} must be a positive integer, got {value!r}")
+    return parsed
+
+
 def default_num_threads() -> int:
     """Thread fan-out for fused tile execution.
 
-    ``REPRO_NUM_THREADS`` overrides; the default is ``os.cpu_count()``.
+    ``REPRO_NUM_THREADS`` overrides (validated by :func:`positive_int`);
+    the default is ``os.cpu_count()``.
     """
     env = os.environ.get("REPRO_NUM_THREADS", "").strip()
     if env:
-        try:
-            value = int(env)
-        except ValueError:
-            raise ValueError(
-                f"REPRO_NUM_THREADS must be a positive integer, got {env!r}"
-            ) from None
-        if value < 1:
-            raise ValueError(
-                f"REPRO_NUM_THREADS must be a positive integer, got {env!r}"
-            )
-        return value
+        return positive_int(env, "REPRO_NUM_THREADS")
     return os.cpu_count() or 1
 
 
@@ -120,9 +128,14 @@ if hasattr(os, "register_at_fork"):  # POSIX only; spawn contexts start clean
     os.register_at_fork(after_in_child=_reset_pools_after_fork)
 
 
-def _row_tiles(rows: int, threads: int) -> List[Tuple[int, int]]:
-    """Split ``rows`` into contiguous tile ranges for (threaded) execution."""
-    tile = _ROW_TILE
+def _row_tiles(rows: int, threads: int,
+               row_tile: Optional[int] = None) -> List[Tuple[int, int]]:
+    """Split ``rows`` into contiguous tile ranges for (threaded) execution.
+
+    ``row_tile`` overrides the built-in upper bound — the knob the
+    auto-tuner (:mod:`repro.core.backends.tuner`) searches per host.
+    """
+    tile = _ROW_TILE if row_tile is None else positive_int(row_tile, "row_tile")
     if threads > 1:
         # Aim for a few tiles per worker so uneven tile costs still balance,
         # without shrinking tiles below the dispatch-overhead floor.
@@ -172,17 +185,20 @@ class BufferArena:
 class _ExecContext:
     """Per-execution resources handed to every step."""
 
-    __slots__ = ("arena", "pool", "threads")
+    __slots__ = ("arena", "pool", "threads", "row_tile", "col_tile")
 
     def __init__(self, arena: BufferArena, pool: Optional[ThreadPoolExecutor],
-                 threads: int) -> None:
+                 threads: int, row_tile: Optional[int] = None,
+                 col_tile: Optional[int] = None) -> None:
         self.arena = arena
         self.pool = pool
         self.threads = threads
+        self.row_tile = row_tile
+        self.col_tile = col_tile
 
     def run_tiles(self, rows: int, work: Callable[[int, int], None]) -> None:
         """Run ``work(r0, r1)`` over row tiles, fanned out when possible."""
-        tiles = _row_tiles(rows, self.threads)
+        tiles = _row_tiles(rows, self.threads, self.row_tile)
         if self.pool is None or len(tiles) <= 1:
             for r0, r1 in tiles:
                 work(r0, r1)
@@ -226,6 +242,11 @@ class _FusedStepBase:
         self.out_word_size = out_word_size
         self.out_slot = out_slot
         self.weights_packed = layer.weights_packed  # compile-time snapshot
+        #: Compiled kernel backend attached by
+        #: :func:`repro.core.backends.select_for_plan` after the step's
+        #: kernels were verified bit-exact against NumPy; ``None`` runs the
+        #: NumPy reference path.
+        self.compiled = None
 
 
 class FusedConvStep(_FusedStepBase):
@@ -295,26 +316,53 @@ class FusedConvStep(_FusedStepBase):
         oh = conv_output_size(h, k, layer.stride, layer.padding)
         ow = conv_output_size(w, k, layer.stride, layer.padding)
         rows = n * oh * ow
+        compiled = self.compiled
+        gather = None
         if k == 1 and layer.padding == 0 and layer.stride == 1:
-            patch_out = None  # zero-copy reshape, no gather buffer needed
+            # Zero-copy reshape, no gather buffer needed.
+            patches, _, _ = binary_conv.packed_patch_matrix(
+                packed, k, layer.stride, layer.padding
+            )
+            if compiled is not None:
+                patches = np.ascontiguousarray(patches)
+        elif compiled is not None:
+            # Fold the patch gather into the row tiles: each tile gathers
+            # its own patch rows with the compiled im2col kernel right
+            # before consuming them, so the gather is threaded too and its
+            # output stays cache-hot for the fused GEMM.
+            packed = np.ascontiguousarray(packed)
+            patches = ctx.arena.view("patch", (rows, k * k * wc_in), packed.dtype)
+
+            def gather(r0, r1, _packed=packed, _patches=patches):
+                compiled.packed_patch_rows(
+                    _packed, k, layer.stride, layer.padding, oh, ow,
+                    _patches, r0, r1,
+                )
         else:
             patch_out = ctx.arena.view("patch", (rows, k * k * wc_in), packed.dtype)
-        patches, _, _ = binary_conv.packed_patch_matrix(
-            packed, k, layer.stride, layer.padding, out=patch_out
-        )
+            patches, _, _ = binary_conv.packed_patch_matrix(
+                packed, k, layer.stride, layer.padding, out=patch_out
+            )
         if patches.shape[1] != self.flat_filters.shape[1]:
             raise ValueError("activation and filter packing widths do not match")
         wc_out = bitpack.words_per_channel(layer.out_channels, self.out_word_size)
         out = ctx.arena.view(
             self.out_slot, (rows, wc_out), bitpack.word_dtype(self.out_word_size)
         )
-        ctx.run_tiles(
-            rows,
-            lambda r0, r1: bitpack.fused_xor_threshold_rows(
-                patches, self.flat_filters, self.acc_threshold, self.flip,
-                out, r0, r1, self.out_word_size,
-            ),
+        fused_rows = (
+            bitpack.fused_xor_threshold_rows if compiled is None
+            else compiled.fused_xor_threshold_rows
         )
+
+        def work(r0: int, r1: int) -> None:
+            if gather is not None:
+                gather(r0, r1)
+            fused_rows(
+                patches, self.flat_filters, self.acc_threshold, self.flip,
+                out, r0, r1, self.out_word_size, col_tile=ctx.col_tile,
+            )
+
+        ctx.run_tiles(rows, work)
         return Tensor(
             out.reshape(n, oh, ow, wc_out), Layout.NHWC,
             packed=True, true_channels=layer.out_channels,
@@ -421,11 +469,18 @@ class FusedDenseStep(_FusedStepBase):
         out = ctx.arena.view(
             self.out_slot, (rows, wc_out), bitpack.word_dtype(self.out_word_size)
         )
+        fused_rows = (
+            bitpack.fused_xor_threshold_rows if self.compiled is None
+            else self.compiled.fused_xor_threshold_rows
+        )
+        weights = self.weights_packed
+        if self.compiled is not None and not weights.flags["C_CONTIGUOUS"]:
+            weights = np.ascontiguousarray(weights)
         ctx.run_tiles(
             rows,
-            lambda r0, r1: bitpack.fused_xor_threshold_rows(
-                packed, self.weights_packed, self.acc_threshold, self.flip,
-                out, r0, r1, self.out_word_size,
+            lambda r0, r1: fused_rows(
+                packed, weights, self.acc_threshold, self.flip,
+                out, r0, r1, self.out_word_size, col_tile=ctx.col_tile,
             ),
         )
         return Tensor(out, Layout.NHWC, packed=True,
@@ -454,6 +509,11 @@ class ExecutionPlan:
         self._attr_snapshots = list(attr_snapshots)
         self._arena_lock = threading.Lock()
         self._arenas: List[BufferArena] = []
+        #: Resolved backend name after :meth:`select_backend` ("numpy" until
+        #: then) and the per-step selection report it produced.
+        self.backend_spec = "numpy"
+        self.backend_selection: Optional[Dict[str, str]] = None
+        self._backend_requested: Optional[str] = None
 
     # ------------------------------------------------------------- validity
     def is_current(self, network) -> bool:
@@ -484,6 +544,40 @@ class ExecutionPlan:
         with self._arena_lock:
             self._arenas.append(arena)
 
+    # ------------------------------------------------------------- backends
+    def select_backend(self, spec: Optional[str] = None) -> Dict[str, str]:
+        """Attach compiled kernels to this plan's fused steps (idempotent).
+
+        ``spec`` is a :data:`repro.core.backends.BACKEND_CHOICES` name;
+        ``None`` uses the process default (``REPRO_BACKEND`` or ``auto``).
+        Each eligible step is verified bit-exact against the NumPy
+        reference before it adopts a compiled kernel — see
+        :func:`repro.core.backends.select_for_plan`.  Re-selection with the
+        same spec is a no-op, so warm paths may call this per batch.
+        """
+        from repro.core import backends
+
+        spec = (spec or backends.default_backend_spec()).lower()
+        if spec == self._backend_requested and self.backend_selection is not None:
+            return self.backend_selection
+        report = backends.select_for_plan(self, spec)
+        self._backend_requested = spec
+        return report
+
+    def backend_report(self) -> Dict[str, object]:
+        """What each step runs on: spec, resolved backend, per-step map."""
+        steps = self.backend_selection
+        if steps is None:
+            steps = {
+                f"[{index}] {step.describe}": "numpy"
+                for index, step in enumerate(self.steps)
+            }
+        return {
+            "spec": self._backend_requested or "numpy",
+            "backend": self.backend_spec,
+            "steps": dict(steps),
+        }
+
     # ------------------------------------------------------------- execution
     def coerce_input(self, x) -> Tensor:
         if not isinstance(x, Tensor):
@@ -500,6 +594,8 @@ class ExecutionPlan:
         x,
         threads: Optional[int] = None,
         step_times: Optional[list] = None,
+        row_tile: Optional[int] = None,
+        col_tile: Optional[int] = None,
     ) -> Tensor:
         """Run the plan on a batch; bit-identical to ``Network.forward``.
 
@@ -512,12 +608,17 @@ class ExecutionPlan:
         step_times:
             Optional list; ``(step, seconds)`` is appended per step so the
             engine can attribute wall clock to layers.
+        row_tile, col_tile:
+            Tile-shape overrides (rows per tile, filter columns per inner
+            block).  ``None`` keeps the built-in defaults; the per-host
+            auto-tuner (:mod:`repro.core.backends.tuner`) supplies
+            measured winners.  Tiling never changes results, only speed.
         """
         current = self.coerce_input(x)
         threads = default_num_threads() if threads is None else max(1, int(threads))
         arena = self._acquire_arena()
         pool = _shared_pool(threads) if threads > 1 else None
-        ctx = _ExecContext(arena, pool, threads)
+        ctx = _ExecContext(arena, pool, threads, row_tile, col_tile)
         try:
             for step in self.steps:
                 t0 = time.perf_counter()

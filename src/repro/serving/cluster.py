@@ -101,6 +101,12 @@ class WorkerConfig:
     chunk_bytes: Optional[int] = None
     threads: Optional[int] = 1
     heartbeat_interval_s: float = 0.2
+    #: Kernel-backend spec each worker applies while warming its plans
+    #: (:data:`repro.core.backends.BACKEND_CHOICES`).  ``auto`` compiles
+    #: where the worker's host allows and silently falls back to NumPy —
+    #: selection is per host, so a heterogeneous cluster mixes backends
+    #: safely (results are bit-identical by the verification gate).
+    backend: str = "auto"
 
 
 # ---------------------------------------------------------------------------
@@ -307,6 +313,11 @@ class ClusterService:
     worker_threads:
         Fused-executor threads per worker (default 1: the cluster already
         provides the process-level parallelism).
+    worker_backend:
+        Kernel-backend spec workers warm their plans with (``auto`` /
+        ``numpy`` / ``cffi`` / ``numba``; default ``auto`` — compiled
+        kernels where each worker's host allows, NumPy fallback
+        otherwise).
     max_outstanding:
         Admission bound per worker (default ``2 × max_batch_size``): enough
         queued work to cut full micro-batches back-to-back, small enough
@@ -352,6 +363,7 @@ class ClusterService:
         cache_capacity: int = 0,
         chunk_bytes: Optional[int] = None,
         worker_threads: Optional[int] = 1,
+        worker_backend: str = "auto",
         max_outstanding: Optional[int] = None,
         heartbeat_interval_s: float = 0.2,
         heartbeat_timeout_s: float = 3.0,
@@ -388,6 +400,7 @@ class ClusterService:
             chunk_bytes=chunk_bytes,
             threads=worker_threads,
             heartbeat_interval_s=heartbeat_interval_s,
+            backend=worker_backend,
         )
         self.heartbeat_timeout_s = heartbeat_timeout_s
         self.router = LeastOutstandingRouter(
@@ -1216,8 +1229,14 @@ def scaling_sweep(
     transport: str = "pipe",
     bind: Optional[str] = None,
     expect_workers: int = 0,
+    worker_backend: str = "auto",
 ) -> List[dict]:
     """Closed-loop cluster throughput vs the single-process service.
+
+    ``worker_backend`` selects the kernel backend both the baseline and
+    every worker warm with (``auto``/``numpy``/``cffi``/``numba``), so
+    the comparison stays apples-to-apples; the spec is recorded per sweep
+    point.
 
     ``transport`` selects the worker wire (``pipe`` / ``uds`` / ``tcp``;
     see :mod:`repro.serving.transport`) and is recorded on every sweep
@@ -1264,11 +1283,12 @@ def scaling_sweep(
         # One warm pass outside all timings and outside the measured
         # services, so their request counters and latency windows stay
         # exactly the measured run.
-        warm_engine = PhoneBitEngine(num_threads=worker_threads)
+        warm_engine = PhoneBitEngine(num_threads=worker_threads,
+                                     backend=worker_backend)
         warm_engine.run_batch(attached.network, images[:2],
                               collect_estimate=False, chunk_bytes=chunk_bytes)
 
-        pool = ModelPool()
+        pool = ModelPool(backend=worker_backend)
         pool.register(attached.network, name=key, warm=True)
         baseline = InferenceService(
             pool=pool, engine=warm_engine, max_batch_size=offered_batch,
@@ -1287,6 +1307,7 @@ def scaling_sweep(
                 store=store, workers=int(workers),
                 max_batch_size=offered_batch, max_wait_ms=max_wait_ms,
                 cache_capacity=0, worker_threads=worker_threads,
+                worker_backend=worker_backend,
                 chunk_bytes=chunk_bytes, mp_context=mp_context,
                 transport=transport, bind=bind,
                 expect_workers=expect_workers,
@@ -1306,6 +1327,7 @@ def scaling_sweep(
                 "op": "cluster_scaling",
                 "model": key,
                 "transport": transport,
+                "backend": worker_backend,
                 "workers": cluster_detail.workers,
                 "batch": int(offered_batch),
                 "shape": list(attached.network.input_shape),
@@ -1343,6 +1365,7 @@ def open_loop_sweep(
     bind: Optional[str] = None,
     expect_workers: int = 0,
     max_outstanding: Optional[int] = None,
+    worker_backend: str = "auto",
 ) -> List[dict]:
     """Open-loop overload trajectory: shed / retry-after vs offered load.
 
@@ -1391,7 +1414,8 @@ def open_loop_sweep(
         attached = attach_model(handles[key])
         images = synthetic_images(attached.network.input_shape, requests,
                                   seed=seed)
-        engine = PhoneBitEngine(num_threads=worker_threads)
+        engine = PhoneBitEngine(num_threads=worker_threads,
+                                backend=worker_backend)
         baseline_rows = engine.run_batch(
             attached.network, images, collect_estimate=False
         ).output.data
@@ -1404,6 +1428,7 @@ def open_loop_sweep(
                 store=store, workers=workers,
                 max_batch_size=offered_batch, max_wait_ms=max_wait_ms,
                 cache_capacity=0, worker_threads=worker_threads,
+                worker_backend=worker_backend,
                 mp_context=mp_context, transport=transport, bind=bind,
                 expect_workers=expect_workers, max_outstanding=window,
             )
@@ -1439,6 +1464,7 @@ def open_loop_sweep(
                 "op": "cluster_open_loop",
                 "model": key,
                 "transport": transport,
+                "backend": worker_backend,
                 "workers": cluster_detail.workers,
                 "batch": int(offered_batch),
                 "shape": list(attached.network.input_shape),

@@ -31,14 +31,25 @@ class PoolEntry:
     #: Fused steps in the network's compiled execution plan (0 when the
     #: network was registered unwarmed and no plan has been compiled yet).
     fused_steps: int = 0
+    #: Resolved kernel backend of the warmed plan ("numpy" until warmed).
+    backend: str = "numpy"
 
 
 class ModelPool:
-    """Thread-safe pool of warmed networks keyed by serving-model name."""
+    """Thread-safe pool of warmed networks keyed by serving-model name.
 
-    def __init__(self, rng: int = 0, word_size: int = 64) -> None:
+    ``backend`` is the kernel-backend spec applied while warming
+    (:data:`repro.core.backends.BACKEND_CHOICES`; ``None`` defers to
+    ``REPRO_BACKEND`` / ``auto``) — compiled kernels are built, verified
+    bit-exact per plan step and attached at load time, so no request pays
+    compile or verification cost.
+    """
+
+    def __init__(self, rng: int = 0, word_size: int = 64,
+                 backend: Optional[str] = None) -> None:
         self.rng = rng
         self.word_size = word_size
+        self.backend = backend
         self._lock = threading.RLock()
         self._entries: Dict[str, PoolEntry] = {}
         #: Per-key events marking builds in flight, so concurrent first
@@ -88,14 +99,18 @@ class ModelPool:
         key = name or network.name
         warm_ms = 0.0
         fused_steps = 0
+        backend = "numpy"
         if warm:
             t0 = time.perf_counter()
-            network.warm()
+            network.warm(self.backend)
             warm_ms = (time.perf_counter() - t0) * 1000.0
-            fused_steps = plan_mod.get_plan(network).fused_step_count
+            plan = plan_mod.get_plan(network)
+            fused_steps = plan.fused_step_count
+            backend = plan.backend_spec
         with self._lock:
             self._entries[key] = PoolEntry(
-                network, build_ms=0.0, warm_ms=warm_ms, fused_steps=fused_steps
+                network, build_ms=0.0, warm_ms=warm_ms,
+                fused_steps=fused_steps, backend=backend,
             )
         return network
 
@@ -129,13 +144,14 @@ class ModelPool:
             )
             build_ms = (time.perf_counter() - t0) * 1000.0
             t0 = time.perf_counter()
-            network.warm()
+            network.warm(self.backend)
             warm_ms = (time.perf_counter() - t0) * 1000.0
-            fused_steps = plan_mod.get_plan(network).fused_step_count
+            plan = plan_mod.get_plan(network)
             with self._lock:
                 self._entries[key] = PoolEntry(
                     network, build_ms=build_ms, warm_ms=warm_ms,
-                    fused_steps=fused_steps,
+                    fused_steps=plan.fused_step_count,
+                    backend=plan.backend_spec,
                 )
             return network
         finally:

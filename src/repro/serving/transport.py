@@ -941,14 +941,18 @@ def build_worker_service(attachments: Sequence, config):
     from repro.serving.pool import ModelPool
     from repro.serving.service import InferenceService
 
-    pool = ModelPool()
+    # Backend selection is per *host*: each worker compiles (or falls back)
+    # for its own toolchain, and the bit-exactness gate keeps every
+    # worker's answers identical regardless of what it selected.
+    backend = getattr(config, "backend", None)
+    pool = ModelPool(backend=backend)
     attach_ms: Dict[str, float] = {}
     for attached in attachments:
         pool.register(attached.network, name=attached.handle.model, warm=True)
         attach_ms[attached.handle.model] = attached.attach_ms
     service = InferenceService(
         pool=pool,
-        engine=PhoneBitEngine(num_threads=config.threads),
+        engine=PhoneBitEngine(num_threads=config.threads, backend=backend),
         max_batch_size=config.max_batch_size,
         max_wait_ms=config.max_wait_ms,
         cache_capacity=config.cache_capacity,
@@ -958,7 +962,8 @@ def build_worker_service(attachments: Sequence, config):
 
 
 def _serve_session(channel: Channel, welcome, attachments_by_digest: Dict,
-                   cli_threads: Optional[int], log) -> str:
+                   cli_threads: Optional[int], log,
+                   cli_backend: Optional[str] = None) -> str:
     """Run one connected session; returns ``"stop"`` or ``"lost"``."""
     from dataclasses import replace
 
@@ -967,6 +972,8 @@ def _serve_session(channel: Channel, welcome, attachments_by_digest: Dict,
     _, worker_id, manifest, config = welcome
     if cli_threads is not None:
         config = replace(config, threads=cli_threads)
+    if cli_backend is not None:
+        config = replace(config, backend=cli_backend)
 
     # REPRO_CLUSTER_FORCE_FETCH=1 disables the co-hosted owner-segment fast
     # path, so a loopback worker behaves exactly like a remote host (model
@@ -1078,7 +1085,8 @@ def _submit_one(service, send: Callable[[tuple], None], worker_id: str,
 
 def run_cluster_worker(address: str, threads: Optional[int] = None,
                        retry_s: float = 30.0, reconnect: bool = True,
-                       log: Callable[[str], None] = print) -> int:
+                       log: Callable[[str], None] = print,
+                       backend: Optional[str] = None) -> int:
     """Run a self-registering cluster worker until the router stops it.
 
     This is the ``python -m repro.cli cluster-worker`` entry point: dial
@@ -1096,6 +1104,10 @@ def run_cluster_worker(address: str, threads: Optional[int] = None,
         Router address (``tcp://host:port`` or ``uds:///path``).
     threads : int, optional
         Fused-executor threads; overrides the router-sent worker config.
+    backend : str, optional
+        Kernel-backend spec (``auto``/``numpy``/``cffi``/``numba``);
+        overrides the router-sent worker config for *this host only* —
+        the knob is per host because the toolchain is.
     retry_s : float
         How long to keep dialing a router that is not (yet) listening.
     reconnect : bool
@@ -1126,7 +1138,8 @@ def run_cluster_worker(address: str, threads: Optional[int] = None,
                         and welcome[0] == "welcome"):
                     raise TransportClosed("router sent no welcome")
                 outcome = _serve_session(channel, welcome,
-                                         attachments_by_digest, threads, log)
+                                         attachments_by_digest, threads, log,
+                                         cli_backend=backend)
             except TransportClosed:
                 outcome = "lost"
             except WorkerInitError as exc:

@@ -30,6 +30,12 @@ KEY_GROUPS = (
     ("ns_per_op", "req_per_s"),
 )
 
+#: Optional per-record ``backend`` field (kernel backend the record was
+#: measured with, e.g. BENCH_compiled_backend.json).  When present it must
+#: name a registered backend — kept in lockstep with
+#: ``repro.core.backends.BACKEND_CHOICES`` without importing the package.
+BACKEND_VALUES = frozenset({"auto", "numpy", "cffi", "numba"})
+
 
 def check_file(path: str) -> list:
     """Return a list of problem strings for one BENCH file."""
@@ -52,6 +58,12 @@ def check_file(path: str) -> list:
                     f"{path}: record {index} is missing every one of "
                     f"{'/'.join(group)} (keys: {sorted(record)})"
                 )
+        backend = record.get("backend")
+        if backend is not None and backend not in BACKEND_VALUES:
+            problems.append(
+                f"{path}: record {index} has unknown backend {backend!r} "
+                f"(expected one of {sorted(BACKEND_VALUES)})"
+            )
     return problems
 
 
