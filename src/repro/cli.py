@@ -21,6 +21,9 @@ Both serving commands take ``--workers N`` to route the same traffic
 through a sharded :class:`~repro.serving.cluster.ClusterService` instead
 of one in-process service, and ``--transport pipe|uds|tcp`` to pick the
 worker wire (see ``docs/architecture.md`` and ``docs/deployment.md``).
+``loadgen`` additionally takes ``--autoscale MIN:MAX`` (elastic fleet —
+grow on sustained shedding, shrink when idle) and ``--pin MODEL=K,...``
+(attach each model only to its rendezvous top-K workers).
 ``cluster-worker`` runs one self-registering worker process — on the
 router's host or any other — that dials the router, fetches model bytes
 it has never seen into the per-host digest cache, and serves until the
@@ -62,6 +65,55 @@ def parse_byte_size(text: str) -> int:
     if value <= 0:
         raise argparse.ArgumentTypeError("byte size must be positive")
     return value
+
+
+def parse_autoscale_bounds(text: str) -> "tuple[int, int]":
+    """Parse an autoscale spec like ``1:4`` into ``(min, max)`` workers."""
+    parts = str(text).split(":")
+    if len(parts) != 2:
+        raise argparse.ArgumentTypeError(
+            f"invalid autoscale spec {text!r}; expected MIN:MAX (e.g. 1:4)"
+        )
+    try:
+        low, high = int(parts[0]), int(parts[1])
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid autoscale spec {text!r}; MIN and MAX must be integers"
+        ) from None
+    if low < 1 or high < low:
+        raise argparse.ArgumentTypeError(
+            "autoscale bounds must satisfy 1 <= MIN <= MAX"
+        )
+    return (low, high)
+
+
+def parse_pin_spec(text: str) -> "dict[str, int]":
+    """Parse a pinning spec like ``VGG16=2,MicroCNN=1`` into ``{model: K}``."""
+    pins: "dict[str, int]" = {}
+    for item in str(text).split(","):
+        item = item.strip()
+        if not item:
+            continue
+        name, sep, count = item.partition("=")
+        name = name.strip()
+        if not sep or not name:
+            raise argparse.ArgumentTypeError(
+                f"invalid pin {item!r}; expected MODEL=K"
+            )
+        try:
+            workers = int(count)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"invalid pin count in {item!r}; K must be an integer"
+            ) from None
+        if workers < 1:
+            raise argparse.ArgumentTypeError(
+                f"pin count for {name!r} must be >= 1"
+            )
+        pins[name] = workers
+    if not pins:
+        raise argparse.ArgumentTypeError("empty --pin spec")
+    return pins
 
 
 #: Kernel-backend specs accepted by ``--backend`` — kept in lockstep with
@@ -114,7 +166,9 @@ def _add_transport_arguments(parser: argparse.ArgumentParser) -> None:
 def _wants_cluster(args) -> bool:
     """Route through a ClusterService instead of one in-process service?"""
     return (args.workers > 1 or args.transport != "pipe"
-            or args.expect_workers > 0)
+            or args.expect_workers > 0
+            or getattr(args, "autoscale", None) is not None
+            or getattr(args, "pin", None) is not None)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -185,6 +239,17 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--workers", type=int, default=1, metavar="N",
                          help="offer the load to a ClusterService of N worker "
                               "processes instead of one in-process service")
+    loadgen.add_argument("--autoscale", type=parse_autoscale_bounds,
+                         default=None, metavar="MIN:MAX",
+                         help="let the cluster grow on sustained shedding and "
+                              "shrink when idle, within MIN..MAX workers "
+                              "(implies cluster mode; see docs/deployment.md)")
+    loadgen.add_argument("--pin", type=parse_pin_spec, default=None,
+                         metavar="MODEL=K,...",
+                         help="pin each MODEL to its rendezvous top-K workers "
+                              "so only K workers attach and serve it "
+                              "(implies cluster mode); pinned models are "
+                              "published even if not the --model under load")
     _add_transport_arguments(loadgen)
     _add_execution_arguments(loadgen)
 
@@ -299,8 +364,16 @@ def _command_loadgen(args) -> str:
         from repro.serving import ClusterService
 
         input_shape = get_serving_config(args.model).input_shape
+        autoscale = None
+        if args.autoscale is not None:
+            from repro.serving.autoscale import AutoscaleConfig
+
+            autoscale = AutoscaleConfig(min_workers=args.autoscale[0],
+                                        max_workers=args.autoscale[1])
+        # Pinned models must be published so workers can attach them.
+        models = tuple(dict.fromkeys((args.model,) + tuple(args.pin or ())))
         service = ClusterService(
-            models=(args.model,),
+            models=models,
             workers=args.workers,
             max_batch_size=args.max_batch_size,
             max_wait_ms=args.max_wait_ms,
@@ -311,6 +384,8 @@ def _command_loadgen(args) -> str:
             transport=args.transport,
             bind=args.bind,
             expect_workers=args.expect_workers,
+            pin_models=args.pin,
+            autoscale=autoscale,
         )
     else:
         service = InferenceService(

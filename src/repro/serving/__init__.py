@@ -8,6 +8,13 @@ cache, and every request contributes to p50/p99 latency and throughput
 metrics.  See ``docs/serving.md`` for the architecture.
 """
 
+from repro.serving.autoscale import (
+    Autoscaler,
+    AutoscaleConfig,
+    AutoscaleSignals,
+    FakeClock,
+    ScaleEvent,
+)
 from repro.serving.cache import CacheStats, LRUResponseCache, input_digest
 from repro.serving.cluster import (
     ClusterOverloadError,
@@ -21,9 +28,12 @@ from repro.serving.cluster import (
 from repro.serving.loadgen import (
     LoadgenResult,
     ShedLoadResult,
+    SpikeLoadResult,
+    SpikePhase,
     run_closed_loop,
     run_open_loop,
     run_open_loop_shedding,
+    run_spike_load,
     sequential_baseline,
     sequential_forward_baseline,
     sweep_table,
@@ -39,7 +49,12 @@ from repro.serving.scheduler import (
     SchedulerStats,
     TRIGGERS,
 )
-from repro.serving.router import LeastOutstandingRouter, RouterStats
+from repro.serving.router import (
+    LeastOutstandingRouter,
+    RouterStats,
+    pin_counts_from_shares,
+    rendezvous_score,
+)
 from repro.serving.service import InferenceService, ServiceReport
 from repro.serving.shm_store import (
     AttachedModel,
@@ -59,6 +74,16 @@ from repro.serving.transport import (
 
 __all__ = [
     "AttachedModel",
+    "Autoscaler",
+    "AutoscaleConfig",
+    "AutoscaleSignals",
+    "FakeClock",
+    "ScaleEvent",
+    "SpikeLoadResult",
+    "SpikePhase",
+    "pin_counts_from_shares",
+    "rendezvous_score",
+    "run_spike_load",
     "BatchRecord",
     "BatchingScheduler",
     "CacheStats",

@@ -1,0 +1,277 @@
+"""Elastic worker scaling: grow on sustained shedding, shrink on idleness.
+
+The router already exposes every signal an autoscaler needs — lifetime
+dispatch/shed counters (:class:`~repro.serving.router.RouterStats`),
+per-worker outstanding windows, heartbeat-supervised membership — and the
+cluster already knows how to spawn and retire workers.  This module closes
+the loop with a deliberately *pure* decision core:
+
+* :class:`Autoscaler` consumes :class:`AutoscaleSignals` snapshots (taken
+  by the cluster's control thread each tick) and answers ``"grow"`` /
+  ``"shrink"`` / ``"hold"``.  It owns no threads, reads no clocks it was
+  not given, and touches no cluster state — so every policy edge
+  (consecutive-tick debounce, cooldown, respawn budget, min/max bounds)
+  is unit-testable with a fake clock (``tests/test_autoscale.py``).
+* :class:`AutoscaleConfig` is the operator surface, documented knob by
+  knob in ``docs/deployment.md``.
+
+Policy
+------
+**Grow** when shedding is *sustained*: at least ``grow_consecutive``
+consecutive ticks each observed new sheds (one overloaded burst must not
+buy a worker), the fleet is below ``max_workers``, the ``grow_budget`` has
+spawns left, and ``cooldown_s`` has elapsed since the last scale action.
+Ticks with spawns still pending hold instead — capacity that is already
+coming must land before it can be judged insufficient.
+
+**Shrink** when idleness is *sustained*: ``shrink_consecutive``
+consecutive ticks each saw zero new sheds and window utilization
+(``outstanding / (workers × max_outstanding)``) at or below
+``idle_utilization``, the fleet is above ``min_workers``, and the
+cooldown has elapsed.  Growing resets the idle streak and vice versa.
+
+The cooldown applies after *either* action, so the loop cannot oscillate
+faster than the fleet can actually warm a worker or drain one.
+
+Examples
+--------
+>>> clock = FakeClock()
+>>> scaler = Autoscaler(AutoscaleConfig(min_workers=1, max_workers=4,
+...                                     grow_consecutive=2, cooldown_s=5.0),
+...                     clock=clock)
+>>> def tick(shed):
+...     clock.advance(1.0)
+...     return scaler.observe(AutoscaleSignals(workers=1, pending=0,
+...                                            dispatched=shed, shed=shed,
+...                                            outstanding=8, window=8))
+>>> tick(0)   # first tick only arms the lifetime-counter baseline
+'hold'
+>>> tick(4)   # one shedding tick is noise, not a trend
+'hold'
+>>> tick(9)   # second consecutive shedding tick: grow
+'grow'
+>>> tick(14)  # streak was reset by the grow (and the cooldown holds too)
+'hold'
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+__all__ = [
+    "Autoscaler",
+    "AutoscaleConfig",
+    "AutoscaleSignals",
+    "FakeClock",
+    "ScaleEvent",
+]
+
+
+@dataclass(frozen=True)
+class AutoscaleConfig:
+    """Operator knobs for the elastic control loop.
+
+    Parameters
+    ----------
+    min_workers / max_workers:
+        Hard fleet-size bounds; the loop never decides past them.
+    grow_consecutive:
+        Consecutive shedding ticks required before growing (debounce —
+        one bursty tick is noise, N in a row is a trend).
+    shrink_consecutive:
+        Consecutive idle ticks required before shrinking.  Idle means no
+        new sheds *and* utilization at or below ``idle_utilization``.
+    idle_utilization:
+        Fraction of the fleet-wide admission window
+        (``workers × max_outstanding``) under which a tick counts as
+        idle.
+    cooldown_s:
+        Minimum wall-clock between scale actions (grow or shrink).
+    grow_budget:
+        Total grow actions this autoscaler may ever take (``None`` =
+        unbounded).  This is the *scale-up* budget, separate from the
+        cluster's crash-respawn budget — a traffic spike must not be able
+        to spend the allowance reserved for crash recovery, or vice
+        versa.
+    grow_step / shrink_step:
+        Workers added / retired per action.
+    interval_s:
+        Control-loop tick period (used by the cluster's thread, not by
+        the pure core).
+    """
+
+    min_workers: int = 1
+    max_workers: int = 8
+    grow_consecutive: int = 2
+    shrink_consecutive: int = 6
+    idle_utilization: float = 0.1
+    cooldown_s: float = 2.0
+    grow_budget: Optional[int] = None
+    grow_step: int = 1
+    shrink_step: int = 1
+    interval_s: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.min_workers < 1:
+            raise ValueError("min_workers must be at least 1")
+        if self.max_workers < self.min_workers:
+            raise ValueError("max_workers must be >= min_workers")
+        if self.grow_consecutive < 1 or self.shrink_consecutive < 1:
+            raise ValueError("consecutive-tick thresholds must be >= 1")
+        if not (0.0 <= self.idle_utilization <= 1.0):
+            raise ValueError("idle_utilization must be within [0, 1]")
+        if self.cooldown_s < 0 or self.interval_s <= 0:
+            raise ValueError("cooldown_s must be >= 0 and interval_s > 0")
+        if self.grow_step < 1 or self.shrink_step < 1:
+            raise ValueError("grow_step and shrink_step must be >= 1")
+        if self.grow_budget is not None and self.grow_budget < 0:
+            raise ValueError("grow_budget must be >= 0 when set")
+
+
+@dataclass(frozen=True)
+class AutoscaleSignals:
+    """One control-tick snapshot of the router's view of the fleet.
+
+    ``dispatched`` and ``shed`` are *lifetime* counters (straight from
+    :class:`~repro.serving.router.RouterStats`); the autoscaler diffs
+    them against the previous tick itself.  ``pending`` counts workers
+    that are spawned/registering but not ready — capacity in flight.
+    ``window`` is the fleet-wide admission bound
+    (``workers × max_outstanding``).
+    """
+
+    workers: int
+    pending: int
+    dispatched: int
+    shed: int
+    outstanding: int
+    window: int
+
+    @property
+    def utilization(self) -> float:
+        """Outstanding work as a fraction of the admission window."""
+        if self.window <= 0:
+            return 1.0 if self.outstanding > 0 else 0.0
+        return self.outstanding / self.window
+
+
+@dataclass(frozen=True)
+class ScaleEvent:
+    """One recorded autoscaler action (exposed for benchmarks/reports)."""
+
+    at_s: float
+    action: str  #: ``"grow"`` or ``"shrink"``
+    workers_before: int
+    workers_target: int
+    shed_delta: int
+    utilization: float
+
+
+class FakeClock:
+    """Deterministic clock for autoscaler tests and doctests."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = float(start)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class Autoscaler:
+    """Pure grow/shrink decision core over router signal snapshots.
+
+    Feed one :class:`AutoscaleSignals` per control tick to
+    :meth:`observe`; it returns ``"grow"``, ``"shrink"`` or ``"hold"``.
+    The caller (the cluster's control thread) owns the actual spawning
+    and retiring — and reports grows that could not be executed back via
+    :meth:`refund_grow` so the budget reflects workers, not attempts.
+    """
+
+    def __init__(self, config: AutoscaleConfig,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.config = config
+        self._clock = clock
+        self._last_dispatched: Optional[int] = None
+        self._last_shed: Optional[int] = None
+        self._shed_streak = 0
+        self._idle_streak = 0
+        self._last_action_at: Optional[float] = None
+        self._grows_spent = 0
+        self.events: List[ScaleEvent] = []
+
+    # ------------------------------------------------------------- state
+    @property
+    def grows_remaining(self) -> Optional[int]:
+        """Grow actions left in the budget (``None`` = unbounded)."""
+        if self.config.grow_budget is None:
+            return None
+        return max(0, self.config.grow_budget - self._grows_spent)
+
+    def refund_grow(self) -> None:
+        """Return one spent grow to the budget (spawn failed to launch)."""
+        self._grows_spent = max(0, self._grows_spent - 1)
+
+    def _cooldown_elapsed(self, now: float) -> bool:
+        return (self._last_action_at is None
+                or now - self._last_action_at >= self.config.cooldown_s)
+
+    # ------------------------------------------------------------- ticks
+    def observe(self, signals: AutoscaleSignals) -> str:
+        """Consume one tick's snapshot; returns ``grow``/``shrink``/``hold``.
+
+        The first tick only arms the delta baseline (lifetime counters
+        have no delta yet) and always holds.
+        """
+        now = self._clock()
+        config = self.config
+        if self._last_dispatched is None:
+            self._last_dispatched = signals.dispatched
+            self._last_shed = signals.shed
+            return "hold"
+        shed_delta = max(0, signals.shed - self._last_shed)
+        self._last_dispatched = signals.dispatched
+        self._last_shed = signals.shed
+
+        idle = (shed_delta == 0
+                and signals.utilization <= config.idle_utilization)
+        if shed_delta > 0:
+            self._shed_streak += 1
+            self._idle_streak = 0
+        else:
+            self._shed_streak = 0
+            self._idle_streak = self._idle_streak + 1 if idle else 0
+
+        fleet = signals.workers + signals.pending
+        if (self._shed_streak >= config.grow_consecutive
+                and fleet < config.max_workers
+                and signals.pending == 0
+                and (self.grows_remaining is None or self.grows_remaining > 0)
+                and self._cooldown_elapsed(now)):
+            target = min(config.max_workers, fleet + config.grow_step)
+            self._record(now, "grow", signals, shed_delta, target)
+            self._grows_spent += 1
+            self._shed_streak = 0
+            return "grow"
+        if (self._idle_streak >= config.shrink_consecutive
+                and fleet > config.min_workers
+                and signals.pending == 0
+                and self._cooldown_elapsed(now)):
+            target = max(config.min_workers, fleet - config.shrink_step)
+            self._record(now, "shrink", signals, shed_delta, target)
+            self._idle_streak = 0
+            return "shrink"
+        return "hold"
+
+    def _record(self, now: float, action: str, signals: AutoscaleSignals,
+                shed_delta: int, target: int) -> None:
+        self._last_action_at = now
+        self.events.append(ScaleEvent(
+            at_s=now, action=action, workers_before=signals.workers,
+            workers_target=target, shed_delta=shed_delta,
+            utilization=signals.utilization,
+        ))

@@ -45,13 +45,18 @@ import time
 import uuid
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.analysis.reporting import format_kv
+from repro.serving.autoscale import Autoscaler, AutoscaleConfig, AutoscaleSignals
 from repro.serving.metrics import LatencyTracker
-from repro.serving.router import LeastOutstandingRouter, RouterStats
+from repro.serving.router import (
+    LeastOutstandingRouter,
+    RouterStats,
+    rendezvous_score,
+)
 from repro.serving.scheduler import TRIGGERS, SchedulerStats
 from repro.serving.service import ServiceReport
 from repro.serving.shm_store import SharedModelStore, ShmModelHandle, attach_model
@@ -64,6 +69,7 @@ from repro.serving.transport import (
 )
 
 __all__ = [
+    "AutoscaleConfig",
     "ClusterOverloadError",
     "ClusterReport",
     "ClusterService",
@@ -168,6 +174,24 @@ def _worker_main(worker_id: str, handles: Dict[str, ShmModelHandle],
                 for rid, model, image in message[1]:
                     _worker_submit(service, response_q, worker_id, rid, model,
                                    image)
+            elif kind == "attach":
+                # Dynamic (re)pinning: map more published artifacts into this
+                # worker.  Warming can take whole seconds for a deep model,
+                # so a heartbeat brackets each attach — a worker busy growing
+                # its pool must not read as dead.
+                for model, digest, nbytes, shm_name in message[1]:
+                    response_q.put(("hb", worker_id, time.time()))
+                    t0 = time.perf_counter()
+                    just_attached = attach_model(ShmModelHandle(
+                        model=model, shm_name=shm_name, nbytes=nbytes,
+                        digest=digest,
+                    ))
+                    attached.append(just_attached)  # keep the mapping alive
+                    service.pool.register(just_attached.network, name=model,
+                                          warm=True)
+                    response_q.put(("attached", worker_id, model,
+                                    (time.perf_counter() - t0) * 1000.0))
+                last_hb = time.time()
             elif kind == "report":
                 response_q.put(("reports", worker_id, message[1],
                                 service.reports()))
@@ -195,6 +219,9 @@ class _Pending:
     worker: str
     submitted_at: float
     requeues: int = 0
+    #: Router registration generation of ``worker`` when the slot was
+    #: acquired — scopes the eventual ``release`` to that incarnation.
+    generation: int = 0
 
 
 @dataclass
@@ -210,6 +237,11 @@ class _Worker:
     attach_ms: Dict[str, float] = field(default_factory=dict)
     ready_ms: float = 0.0
     stopping: bool = False
+    #: Router registration generation (assigned at ``ready``).
+    generation: int = 0
+    #: Models this worker attaches/serves; ``None`` = every published model
+    #: (the unpinned fleet).
+    models: Optional[Set[str]] = None
 
 
 class _ModelTraffic:
@@ -351,6 +383,22 @@ class ClusterService:
         After a socket worker's connection drops while its process is
         still alive, how long requeued work may park waiting for the
         reconnection before the worker is declared dead for good.
+    pin_models:
+        ``{model: K}`` per-model pinning widths: each listed model routes
+        only within the top-``K`` workers of its rendezvous preference
+        order, and each worker attaches **only** the artifacts pinned to
+        it (unlisted models pin fleet-wide).  Cuts warm time and
+        per-worker plan memory on heterogeneous fleets; the cluster keeps
+        the attached sets converging on the top-K target as membership
+        churns (see :meth:`_refresh_pinning`).
+    autoscale:
+        An :class:`~repro.serving.autoscale.AutoscaleConfig` enabling the
+        elastic control loop: grow the fleet on sustained shedding,
+        shrink it on sustained idleness, within the config's bounds
+        (``workers`` is clamped into them at startup).  Scale events are
+        recorded on :attr:`autoscale_events`; :meth:`scale_up` /
+        :meth:`scale_down` expose the same machinery for manual and
+        test-driven scale events.
     """
 
     def __init__(
@@ -376,6 +424,8 @@ class ClusterService:
         bind: Optional[str] = None,
         expect_workers: int = 0,
         reconnect_grace_s: float = 15.0,
+        pin_models: Optional[Mapping[str, int]] = None,
+        autoscale: Optional[AutoscaleConfig] = None,
     ) -> None:
         socket_mode = (transport in ("uds", "tcp") if isinstance(transport, str)
                        else getattr(transport, "spawns_via_registration", False))
@@ -383,6 +433,11 @@ class ClusterService:
             raise ValueError("expect_workers requires a socket transport")
         if workers < 1 and not (socket_mode and expect_workers > 0):
             raise ValueError("workers must be at least 1")
+        self.autoscaler = (Autoscaler(autoscale) if autoscale is not None
+                           else None)
+        if autoscale is not None and workers >= 1:
+            workers = min(max(workers, autoscale.min_workers),
+                          autoscale.max_workers)
         self.transport = self._build_transport(transport, bind, mp_context)
         self._startup_target = workers + expect_workers
         self.reconnect_grace_s = reconnect_grace_s
@@ -392,6 +447,18 @@ class ClusterService:
         if not self.store.handles():
             self.store.publish_models(models, rng=rng, word_size=word_size)
         self._handles = self.store.handles()
+        if pin_models:
+            unknown = sorted(set(pin_models) - set(self._handles))
+            if unknown:
+                raise KeyError(
+                    f"pin_models references unpublished models {unknown}; "
+                    f"published: {sorted(self._handles)}"
+                )
+            self._pinning: Optional[Dict[str, int]] = {
+                model: int(count) for model, count in pin_models.items()
+            }
+        else:
+            self._pinning = None
 
         self.config = WorkerConfig(
             max_batch_size=max_batch_size,
@@ -404,7 +471,8 @@ class ClusterService:
         )
         self.heartbeat_timeout_s = heartbeat_timeout_s
         self.router = LeastOutstandingRouter(
-            max_outstanding=max_outstanding or 2 * max_batch_size
+            max_outstanding=max_outstanding or 2 * max_batch_size,
+            pin_counts=self._pinning,
         )
         self.max_respawns = workers if max_respawns is None else max_respawns
 
@@ -416,7 +484,9 @@ class ClusterService:
         self._workers: Dict[str, _Worker] = {}
         self._pending: Dict[int, _Pending] = {}
         self._orphans: List[int] = []  #: admitted req ids awaiting a worker
-        self._stale_assignee: Dict[int, str] = {}
+        #: ``{rid: (worker_id, generation)}`` — the still-held slot of a
+        #: replacement worker whose request a stale assignee also answered.
+        self._stale_assignee: Dict[int, Tuple[str, int]] = {}
         self._traffic: Dict[str, _ModelTraffic] = {}
         self._init_errors: List[str] = []
         self._next_rid = 0
@@ -444,6 +514,14 @@ class ClusterService:
 
         self._wait_ready(startup_timeout_s)
 
+        self._autoscale_thread: Optional[threading.Thread] = None
+        if self.autoscaler is not None:
+            self._autoscale_thread = threading.Thread(
+                target=self._autoscale_loop, name="cluster-autoscale",
+                daemon=True,
+            )
+            self._autoscale_thread.start()
+
     # ------------------------------------------------------------- lifecycle
     @staticmethod
     def _build_transport(transport, bind: Optional[str], mp_context):
@@ -467,6 +545,53 @@ class ClusterService:
             f"unknown transport {transport!r}; expected pipe, uds or tcp"
         )
 
+    # ------------------------------------------------------------- pinning
+    def _desired_assignment(self, worker_ids: Sequence[str]
+                            ) -> Dict[str, Set[str]]:
+        """Ideal ``{worker_id: models}`` layout under the pin counts.
+
+        Each model goes to the top-``K`` of ``worker_ids`` by rendezvous
+        score (``K`` clamped into ``[1, len(worker_ids)]``; unlisted models
+        pin fleet-wide) — the same ordering the router's eligibility layer
+        uses, so the attached sets and the routing sets agree.
+        """
+        ids = list(worker_ids)
+        desired: Dict[str, Set[str]] = {wid: set() for wid in ids}
+        for model in self._handles:
+            count = (len(ids) if self._pinning is None
+                     else self._pinning.get(model, len(ids)))
+            count = max(1, min(int(count), len(ids)))
+            ranked = sorted(
+                ids, key=lambda wid: rendezvous_score(model, wid),
+                reverse=True,
+            )
+            for wid in ranked[:count]:
+                desired[wid].add(model)
+        return desired
+
+    def _prospective_ids(self, new_id: Optional[str] = None) -> List[str]:
+        """Worker ids to lay models out over (lock held by caller).
+
+        Live non-stopping workers, plus ``new_id``, plus — during initial
+        startup — the ids the remaining planned spawns will get, so the
+        first worker up does not attach everything only to strand the
+        surplus once its peers arrive.
+        """
+        ids = {w.worker_id for w in self._workers.values() if not w.stopping}
+        if new_id is not None:
+            ids.add(new_id)
+        for i in range(self._next_worker, self._startup_target):
+            ids.add(f"w{i}")
+        return sorted(ids)
+
+    def _assigned_models(self, worker_id: str) -> Optional[Set[str]]:
+        """Models a fresh ``worker_id`` should attach (lock held by caller);
+        ``None`` (attach everything) when pinning is off."""
+        if self._pinning is None:
+            return None
+        desired = self._desired_assignment(self._prospective_ids(worker_id))
+        return desired.get(worker_id, set())
+
     def _spawn_worker(self) -> None:
         """Start one router-owned worker (child process or subprocess)."""
         if self.transport.spawns_via_registration:
@@ -474,14 +599,19 @@ class ClusterService:
             with self._lock:
                 self._spawn_pending[process.pid] = process
             return
-        worker_id = f"w{self._next_worker}"
-        self._next_worker += 1
-        endpoint = self.transport.spawn(worker_id, self._handles, self.config)
+        with self._lock:
+            worker_id = f"w{self._next_worker}"
+            self._next_worker += 1
+            assigned = self._assigned_models(worker_id)
+        handles = (self._handles if assigned is None
+                   else {m: self._handles[m] for m in sorted(assigned)})
+        endpoint = self.transport.spawn(worker_id, handles, self.config)
         with self._lock:
             self._workers[worker_id] = _Worker(
                 worker_id=worker_id,
                 endpoint=endpoint,
                 spawned_at=time.perf_counter(),
+                models=assigned,
             )
 
     def _register_worker(self, channel, hello: dict):
@@ -496,6 +626,7 @@ class ClusterService:
                 return None
             worker_id = f"w{self._next_worker}"
             self._next_worker += 1
+            assigned = self._assigned_models(worker_id)
             process = self._spawn_pending.pop(pid, None)
             rejoin = self._rejoin_pending.pop(pid, None)
             if rejoin is not None:
@@ -506,8 +637,10 @@ class ClusterService:
                     process = rejoin[0]
                 self._respawns += 1
         endpoint = self.transport.make_endpoint(worker_id, channel, process)
+        manifest_handles = (list(self._handles.values()) if assigned is None
+                            else [self._handles[m] for m in sorted(assigned)])
         manifest = [(h.model, h.digest, h.nbytes, h.shm_name)
-                    for h in self._handles.values()]
+                    for h in manifest_handles]
         try:
             endpoint.send(("welcome", worker_id, manifest, self.config))
         except TransportClosed:
@@ -519,6 +652,7 @@ class ClusterService:
                 worker_id=worker_id,
                 endpoint=endpoint,
                 spawned_at=time.perf_counter(),
+                models=assigned,
             )
         return endpoint
 
@@ -582,6 +716,9 @@ class ClusterService:
         self.transport.close()
         if self._supervisor_thread.is_alive():
             self._supervisor_thread.join(timeout=5.0)
+        autoscale_thread = getattr(self, "_autoscale_thread", None)
+        if autoscale_thread is not None and autoscale_thread.is_alive():
+            autoscale_thread.join(timeout=5.0)
         if self._owns_store:
             self.store.close()
 
@@ -656,14 +793,16 @@ class ClusterService:
                         traffic.shed += 1
                         self.router.record_shed()
                     raise ClusterOverloadError(
-                        self.router.retry_after_s(self.config.max_wait_ms)
+                        self.router.retry_after_s(self.config.max_wait_ms,
+                                                  model=key)
                     )
                 remaining = None if deadline is None else deadline - time.perf_counter()
                 if remaining is not None and remaining <= 0:
                     traffic.shed += 1
                     self.router.record_shed()
                     raise ClusterOverloadError(
-                        self.router.retry_after_s(self.config.max_wait_ms)
+                        self.router.retry_after_s(self.config.max_wait_ms,
+                                                  model=key)
                     )
                 self._slot_free.wait(timeout=0.05 if remaining is None
                                      else min(0.05, remaining))
@@ -680,6 +819,7 @@ class ClusterService:
             self._pending[rid] = _Pending(
                 future=future, model=key, image=image, worker=worker_id,
                 submitted_at=time.perf_counter(),
+                generation=self._workers[worker_id].generation,
             )
             return rid, worker_id, future
 
@@ -707,7 +847,11 @@ class ClusterService:
                     pass
             if not delivered:
                 for rid, _, _ in items:
-                    self.router.release(worker_id)
+                    with self._lock:
+                        entry = self._pending.get(rid)
+                        generation = (entry.generation if entry is not None
+                                      else None)
+                    self.router.release(worker_id, generation)
                     self._redispatch(rid)
 
     def submit(self, model: str, image: np.ndarray, block: bool = True,
@@ -784,6 +928,13 @@ class ClusterService:
                     worker.last_heartbeat = time.perf_counter()
         elif kind == "ready":
             self._handle_ready(message)
+        elif kind == "attached":
+            _, worker_id, model, ms = message
+            with self._lock:
+                worker = self._workers.get(worker_id)
+                if worker is not None:
+                    worker.attach_ms[model] = ms
+                    worker.last_heartbeat = time.perf_counter()
         elif kind == "reports":
             _, worker_id, generation, reports = message
             with self._lock:
@@ -834,9 +985,16 @@ class ClusterService:
             worker.attach_ms = dict(attach_ms)
             worker.ready_ms = (time.perf_counter() - worker.spawned_at) * 1000.0
             worker.last_heartbeat = time.perf_counter()
-            self.router.add_worker(worker_id)
+            worker.generation = self.router.add_worker(
+                worker_id,
+                models=(None if worker.models is None
+                        else sorted(worker.models)),
+            )
             orphans, self._orphans = self._orphans, []
             self._slot_free.notify_all()
+        # Converge attachments before redispatching parked work, so a
+        # force-acquire can land on a worker that just gained the model.
+        self._refresh_pinning()
         for rid in orphans:
             self._redispatch(rid)
 
@@ -848,18 +1006,24 @@ class ClusterService:
                 # Late answer for a request that was requeued after this
                 # sender was (wrongly or rightly) declared dead, and that
                 # the replacement already answered — release the slot the
-                # replacement still holds.
+                # replacement still holds, scoped to the incarnation that
+                # acquired it (a same-id re-registration must not lose a
+                # slot it never granted).
                 assignee = self._stale_assignee.pop(rid, None)
-                if assignee == worker_id:
-                    self.router.release(worker_id)
+                if assignee is not None and assignee[0] == worker_id:
+                    self.router.release(worker_id, assignee[1])
                     self._slot_free.notify_all()
                 return
             if entry.worker != worker_id:
-                # Answered by a worker we had already given up on; the
-                # current assignee's answer will arrive later — remember it
-                # so its slot gets released too.
-                self._stale_assignee[rid] = entry.worker
-            self.router.release(worker_id)
+                # Answered by a worker we had already given up on — its
+                # slots were credited when it was removed, so there is
+                # nothing to release for the *sender* (doing so would hit
+                # whatever now holds that id).  Remember the current
+                # assignee instead: its duplicate answer must release the
+                # slot it still holds.
+                self._stale_assignee[rid] = (entry.worker, entry.generation)
+            else:
+                self.router.release(worker_id, entry.generation)
             now = time.perf_counter()
             traffic = self._traffic_for(entry.model)
             traffic.last_done = now
@@ -885,9 +1049,15 @@ class ClusterService:
     def _check_workers(self) -> None:
         now = time.perf_counter()
         dead: List[_Worker] = []
+        retired: List[_Worker] = []
         with self._lock:
             for worker in self._workers.values():
                 if worker.stopping:
+                    # A retiring worker drains and exits on its own; once
+                    # its endpoint is gone, finalize it (reap resources and
+                    # requeue anything it never answered).
+                    if not self._closed and not worker.endpoint.alive():
+                        retired.append(worker)
                     continue
                 alive = worker.endpoint.alive()
                 stale = (
@@ -899,6 +1069,8 @@ class ClusterService:
                     dead.append(worker)
         for worker in dead:
             self._handle_worker_death(worker)
+        for worker in retired:
+            self._finalize_retired(worker)
         self._check_unjoined(now)
 
     def _check_unjoined(self, now: float) -> None:
@@ -1003,6 +1175,10 @@ class ClusterService:
         endpoint.reap()
         if respawn:
             self._spawn_worker()
+        # Re-pin before requeueing: with per-model pinning the dead worker
+        # may have been a model's only attacher, and the victims' force-
+        # acquires need a surviving worker that declares their model.
+        self._refresh_pinning()
         for rid in victims:
             self._redispatch(rid)
 
@@ -1039,6 +1215,7 @@ class ClusterService:
             else:
                 entry.worker = worker_id
                 worker = self._workers[worker_id]
+                entry.generation = worker.generation
                 endpoint = worker.endpoint
                 message = ("reqs", [(rid, entry.model, entry.image)])
         if failed_future is not None:
@@ -1057,8 +1234,189 @@ class ClusterService:
             # requeues this rid (it is pending on this worker) along with
             # any other victims.  Each level of this recursion removes one
             # worker, so it is bounded by the worker count — never by luck.
-            self.router.release(worker_id)
+            self.router.release(worker_id, entry.generation)
             self._handle_worker_death(worker)
+
+    # ------------------------------------------------------------- elasticity
+    def _refresh_pinning(self) -> None:
+        """Converge the attached model sets onto the pinned top-K layout.
+
+        Called after every membership change (ready / death / retire).
+        Under the cluster lock it computes which ready workers are missing
+        models the ideal layout assigns them; the ``attach`` messages go
+        out **outside** the lock, and each model is declared to the router
+        only *after* its attach was sent — the channel is FIFO, so a
+        worker always processes the attach before any request routed to it
+        for that model.  Attachments are only ever added, never revoked:
+        a surplus attachment is harmless (the router's top-K eligibility
+        keeps routing on the ideal subset once enough workers declare).
+        """
+        if self._pinning is None:
+            return
+        sends: List[Tuple[_Worker, List[tuple], List[str]]] = []
+        with self._lock:
+            live = [w for w in self._workers.values() if not w.stopping]
+            if not live:
+                return
+            desired = self._desired_assignment([w.worker_id for w in live])
+            for worker in live:
+                if worker.models is None or not worker.ready:
+                    # Attach-everything workers need nothing; workers still
+                    # initializing get their turn from their own ready
+                    # handler (their handshake would drop an attach).
+                    continue
+                missing = desired.get(worker.worker_id, set()) - worker.models
+                if not missing:
+                    continue
+                manifest = [
+                    (h.model, h.digest, h.nbytes, h.shm_name)
+                    for m in sorted(missing)
+                    for h in (self._handles[m],)
+                ]
+                worker.models |= missing
+                sends.append((worker, manifest, sorted(missing)))
+        for worker, manifest, models in sends:
+            try:
+                worker.endpoint.send(("attach", manifest))
+            except (TransportClosed, ValueError, OSError):
+                continue  # dying link: its death handler re-pins again
+            for model in models:
+                self.router.add_worker_model(worker.worker_id, model)
+
+    def scale_up(self, count: int = 1) -> int:
+        """Spawn up to ``count`` additional workers; returns how many.
+
+        Stops early at the autoscaler's ``max_workers`` bound (when one is
+        configured) or after close.  The new workers attach their pinned
+        manifests, say ready and join the router like any startup worker.
+        """
+        spawned = 0
+        for _ in range(count):
+            with self._lock:
+                if self._closed:
+                    break
+                fleet = (sum(1 for w in self._workers.values()
+                             if not w.stopping)
+                         + len(self._spawn_pending)
+                         + len(self._rejoin_pending))
+                if (self.autoscaler is not None
+                        and fleet >= self.autoscaler.config.max_workers):
+                    break
+            self._spawn_worker()
+            spawned += 1
+        return spawned
+
+    def scale_down(self, count: int = 1) -> int:
+        """Gracefully retire up to ``count`` workers; returns how many."""
+        retired = 0
+        for _ in range(count):
+            if not self._retire_worker():
+                break
+            retired += 1
+        return retired
+
+    def _retire_worker(self) -> bool:
+        """Drain one worker out of the fleet (the least-loaded ready one).
+
+        The victim leaves the router immediately (no new work routes to
+        it; its in-flight slots are credited — late answers still resolve
+        their futures, the releases just no-op), gets a graceful ``stop``
+        and drains on its own; the supervisor finalizes it once its
+        process exits.  Declines (returning ``False``) rather than go
+        below the autoscaler's ``min_workers`` (or 1).
+        """
+        floor = (self.autoscaler.config.min_workers
+                 if self.autoscaler is not None else 1)
+        with self._lock:
+            if self._closed:
+                return False
+            candidates = [w for w in self._workers.values()
+                          if w.ready and not w.stopping]
+            if len(candidates) <= max(1, floor):
+                return False
+            victim = min(
+                candidates,
+                key=lambda w: self.router.outstanding(w.worker_id),
+            )
+            victim.stopping = True
+            self.router.remove_worker(victim.worker_id)
+            self._slot_free.notify_all()
+        self._refresh_pinning()
+        victim.endpoint.request_stop()
+        return True
+
+    def _finalize_retired(self, worker: _Worker) -> None:
+        """Reap a drained retiree; requeue anything it never answered.
+
+        A retiring worker that crashed mid-drain (or received a dispatch
+        that raced its stop) leaves pending entries behind — they must be
+        re-dispatched, not stranded, exactly like a crash victim's.
+        """
+        with self._lock:
+            if self._workers.get(worker.worker_id) is not worker:
+                return
+            del self._workers[worker.worker_id]
+            strays = [rid for rid, entry in self._pending.items()
+                      if entry.worker == worker.worker_id]
+            self._slot_free.notify_all()
+        worker.endpoint.shutdown(timeout_s=5.0)
+        for rid in strays:
+            self._redispatch(rid)
+
+    @property
+    def autoscale_events(self) -> List:
+        """Recorded :class:`~repro.serving.autoscale.ScaleEvent` s."""
+        return [] if self.autoscaler is None else list(self.autoscaler.events)
+
+    def _autoscale_loop(self) -> None:
+        config = self.autoscaler.config
+        while not self._supervise_stop.wait(config.interval_s):
+            if self._closed:
+                return
+            stats = self.router.stats()
+            with self._lock:
+                ready = sum(1 for w in self._workers.values()
+                            if w.ready and not w.stopping)
+                starting = sum(1 for w in self._workers.values()
+                               if not w.ready and not w.stopping)
+                pending = (starting + len(self._spawn_pending)
+                           + len(self._rejoin_pending))
+            decision = self.autoscaler.observe(AutoscaleSignals(
+                workers=ready,
+                pending=pending,
+                dispatched=stats.dispatched,
+                shed=stats.shed,
+                outstanding=max(0, stats.outstanding),
+                window=ready * self.router.max_outstanding,
+            ))
+            if decision == "grow":
+                if self.scale_up(config.grow_step) == 0:
+                    self.autoscaler.refund_grow()
+            elif decision == "shrink":
+                self.scale_down(config.shrink_step)
+
+    def worker_detail(self) -> Dict[str, dict]:
+        """Per-worker attach surface: models held, bytes, warm timings.
+
+        This is what the pinning benchmark reads: a pinned heterogeneous
+        fleet shows small per-worker ``attach_bytes`` where an
+        attach-everything fleet shows the full store on every worker.
+        """
+        with self._lock:
+            detail = {}
+            for worker in self._workers.values():
+                models = (sorted(self._handles) if worker.models is None
+                          else sorted(worker.models))
+                detail[worker.worker_id] = {
+                    "models": models,
+                    "attach_bytes": sum(self._handles[m].nbytes
+                                        for m in models),
+                    "ready_ms": worker.ready_ms,
+                    "attach_ms": dict(worker.attach_ms),
+                    "ready": worker.ready,
+                    "stopping": worker.stopping,
+                }
+            return detail
 
     # ------------------------------------------------------------- reporting
     def worker_reports(self, timeout: float = 10.0) -> Dict[str, Dict[str, ServiceReport]]:

@@ -33,9 +33,12 @@ from repro.serving.service import InferenceService, ServiceReport
 __all__ = [
     "LoadgenResult",
     "ShedLoadResult",
+    "SpikeLoadResult",
+    "SpikePhase",
     "run_closed_loop",
     "run_open_loop",
     "run_open_loop_shedding",
+    "run_spike_load",
     "sequential_baseline",
     "sequential_forward_baseline",
     "sweep_table",
@@ -256,6 +259,134 @@ def run_open_loop_shedding(
         completed=len(outputs),
         shed=shed,
         retry_after_ms_mean=(retry_after_sum / shed * 1000.0) if shed else 0.0,
+        outputs=outputs,
+    )
+
+
+@dataclass(frozen=True)
+class SpikePhase:
+    """Arrival/shed accounting for one phase of a spike run."""
+
+    name: str
+    offered_rps: float
+    duration_s: float
+    offered: int
+    shed: int
+
+    @property
+    def admitted(self) -> int:
+        return self.offered - self.shed
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.offered if self.offered else 0.0
+
+
+@dataclass(frozen=True)
+class SpikeLoadResult:
+    """Outcome of one phased (spike-shaped) open-loop run."""
+
+    phases: tuple
+    wall_s: float
+    completed: int
+    #: Completed rows keyed by the *image index* each arrival used, for
+    #: bit-exactness checks against a baseline over the same images.
+    outputs: dict
+
+    @property
+    def offered(self) -> int:
+        return sum(p.offered for p in self.phases)
+
+    @property
+    def shed(self) -> int:
+        return sum(p.shed for p in self.phases)
+
+    def phase(self, name: str) -> SpikePhase:
+        """Last phase with ``name`` (spike runs repeat phase names)."""
+        for p in reversed(self.phases):
+            if p.name == name:
+                return p
+        raise KeyError(f"no phase named {name!r}")
+
+    def table(self) -> str:
+        from repro.analysis.reporting import format_table
+
+        return format_table(
+            ["phase", "offered rps", "duration (s)", "offered", "admitted",
+             "shed", "shed %"],
+            [
+                [p.name, p.offered_rps, p.duration_s, p.offered, p.admitted,
+                 p.shed, f"{100.0 * p.shed_rate:.1f}"]
+                for p in self.phases
+            ],
+            title="Spike load",
+        )
+
+
+def run_spike_load(
+    cluster,
+    model: str,
+    images: np.ndarray,
+    phases: Sequence[tuple],
+    seed: int = 0,
+) -> SpikeLoadResult:
+    """Phased non-blocking open loop: baseline → spike → baseline.
+
+    ``phases`` is a sequence of ``(name, offered_rps, duration_s)``;
+    arrivals are Poisson within each phase and admission is non-blocking
+    (sheds are counted per phase, the arrival clock never stalls) —
+    exactly :func:`run_open_loop_shedding` with a piecewise-constant
+    offered rate.  This is the traffic shape the autoscaler is judged on:
+    a spike phase that sheds should trigger growth, and the recovery
+    phase's shed rate shows whether the grown fleet absorbed the load.
+
+    ``images`` are cycled over arrivals; completed outputs are keyed by
+    image index so bit-exactness checks compare exactly the admitted
+    subset (arrivals sharing an image produce identical rows).
+    """
+    from repro.serving.cluster import ClusterOverloadError
+
+    rng = np.random.default_rng(seed)
+    futures: dict = {}
+    phase_stats = []
+    arrival = 0
+    t0 = time.perf_counter()
+    deadline = t0
+    for name, offered_rps, duration_s in phases:
+        if offered_rps <= 0:
+            raise ValueError("offered_rps must be positive in every phase")
+        phase_end = deadline + float(duration_s)
+        offered = 0
+        shed = 0
+        while True:
+            deadline += rng.exponential(1.0 / offered_rps)
+            if deadline >= phase_end:
+                deadline = phase_end
+                break
+            delay = deadline - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            index = arrival % len(images)
+            offered += 1
+            try:
+                futures[arrival] = (index,
+                                    cluster.submit(model, images[index],
+                                                   block=False))
+            except ClusterOverloadError:
+                shed += 1
+            arrival += 1
+        phase_stats.append(SpikePhase(
+            name=name, offered_rps=float(offered_rps),
+            duration_s=float(duration_s), offered=offered, shed=shed,
+        ))
+    outputs = {}
+    for index, future in futures.values():
+        outputs[index] = future.result()
+    wall_s = time.perf_counter() - t0
+    return SpikeLoadResult(
+        phases=tuple(phase_stats),
+        wall_s=wall_s,
+        completed=len(futures),
         outputs=outputs,
     )
 

@@ -43,13 +43,20 @@ class ModelPool:
     ``REPRO_BACKEND`` / ``auto``) — compiled kernels are built, verified
     bit-exact per plan step and attached at load time, so no request pays
     compile or verification cost.
+
+    A ``strict`` pool serves **only** explicitly registered networks and
+    never builds from the zoo: cluster workers use this so a routing bug
+    (a request for a model outside the worker's pinned attach set) fails
+    loudly instead of silently serving a freshly built local copy whose
+    weights are not the published artifact's.
     """
 
     def __init__(self, rng: int = 0, word_size: int = 64,
-                 backend: Optional[str] = None) -> None:
+                 backend: Optional[str] = None, strict: bool = False) -> None:
         self.rng = rng
         self.word_size = word_size
         self.backend = backend
+        self.strict = strict
         self._lock = threading.RLock()
         self._entries: Dict[str, PoolEntry] = {}
         #: Per-key events marking builds in flight, so concurrent first
@@ -78,10 +85,12 @@ class ModelPool:
         return name
 
     def available(self) -> List[str]:
-        """Names servable by this pool (registered + buildable from the zoo)."""
+        """Names servable by this pool (registered + buildable from the
+        zoo; a strict pool serves only what is registered)."""
         with self._lock:
             names = set(self._entries)
-        names.update(SERVING_MODELS)
+        if not self.strict:
+            names.update(SERVING_MODELS)
         return sorted(names)
 
     def loaded(self) -> List[str]:
@@ -128,6 +137,11 @@ class ModelPool:
                 entry = self._entries.get(key)
                 if entry is not None:
                     return entry.network
+                if self.strict:
+                    raise KeyError(
+                        f"model {name!r} is not attached to this strict "
+                        f"pool; attached: {sorted(self._entries)}"
+                    )
                 build_done = self._building.get(key)
                 if build_done is None:
                     self._building[key] = threading.Event()

@@ -1,4 +1,4 @@
-"""Request routing and admission control for the serving cluster.
+"""Request routing, admission control and model pinning for the cluster.
 
 :class:`LeastOutstandingRouter` is pure bookkeeping — no processes, no
 queues, no sockets — so the routing policy is unit-testable in isolation
@@ -8,7 +8,7 @@ knows nor cares whether an id names a forked child process on a pipe
 transport or a remote host that self-registered over TCP
 (:mod:`repro.serving.transport`) — membership churn from crashes,
 connection losses and re-admissions all arrive as the same
-``add_worker`` / ``remove_worker`` calls.  The policy has two layers:
+``add_worker`` / ``remove_worker`` calls.  The policy has three layers:
 
 * **Least outstanding requests** — a request goes to the eligible worker
   with the fewest requests currently dispatched-but-unanswered.  This is
@@ -20,17 +20,37 @@ connection losses and re-admissions all arrive as the same
   model has a stable preference order over workers.  At low load one
   model's traffic keeps landing on the same workers (warm plans, warm
   caches); when workers join or die, only the affected slots reshuffle.
+* **Per-model pinning (rendezvous top-K)** — with :meth:`set_pin_counts`,
+  a model routes only within the top-``K`` workers of its rendezvous
+  preference order, restricted to workers that have *declared* the model
+  (``add_worker(models=...)`` / :meth:`add_worker_model`).  A mixed fleet
+  (VGG16 next to MicroCNN) then attaches only its pinned artifacts per
+  worker — the cluster keeps the declared sets converging on the top-K
+  target as membership churns.
 
 Admission control is a bounded outstanding window per worker
 (``max_outstanding``): when every eligible worker is at its bound the
 router *sheds* instead of queueing unboundedly, and reports a suggested
 retry-after so clients can back off (the cluster surfaces this as
-:class:`~repro.serving.cluster.ClusterOverloadError`).
+:class:`~repro.serving.cluster.ClusterOverloadError`).  The retry horizon
+is computed over the **model's eligible worker set** — a model pinned to
+2 of 16 workers drains through 2 workers, not 16.
+
+Slot accounting is exact: :meth:`release` returns a slot only when the
+worker actually holds one, and every registration gets a fresh
+**generation** (:meth:`add_worker` returns it) so a release scoped to a
+dead incarnation of a re-registered worker id is a no-op instead of
+stealing a slot the new incarnation never granted.  The invariant
+``dispatched == completed + Σ outstanding`` therefore holds across any
+interleaving of acquire/release/remove/re-register
+(``tests/test_autoscale.py`` drives randomized sequences against it).
 
 Examples
 --------
 >>> router = LeastOutstandingRouter(max_outstanding=2)
 >>> router.add_worker("w0"); router.add_worker("w1")
+1
+2
 >>> first = router.acquire("MicroCNN")
 >>> second = router.acquire("MicroCNN")
 >>> {first, second} == {"w0", "w1"}  # least-outstanding spreads the pair
@@ -42,6 +62,7 @@ True
 >>> router.acquire("MicroCNN") is None  # both at the bound: shed
 True
 >>> router.release(first)
+True
 >>> router.acquire("MicroCNN") == first
 True
 """
@@ -51,9 +72,14 @@ from __future__ import annotations
 import hashlib
 import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional, Sequence, Set
 
-__all__ = ["LeastOutstandingRouter", "RouterStats"]
+__all__ = [
+    "LeastOutstandingRouter",
+    "RouterStats",
+    "pin_counts_from_shares",
+    "rendezvous_score",
+]
 
 
 def rendezvous_score(model: str, worker: str) -> int:
@@ -62,6 +88,35 @@ def rendezvous_score(model: str, worker: str) -> int:
         f"{model}\x00{worker}".encode(), digest_size=8
     ).digest()
     return int.from_bytes(digest, "big")
+
+
+def pin_counts_from_shares(shares: Mapping[str, float], workers: int,
+                           min_workers: int = 1) -> Dict[str, int]:
+    """Pin-count per model from its traffic share of a ``workers``-size fleet.
+
+    Each model gets ``round(share_fraction * workers)`` workers, clamped to
+    ``[min_workers, workers]`` — a model must always be servable somewhere,
+    and can never be pinned wider than the fleet.  Shares need not sum to
+    one (pass request rates directly); they are normalized here.
+
+    Examples
+    --------
+    >>> pin_counts_from_shares({"MicroCNN": 3.0, "VGG16": 1.0}, workers=4)
+    {'MicroCNN': 3, 'VGG16': 1}
+    >>> pin_counts_from_shares({"A": 1.0, "B": 0.0}, workers=8)
+    {'A': 8, 'B': 1}
+    """
+    if workers < 1:
+        raise ValueError("workers must be at least 1")
+    if min_workers < 1:
+        raise ValueError("min_workers must be at least 1")
+    total = float(sum(shares.values()))
+    counts: Dict[str, int] = {}
+    for model, share in shares.items():
+        fraction = (share / total) if total > 0 else 1.0
+        counts[model] = max(min(min_workers, workers),
+                            min(workers, round(fraction * workers)))
+    return counts
 
 
 @dataclass(frozen=True)
@@ -88,23 +143,131 @@ class LeastOutstandingRouter:
         (shed) when every eligible worker already has this many requests in
         flight.  This bounds every per-worker queue — the cluster's
         backpressure comes from here, not from unbounded OS pipes.
+    pin_counts:
+        Optional ``{model: K}`` mapping enabling per-model pinning: each
+        listed model routes only within the top-``K`` workers of its
+        rendezvous order (see :meth:`set_pin_counts`).  Unlisted models
+        stay unpinned (any declaring worker is eligible).
     """
 
-    def __init__(self, max_outstanding: int = 64) -> None:
+    def __init__(self, max_outstanding: int = 64,
+                 pin_counts: Optional[Mapping[str, int]] = None) -> None:
         if max_outstanding < 1:
             raise ValueError("max_outstanding must be at least 1")
         self.max_outstanding = int(max_outstanding)
         self._lock = threading.Lock()
         self._outstanding: Dict[str, int] = {}
+        #: Declared servable models per worker; ``None`` = serves any model.
+        self._models: Dict[str, Optional[Set[str]]] = {}
+        #: Registration generation per worker id (kept after removal so a
+        #: re-registration under the same id gets a strictly newer value).
+        self._generations: Dict[str, int] = {}
+        self._generation_counter = 0
+        self._pin_counts: Dict[str, int] = {}
         self._dispatched = 0
         self._completed = 0
         self._shed = 0
+        if pin_counts:
+            self.set_pin_counts(pin_counts)
+
+    # ------------------------------------------------------------- pinning
+    def set_pin_counts(self, pin_counts: Optional[Mapping[str, int]]) -> None:
+        """Set (or clear, with ``None``) the per-model pinning widths.
+
+        ``{model: K}`` restricts each listed model to the top-``K`` workers
+        of its rendezvous preference order among the workers declaring it.
+        ``K`` is clamped to at least 1 at eligibility time, so a pinned
+        model is servable whenever *any* declaring worker is registered.
+        """
+        with self._lock:
+            if pin_counts is None:
+                self._pin_counts = {}
+                return
+            for model, count in pin_counts.items():
+                if int(count) < 1:
+                    raise ValueError(
+                        f"pin count for {model!r} must be at least 1"
+                    )
+            self._pin_counts = {model: int(count)
+                                for model, count in pin_counts.items()}
+
+    def pin_counts(self) -> Dict[str, int]:
+        """Snapshot of the configured ``{model: K}`` pinning widths."""
+        with self._lock:
+            return dict(self._pin_counts)
+
+    def _candidates(self, model: str) -> List[str]:
+        """Workers declaring ``model`` (lock held by caller)."""
+        return [worker for worker, served in self._models.items()
+                if served is None or model in served]
+
+    def _eligible(self, model: str) -> List[str]:
+        """Eligible worker set for ``model`` (lock held by caller).
+
+        The top-``K`` declaring workers by rendezvous score when the model
+        is pinned; every declaring worker otherwise.  Computing the top-K
+        over the *declaring* set (not all registered workers) keeps a
+        pinned model servable during membership churn: the cluster's
+        attach refresh converges the declared sets onto the ideal top-K,
+        and routing never outruns an attach.
+        """
+        candidates = self._candidates(model)
+        count = self._pin_counts.get(model)
+        if count is None or count >= len(candidates):
+            return candidates
+        candidates.sort(key=lambda worker: rendezvous_score(model, worker),
+                        reverse=True)
+        return candidates[: max(1, count)]
+
+    def eligible_workers(self, model: str) -> List[str]:
+        """Workers ``model`` may currently route to (pinning applied)."""
+        with self._lock:
+            return sorted(self._eligible(model))
 
     # ------------------------------------------------------------- membership
-    def add_worker(self, worker: str) -> None:
-        """Register a worker (respawns re-register under the same id)."""
+    def add_worker(self, worker: str,
+                   models: Optional[Sequence[str]] = None) -> int:
+        """Register a worker; returns its registration **generation**.
+
+        ``models`` declares which models the worker can serve (``None`` =
+        any).  Re-registering a live worker updates the declaration but
+        keeps its slots and generation; re-registering a *removed* worker
+        id starts a fresh incarnation with a new generation — releases
+        scoped to the old generation are no-ops against it.
+        """
         with self._lock:
-            self._outstanding.setdefault(worker, 0)
+            declared = None if models is None else set(models)
+            if worker in self._outstanding:
+                self._models[worker] = declared
+                return self._generations[worker]
+            self._outstanding[worker] = 0
+            self._models[worker] = declared
+            self._generation_counter += 1
+            self._generations[worker] = self._generation_counter
+            return self._generation_counter
+
+    def add_worker_model(self, worker: str, model: str) -> None:
+        """Declare one more servable model on a registered worker (no-op
+        for unknown workers or workers already declared serve-anything)."""
+        with self._lock:
+            served = self._models.get(worker)
+            if served is not None:
+                served.add(model)
+
+    def worker_models(self, worker: str) -> Optional[Set[str]]:
+        """Declared servable models for ``worker`` (``None`` = any)."""
+        with self._lock:
+            served = self._models.get(worker)
+            return None if served is None else set(served)
+
+    def generation(self, worker: str) -> Optional[int]:
+        """Current registration generation of ``worker`` (``None`` if it is
+        not registered — removed workers forget nothing, but expose
+        nothing either)."""
+        with self._lock:
+            if worker not in self._outstanding:
+                return None
+            return self._generations[worker]
 
     def remove_worker(self, worker: str) -> int:
         """Drop a worker; returns the outstanding count it died with.
@@ -117,6 +280,7 @@ class LeastOutstandingRouter:
         """
         with self._lock:
             count = self._outstanding.pop(worker, 0)
+            self._models.pop(worker, None)
             self._completed += count
             return count
 
@@ -136,16 +300,21 @@ class LeastOutstandingRouter:
         The caller owns the returned slot and must pair it with
         :meth:`release` (request answered) or :meth:`remove_worker`
         (worker died; in-flight slots die with it).  ``force=True`` ignores
-        the admission bound — used when re-dispatching work that was
-        already admitted once (crashed-worker requeue must not shed).
+        the admission bound *and* the pinning top-K preference — used when
+        re-dispatching work that was already admitted once (crashed-worker
+        requeue must not shed) — but never the declared-model restriction:
+        a worker that has not attached a model's artifact cannot serve it.
         ``record_shed=False`` keeps a ``None`` return out of the shed
         counter — a backpressured caller polling for a free slot is
         *waiting*, not shedding, and must not inflate the statistic.
         """
         with self._lock:
+            eligible = (self._candidates(model) if force
+                        else self._eligible(model))
             best: Optional[str] = None
             best_key = None
-            for worker, count in self._outstanding.items():
+            for worker in eligible:
+                count = self._outstanding[worker]
                 if count >= self.max_outstanding and not force:
                     continue
                 key = (count, -rendezvous_score(model, worker))
@@ -164,29 +333,43 @@ class LeastOutstandingRouter:
         with self._lock:
             self._shed += 1
 
-    def release(self, worker: str) -> None:
-        """Return one slot on ``worker`` (no-op if it was removed).
+    def release(self, worker: str, generation: Optional[int] = None) -> bool:
+        """Return one slot on ``worker``; ``True`` iff a held slot came back.
 
-        A removed worker's slots were already credited to the completed
-        counter by :meth:`remove_worker`; counting its late responses again
-        would overstate completions.
+        No-ops (returning ``False``) when the worker is not registered,
+        holds no slots, or — with ``generation`` given — has re-registered
+        under a newer generation since the slot was acquired.  All three
+        are late answers whose slots were already credited to the
+        completed counter by :meth:`remove_worker`; counting them again
+        would overstate completions and (for the re-registration case)
+        steal a slot the new incarnation never granted.
         """
         with self._lock:
             count = self._outstanding.get(worker)
-            if count is None:
-                return
+            if count is None or count <= 0:
+                return False
+            if (generation is not None
+                    and generation != self._generations[worker]):
+                return False
+            self._outstanding[worker] = count - 1
             self._completed += 1
-            if count > 0:
-                self._outstanding[worker] = count - 1
+            return True
 
-    def retry_after_s(self, batch_wall_ms: float = 2.0) -> float:
+    def retry_after_s(self, batch_wall_ms: float = 2.0,
+                      model: Optional[str] = None) -> float:
         """Suggested client back-off when shedding.
 
-        A saturated cluster drains roughly one batch per worker per batch
-        wall time; half that horizon is a reasonable first retry.
+        A saturated cluster drains roughly one batch per eligible worker
+        per batch wall time; half that horizon is a reasonable first
+        retry.  With ``model`` given the horizon is computed over the
+        model's **eligible** worker set — a model pinned to 2 of 16
+        workers drains 8× slower than the fleet-wide figure would claim.
         """
         with self._lock:
-            workers = max(1, len(self._outstanding))
+            if model is None:
+                workers = max(1, len(self._outstanding))
+            else:
+                workers = max(1, len(self._eligible(model)))
         return max(0.001, (batch_wall_ms / 1000.0) * self.max_outstanding
                    / (2.0 * workers))
 

@@ -902,14 +902,18 @@ class SocketTransport:
 # worker side (socket transports)
 # ---------------------------------------------------------------------------
 
-def fetch_artifact(channel: Channel, worker_id: str, digest: str) -> bytes:
+def fetch_artifact(channel: Channel, worker_id: str, digest: str,
+                   defer: Optional[List] = None) -> bytes:
     """Fetch one published artifact's bytes over ``channel`` by digest.
 
     Sent as ``("fetch", worker_id, digest)``; the router answers
     ``("blob", digest, payload)`` with the payload framed as a raw uint8
     array (zero-copy out of the owner's shared-memory segment).  Runs
-    during worker initialization, before the serve loop owns the
-    connection.
+    during worker initialization (before the serve loop owns the
+    connection) and during dynamic re-pin attaches (mid-stream) — in the
+    latter case ``defer`` collects the unrelated messages that arrive
+    while waiting for the blob, so the serve loop can replay them instead
+    of losing them.
     """
     channel.send(("fetch", worker_id, digest))
     while True:
@@ -921,8 +925,11 @@ def fetch_artifact(channel: Channel, worker_id: str, digest: str) -> bytes:
             raise RuntimeError(f"router could not serve artifact: {message[2]}")
         if kind == "stop":
             raise TransportClosed("router stopped during artifact fetch")
-        # Anything else (a stray heartbeat echo) is ignored until our blob
-        # arrives; the router sends requests only after "ready".
+        if defer is not None:
+            defer.append(message)
+        # With no defer list (initialization), anything else is ignored
+        # until our blob arrives; the router sends requests only after
+        # "ready".
 
 
 def build_worker_service(attachments: Sequence, config):
@@ -944,8 +951,13 @@ def build_worker_service(attachments: Sequence, config):
     # Backend selection is per *host*: each worker compiles (or falls back)
     # for its own toolchain, and the bit-exactness gate keeps every
     # worker's answers identical regardless of what it selected.
+    # The pool is *strict*: a cluster worker serves exactly the published
+    # artifacts it attached.  Without strictness, a request for a model
+    # outside the worker's (possibly pinned) attach set would silently
+    # build a fresh local copy from the zoo — different weights, outputs
+    # no longer bit-identical to the published artifact.
     backend = getattr(config, "backend", None)
-    pool = ModelPool(backend=backend)
+    pool = ModelPool(backend=backend, strict=True)
     attach_ms: Dict[str, float] = {}
     for attached in attachments:
         pool.register(attached.network, name=attached.handle.model, warm=True)
@@ -1036,17 +1048,47 @@ def _serve_session(channel: Channel, welcome, attachments_by_digest: Dict,
             pass
 
     outcome = "lost"
+    #: Messages that arrived while a dynamic attach was fetching its blob;
+    #: replayed in order before reading the socket again.
+    deferred: List = []
     try:
         while True:
-            try:
-                message = channel.recv()
-            except TransportClosed:
-                break
+            if deferred:
+                message = deferred.pop(0)
+            else:
+                try:
+                    message = channel.recv()
+                except TransportClosed:
+                    break
             kind = message[0]
             if kind == "reqs":
                 for rid, model, image in message[1]:
                     _submit_one(service, _send_response, worker_id, rid,
                                 model, image)
+            elif kind == "attach":
+                # Dynamic re-pin: attach more published artifacts through
+                # the per-host digest cache (one wire fetch per host ever).
+                for model, digest, nbytes, shm_name in message[1]:
+                    t0 = time.perf_counter()
+                    attached = attachments_by_digest.get(digest)
+                    if attached is None:
+                        handle = ShmModelHandle(
+                            model=model,
+                            shm_name="" if force_fetch else shm_name,
+                            nbytes=nbytes, digest=digest,
+                        )
+                        attached = cache.attach(
+                            handle,
+                            fetch=lambda w=worker_id, d=digest: fetch_artifact(
+                                channel, w, d, defer=deferred),
+                        )
+                        attachments_by_digest[digest] = attached
+                    service.pool.register(attached.network, name=model,
+                                          warm=True)
+                    _send_response(("attached", worker_id, model,
+                                    (time.perf_counter() - t0) * 1000.0))
+                log(f"worker {worker_id}: attached "
+                    f"{[m for m, *_ in message[1]]}")
             elif kind == "report":
                 _send_response(("reports", worker_id, message[1],
                                 service.reports()))
