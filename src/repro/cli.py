@@ -22,8 +22,11 @@ through a sharded :class:`~repro.serving.cluster.ClusterService` instead
 of one in-process service, and ``--transport pipe|uds|tcp`` to pick the
 worker wire (see ``docs/architecture.md`` and ``docs/deployment.md``).
 ``loadgen`` additionally takes ``--autoscale MIN:MAX`` (elastic fleet —
-grow on sustained shedding, shrink when idle) and ``--pin MODEL=K,...``
-(attach each model only to its rendezvous top-K workers).
+grow on sustained shedding, shrink when idle), ``--pin MODEL=K,...``
+(attach each model only to its rendezvous top-K workers), and
+``--chaos SEED:PLAN`` (seeded deterministic fault injection — e.g.
+``7:crash,stall*2,delay`` — against a cluster with retries, hedging and
+slow-worker quarantine; see ``docs/deployment.md``).
 ``cluster-worker`` runs one self-registering worker process — on the
 router's host or any other — that dials the router, fetches model bytes
 it has never seen into the per-host digest cache, and serves until the
@@ -114,6 +117,21 @@ def parse_pin_spec(text: str) -> "dict[str, int]":
     if not pins:
         raise argparse.ArgumentTypeError("empty --pin spec")
     return pins
+
+
+def parse_chaos_argument(text: str):
+    """Parse ``--chaos SEED:PLAN`` into a fault plan (argparse type).
+
+    Thin :mod:`argparse` shim over
+    :func:`repro.serving.faults.parse_chaos_spec` so a bad spec surfaces
+    as a usage error instead of a traceback.
+    """
+    from repro.serving.faults import parse_chaos_spec
+
+    try:
+        return parse_chaos_spec(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 #: Kernel-backend specs accepted by ``--backend`` — kept in lockstep with
@@ -250,6 +268,18 @@ def build_parser() -> argparse.ArgumentParser:
                               "so only K workers attach and serve it "
                               "(implies cluster mode); pinned models are "
                               "published even if not the --model under load")
+    loadgen.add_argument("--chaos", type=parse_chaos_argument, default=None,
+                         metavar="SEED:PLAN",
+                         help="run a deterministic chaos scenario: a seeded "
+                              "fault plan (e.g. 7:crash,stall*2,delay) is "
+                              "injected into a cluster with retries and "
+                              "slow-worker quarantine enabled; the same SEED "
+                              "replays the same fault schedule (implies "
+                              "cluster mode with at least 2 workers)")
+    loadgen.add_argument("--deadline-s", type=float, default=None, metavar="S",
+                         help="end-to-end per-request deadline: expired work "
+                              "is dropped unexecuted and its future fails "
+                              "with DeadlineExceededError (chaos mode)")
     _add_transport_arguments(loadgen)
     _add_execution_arguments(loadgen)
 
@@ -355,10 +385,37 @@ def _command_serve_bench(args) -> str:
     return table
 
 
+def _command_chaos(args) -> str:
+    """Seeded fault-injection run (``loadgen --chaos SEED:PLAN``)."""
+    from repro.serving import run_chaos_scenario
+
+    result = run_chaos_scenario(
+        args.chaos,
+        model=args.model,
+        workers=max(2, args.workers),
+        requests=args.requests,
+        offered_rps=args.rps,
+        deadline_s=args.deadline_s,
+        seed=args.seed,
+        max_batch_size=args.max_batch_size,
+        max_wait_ms=args.max_wait_ms,
+        cache_capacity=args.cache_capacity,
+        chunk_bytes=args.chunk_hint,
+        worker_threads=args.threads,
+        worker_backend=args.backend or "auto",
+        transport=args.transport,
+        bind=args.bind,
+        expect_workers=args.expect_workers,
+    )
+    return result.table()
+
+
 def _command_loadgen(args) -> str:
     from repro.core.engine import PhoneBitEngine
     from repro.serving import InferenceService, run_open_loop, synthetic_images
 
+    if args.chaos is not None:
+        return _command_chaos(args)
     if _wants_cluster(args):
         from repro.models.zoo import get_serving_config
         from repro.serving import ClusterService

@@ -20,16 +20,27 @@ from repro.serving.cluster import (
     ClusterOverloadError,
     ClusterReport,
     ClusterService,
+    DeadlineExceededError,
+    RetryPolicy,
     WorkerConfig,
     WorkerCrashError,
     open_loop_sweep,
     scaling_sweep,
 )
+from repro.serving.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    parse_chaos_spec,
+)
 from repro.serving.loadgen import (
+    ChaosResult,
     LoadgenResult,
     ShedLoadResult,
     SpikeLoadResult,
     SpikePhase,
+    run_chaos_scenario,
     run_closed_loop,
     run_open_loop,
     run_open_loop_shedding,
@@ -51,6 +62,7 @@ from repro.serving.scheduler import (
 )
 from repro.serving.router import (
     LeastOutstandingRouter,
+    QuarantinePolicy,
     RouterStats,
     pin_counts_from_shares,
     rendezvous_score,
@@ -94,9 +106,19 @@ __all__ = [
     "TransportClosed",
     "artifact_digest",
     "run_cluster_worker",
+    "ChaosResult",
     "ClusterOverloadError",
     "ClusterReport",
     "ClusterService",
+    "DeadlineExceededError",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "QuarantinePolicy",
+    "RetryPolicy",
+    "parse_chaos_spec",
+    "run_chaos_scenario",
     "InferenceService",
     "LRUResponseCache",
     "LatencySummary",

@@ -51,9 +51,11 @@ import numpy as np
 
 from repro.analysis.reporting import format_kv
 from repro.serving.autoscale import Autoscaler, AutoscaleConfig, AutoscaleSignals
+from repro.serving.faults import FaultInjector, FaultPlan
 from repro.serving.metrics import LatencyTracker
 from repro.serving.router import (
     LeastOutstandingRouter,
+    QuarantinePolicy,
     RouterStats,
     rendezvous_score,
 )
@@ -73,6 +75,8 @@ __all__ = [
     "ClusterOverloadError",
     "ClusterReport",
     "ClusterService",
+    "DeadlineExceededError",
+    "RetryPolicy",
     "WorkerCrashError",
     "WorkerConfig",
     "open_loop_sweep",
@@ -95,6 +99,90 @@ class ClusterOverloadError(RuntimeError):
 
 class WorkerCrashError(RuntimeError):
     """A request's worker died and the request could not be re-dispatched."""
+
+
+class DeadlineExceededError(TimeoutError):
+    """A request's end-to-end deadline passed before it completed.
+
+    Raised synchronously by :meth:`ClusterService.submit` when the
+    deadline expires while still waiting for admission, set on the
+    request's future when it expires after admission — in both cases the
+    work is dropped (a dispatch is never sent for it once expired, and a
+    dispatched-but-expired request's slots are released immediately), so
+    a caller that has already timed out never keeps burning worker time.
+    """
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """When the front end re-dispatches or hedges a slow request.
+
+    All timing is derived from the model's **live p99 latency** (the
+    router-side end-to-end tracker) once ``min_samples`` completions have
+    been observed; before that the heartbeat timeout stands in — a lost
+    first frame must still retry on a cold cluster.  Attempt ``k``'s
+    patience is ``timeout_factor × p99 × backoff_factor^(k-1)``: the
+    exponential growth is the retry back-off, spacing successive
+    re-dispatches apart so a briefly degraded fleet is not flooded with
+    duplicates.  The p99-derived base is clamped to
+    ``[min_timeout_s, max_timeout_s]``: rescued requests record their
+    *full* wait (including retry delays) into the same tracker the next
+    patience is derived from, and without the absolute ceiling that
+    feedback loop inflates p99 faster than stuck requests can catch it —
+    retries would chase a threshold that keeps running away.
+
+    A request whose final attempt also outlives its patience fails
+    terminally with :class:`WorkerCrashError` (slots released, never
+    leaked) — admitted work always resolves, one way or the other.
+
+    A **retry** moves the request: the unresponsive assignee is demoted
+    (its slot stays held and is released by the existing generation-scoped
+    accounting when its late answer arrives, or credited when it dies —
+    never leaked), a failure is recorded against it for quarantine
+    purposes, and the request is force-dispatched to a different worker.
+
+    A **hedge** (``hedge=True``) duplicates the request instead of
+    waiting for the full attempt timeout: after ``hedge_factor × p99``
+    a second copy is dispatched to another eligible worker *without*
+    force (a saturated fleet sheds hedges first) and the first response
+    wins — bit-identical outputs make the winner indistinguishable — with
+    the loser's slot released by the same late-answer accounting.
+    """
+
+    #: Total dispatch attempts per request, including the first.
+    max_attempts: int = 3
+    #: Attempt timeout as a multiple of the model's live p99.
+    timeout_factor: float = 8.0
+    #: Exponential growth of successive attempt timeouts (the back-off).
+    backoff_factor: float = 2.0
+    #: Floor under every derived timeout/delay (p99 of a trivial model can
+    #: be tens of microseconds; re-dispatching at that cadence would melt
+    #: the cluster).
+    min_timeout_s: float = 0.05
+    #: Ceiling over every derived timeout/delay — breaks the p99 feedback
+    #: loop described above.  Per-attempt back-off still multiplies on
+    #: top of the clamped base.
+    max_timeout_s: float = 2.0
+    #: Dispatch a duplicate after ``hedge_factor`` × p99 instead of
+    #: waiting out the attempt timeout.
+    hedge: bool = False
+    hedge_factor: float = 3.0
+    #: Completions observed for a model before its p99 is trusted.
+    min_samples: int = 20
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.timeout_factor <= 0 or self.hedge_factor <= 0:
+            raise ValueError("timeout_factor and hedge_factor must be > 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be at least 1")
+        if self.min_timeout_s <= 0:
+            raise ValueError("min_timeout_s must be positive")
+        if self.max_timeout_s < self.min_timeout_s:
+            raise ValueError("max_timeout_s must be >= min_timeout_s")
+        if self.min_samples < 1:
+            raise ValueError("min_samples must be at least 1")
 
 
 @dataclass(frozen=True)
@@ -157,11 +245,14 @@ def _worker_main(worker_id: str, handles: Dict[str, ShmModelHandle],
         return
 
     response_q.put(("ready", worker_id, os.getpid(), attach_ms))
-    last_hb = time.time()
+    # Heartbeat pacing must be monotonic: an NTP step or DST wall-clock
+    # jump on the worker's host must never freeze (or flood) the
+    # heartbeat stream — the supervisor would mass-declare workers dead.
+    last_hb = time.monotonic()
     interval = max(0.01, config.heartbeat_interval_s)
     try:
         while True:
-            now = time.time()
+            now = time.monotonic()
             if now - last_hb >= interval:
                 response_q.put(("hb", worker_id, now))
                 last_hb = now
@@ -180,7 +271,7 @@ def _worker_main(worker_id: str, handles: Dict[str, ShmModelHandle],
                 # so a heartbeat brackets each attach — a worker busy growing
                 # its pool must not read as dead.
                 for model, digest, nbytes, shm_name in message[1]:
-                    response_q.put(("hb", worker_id, time.time()))
+                    response_q.put(("hb", worker_id, time.monotonic()))
                     t0 = time.perf_counter()
                     just_attached = attach_model(ShmModelHandle(
                         model=model, shm_name=shm_name, nbytes=nbytes,
@@ -191,10 +282,17 @@ def _worker_main(worker_id: str, handles: Dict[str, ShmModelHandle],
                                           warm=True)
                     response_q.put(("attached", worker_id, model,
                                     (time.perf_counter() - t0) * 1000.0))
-                last_hb = time.time()
+                last_hb = time.monotonic()
             elif kind == "report":
                 response_q.put(("reports", worker_id, message[1],
                                 service.reports()))
+            elif kind == "stall":
+                # Fault injection: freeze the serve loop (heartbeats stop,
+                # queued work sits) for the requested window — exactly what
+                # a GC pause, page-in storm or wedged kernel looks like
+                # from the front end.
+                time.sleep(float(message[1]))
+                last_hb = 0.0  # heartbeat immediately on wake-up
             elif kind == "stop":
                 break
     finally:
@@ -222,6 +320,20 @@ class _Pending:
     #: Router registration generation of ``worker`` when the slot was
     #: acquired — scopes the eventual ``release`` to that incarnation.
     generation: int = 0
+    #: Caller's end-to-end deadline (``perf_counter`` clock); ``None`` =
+    #: no deadline.  Expired entries are dropped, never dispatched.
+    deadline: Optional[float] = None
+    #: When the *current* primary dispatch went out (retry/hedge timers).
+    dispatched_at: float = 0.0
+    #: Dispatch attempts so far (the first dispatch counts).
+    attempts: int = 1
+    #: A hedge duplicate is already in flight.
+    hedged: bool = False
+    #: Extra live slot holders beyond ``worker`` — demoted slow assignees
+    #: and hedge duplicates, as ``{worker_id: generation}``.  Their slots
+    #: are released when their (late) answers arrive or credited when
+    #: they die; first answer from *any* holder wins the future.
+    holders: Dict[str, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -271,6 +383,14 @@ class ClusterReport:
     shed: int
     attach_ms_mean: float
     store_bytes: int
+    #: Requests dropped because their end-to-end deadline passed.
+    deadline_expired: int = 0
+    #: Slow-attempt re-dispatches (RetryPolicy timeouts, not crash requeues).
+    retries: int = 0
+    #: Hedge duplicates dispatched.
+    hedges: int = 0
+    #: Workers currently quarantined by the router's health layer.
+    quarantined: int = 0
 
     def table(self, model: Optional[str] = None) -> str:
         """Aligned rendering: cluster summary plus one model's aggregate."""
@@ -281,6 +401,10 @@ class ClusterReport:
             ("shed", self.shed),
             ("requeued", self.requeued),
             ("respawns", self.respawns),
+            ("deadline expired", self.deadline_expired),
+            ("retries", self.retries),
+            ("hedges", self.hedges),
+            ("quarantined", self.quarantined),
             ("shm attach mean (ms)", self.attach_ms_mean),
             ("store bytes", self.store_bytes),
         ]
@@ -323,6 +447,36 @@ def usable_cpus() -> int:
         return len(os.sched_getaffinity(0)) or 1
     except AttributeError:  # pragma: no cover - non-Linux fallback
         return os.cpu_count() or 1
+
+
+class _FaultController:
+    """The cluster surface a :class:`FaultInjector` fires faults through."""
+
+    def __init__(self, cluster: "ClusterService") -> None:
+        self._cluster = cluster
+
+    def worker_ids(self) -> List[str]:
+        with self._cluster._lock:
+            return sorted(
+                w.worker_id for w in self._cluster._workers.values()
+                if w.ready and not w.stopping
+            )
+
+    def kill(self, worker_id: str) -> None:
+        with self._cluster._lock:
+            worker = self._cluster._workers.get(worker_id)
+        if worker is not None:
+            worker.endpoint.kill()
+
+    def stall(self, worker_id: str, seconds: float) -> None:
+        with self._cluster._lock:
+            worker = self._cluster._workers.get(worker_id)
+        if worker is None:
+            return
+        try:
+            worker.endpoint.send(("stall", float(seconds)))
+        except (TransportClosed, ValueError, OSError):
+            pass  # dying link: close enough to a stall already
 
 
 class ClusterService:
@@ -399,6 +553,24 @@ class ClusterService:
         recorded on :attr:`autoscale_events`; :meth:`scale_up` /
         :meth:`scale_down` expose the same machinery for manual and
         test-driven scale events.
+    retry:
+        A :class:`RetryPolicy` enabling slow-attempt re-dispatch (and,
+        with ``hedge=True``, duplicate dispatch after a p99-based delay;
+        first bit-identical response wins).  ``None`` (default) keeps the
+        pre-existing behavior: a dispatched request waits for its worker
+        however long that takes.
+    quarantine:
+        A :class:`~repro.serving.router.QuarantinePolicy` enabling
+        health-driven ejection of degraded workers from routing
+        eligibility, with probation re-admission on clean heartbeats.
+    faults:
+        A :class:`~repro.serving.faults.FaultPlan` (or a prepared
+        :class:`~repro.serving.faults.FaultInjector`) armed against this
+        cluster: worker endpoints and inbound delivery are threaded
+        through its frame rules, and its scheduler fires crash/stall/
+        partition faults at the seeded times.  The fired schedule is on
+        :attr:`fault_events`.  Test/benchmark machinery — never enable in
+        production serving.
     """
 
     def __init__(
@@ -426,6 +598,9 @@ class ClusterService:
         reconnect_grace_s: float = 15.0,
         pin_models: Optional[Mapping[str, int]] = None,
         autoscale: Optional[AutoscaleConfig] = None,
+        retry: Optional[RetryPolicy] = None,
+        quarantine: Optional[QuarantinePolicy] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         socket_mode = (transport in ("uds", "tcp") if isinstance(transport, str)
                        else getattr(transport, "spawns_via_registration", False))
@@ -470,11 +645,23 @@ class ClusterService:
             backend=worker_backend,
         )
         self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.retry_policy = retry
+        #: How long a parked slot waits for its holder's late answer
+        #: before the monitor reaps it (the answer frame may be lost for
+        #: good under fault injection or a half-dead link).
+        self._stale_grace_s = max(5.0, heartbeat_timeout_s)
         self.router = LeastOutstandingRouter(
             max_outstanding=max_outstanding or 2 * max_batch_size,
             pin_counts=self._pinning,
+            quarantine=quarantine,
         )
         self.max_respawns = workers if max_respawns is None else max_respawns
+        if isinstance(faults, FaultInjector):
+            self._faults: Optional[FaultInjector] = faults
+        elif faults is not None:
+            self._faults = faults.injector()
+        else:
+            self._faults = None
 
         self._lock = threading.Lock()
         self._slot_free = threading.Condition(self._lock)
@@ -484,15 +671,21 @@ class ClusterService:
         self._workers: Dict[str, _Worker] = {}
         self._pending: Dict[int, _Pending] = {}
         self._orphans: List[int] = []  #: admitted req ids awaiting a worker
-        #: ``{rid: (worker_id, generation)}`` — the still-held slot of a
-        #: replacement worker whose request a stale assignee also answered.
-        self._stale_assignee: Dict[int, Tuple[str, int]] = {}
+        #: ``{rid: {worker_id: generation}}`` — slots still held for an
+        #: already-answered (or expired) request: demoted slow assignees,
+        #: losing hedges, and replacements a stale assignee outran.  Each
+        #: worker's late answer releases exactly its own slot, scoped to
+        #: the incarnation that acquired it.
+        self._stale_holders: Dict[int, Dict[str, int]] = {}
         self._traffic: Dict[str, _ModelTraffic] = {}
         self._init_errors: List[str] = []
         self._next_rid = 0
         self._next_worker = 0
         self._respawns = 0
         self._requeued = 0
+        self._deadline_expired = 0
+        self._retries = 0
+        self._hedges = 0
         self._closed = False
         #: Socket workers the router launched that have not yet said hello,
         #: keyed by subprocess pid.
@@ -501,7 +694,9 @@ class ClusterService:
         #: expected to dial back: ``{pid: (popen, deadline)}``.
         self._rejoin_pending: Dict[int, tuple] = {}
 
-        self.transport.start(deliver=self._handle_message,
+        deliver = (self._handle_message if self._faults is None
+                   else self._faulty_deliver)
+        self.transport.start(deliver=deliver,
                              register=self._register_worker)
         for _ in range(workers):
             self._spawn_worker()
@@ -512,7 +707,19 @@ class ClusterService:
         self._supervise_stop = threading.Event()
         self._supervisor_thread.start()
 
+        self._monitor_thread = threading.Thread(
+            target=self._monitor_pending, name="cluster-monitor", daemon=True
+        )
+        self._monitor_thread.start()
+
         self._wait_ready(startup_timeout_s)
+
+        # Arm the fault schedule only once the fleet is up: scheduled
+        # faults are meant to hit a serving cluster, not its startup
+        # handshake (frame rules cover the request path from here on).
+        if self._faults is not None and not self._faults.started:
+            self._faults.start(_FaultController(self),
+                               deliver=self._handle_message)
 
         self._autoscale_thread: Optional[threading.Thread] = None
         if self.autoscaler is not None:
@@ -606,6 +813,8 @@ class ClusterService:
         handles = (self._handles if assigned is None
                    else {m: self._handles[m] for m in sorted(assigned)})
         endpoint = self.transport.spawn(worker_id, handles, self.config)
+        if self._faults is not None:
+            endpoint = self._faults.wrap_endpoint(endpoint)
         with self._lock:
             self._workers[worker_id] = _Worker(
                 worker_id=worker_id,
@@ -621,6 +830,12 @@ class ClusterService:
         start reading from, or ``None`` to reject (cluster closed).
         """
         pid = hello.get("pid")
+        if self._faults is not None:
+            # Slow-start fault: hold this (re)registration on the handshake
+            # thread — parked work keeps waiting out its reconnect grace.
+            delay = self._faults.reconnect_delay_s()
+            if delay > 0:
+                time.sleep(delay)
         with self._lock:
             if self._closed:
                 return None
@@ -637,6 +852,8 @@ class ClusterService:
                     process = rejoin[0]
                 self._respawns += 1
         endpoint = self.transport.make_endpoint(worker_id, channel, process)
+        if self._faults is not None:
+            endpoint = self._faults.wrap_endpoint(endpoint)
         manifest_handles = (list(self._handles.values()) if assigned is None
                             else [self._handles[m] for m in sorted(assigned)])
         manifest = [(h.model, h.digest, h.nbytes, h.shm_name)
@@ -690,6 +907,9 @@ class ClusterService:
             self._spawn_pending.clear()
             self._rejoin_pending.clear()
         self._supervise_stop.set()
+        if self._faults is not None:
+            # No faults during teardown: drain must mean drain.
+            self._faults.stop()
         for worker in workers:
             worker.stopping = True
             worker.endpoint.request_stop()
@@ -716,6 +936,9 @@ class ClusterService:
         self.transport.close()
         if self._supervisor_thread.is_alive():
             self._supervisor_thread.join(timeout=5.0)
+        monitor_thread = getattr(self, "_monitor_thread", None)
+        if monitor_thread is not None and monitor_thread.is_alive():
+            monitor_thread.join(timeout=5.0)
         autoscale_thread = getattr(self, "_autoscale_thread", None)
         if autoscale_thread is not None and autoscale_thread.is_alive():
             autoscale_thread.join(timeout=5.0)
@@ -733,6 +956,7 @@ class ClusterService:
             pending = list(self._pending.values())
             self._pending.clear()
             self._orphans.clear()
+            self._stale_holders.clear()
             self._slot_free.notify_all()
         for entry in pending:
             if not entry.future.done():
@@ -798,11 +1022,12 @@ class ClusterService:
                     )
                 remaining = None if deadline is None else deadline - time.perf_counter()
                 if remaining is not None and remaining <= 0:
-                    traffic.shed += 1
-                    self.router.record_shed()
-                    raise ClusterOverloadError(
-                        self.router.retry_after_s(self.config.max_wait_ms,
-                                                  model=key)
+                    # The caller's deadline passed while waiting for a
+                    # slot: the work was never dispatched, never executed.
+                    self._deadline_expired += 1
+                    raise DeadlineExceededError(
+                        f"deadline expired after waiting "
+                        f"{-remaining * 1000.0:.1f} ms past it for admission"
                     )
                 self._slot_free.wait(timeout=0.05 if remaining is None
                                      else min(0.05, remaining))
@@ -818,7 +1043,7 @@ class ClusterService:
             future.set_running_or_notify_cancel()
             self._pending[rid] = _Pending(
                 future=future, model=key, image=image, worker=worker_id,
-                submitted_at=time.perf_counter(),
+                submitted_at=now, deadline=deadline, dispatched_at=now,
                 generation=self._workers[worker_id].generation,
             )
             return rid, worker_id, future
@@ -830,9 +1055,36 @@ class ClusterService:
         A worker whose queue was closed under us (its death handler won the
         race) gets its slots released and the requests re-dispatched rather
         than surfacing transport errors to clients.
+
+        Requests whose deadline has already passed are dropped *here*,
+        before any frame goes out — an expired request is never executed;
+        its slot is released and its future fails with
+        :class:`DeadlineExceededError`.
         """
+        expired: List[Future] = []
+        live: List[tuple] = []
+        now = time.perf_counter()
+        with self._lock:
+            for rid, worker_id, image in assignments:
+                entry = self._pending.get(rid)
+                if entry is None:  # pragma: no cover - raced recovery
+                    continue
+                if entry.deadline is not None and now >= entry.deadline:
+                    del self._pending[rid]
+                    self._deadline_expired += 1
+                    self.router.release(worker_id, entry.generation)
+                    self._slot_free.notify_all()
+                    expired.append(entry.future)
+                else:
+                    live.append((rid, worker_id, image))
+        for future in expired:
+            if not future.done():
+                future.set_exception(DeadlineExceededError(
+                    "deadline expired before dispatch; request dropped "
+                    "unexecuted"
+                ))
         groups: Dict[str, List[tuple]] = {}
-        for rid, worker_id, image in assignments:
+        for rid, worker_id, image in live:
             groups.setdefault(worker_id, []).append((rid, key, image))
         for worker_id, items in groups.items():
             with self._lock:
@@ -862,6 +1114,13 @@ class ClusterService:
         want) submission waits for an admission slot; with ``block=False``
         a saturated cluster sheds immediately by raising
         :class:`ClusterOverloadError` carrying ``retry_after_s``.
+
+        ``timeout`` is an **end-to-end deadline**, not an admission bound:
+        if it expires while waiting for admission this call raises
+        :class:`DeadlineExceededError` synchronously; if it expires after
+        admission the returned future fails with the same error and the
+        request's slots are released — expired work queued behind a slow
+        worker is dropped at dispatch time, never executed.
         """
         key = self.canonical_name(model)
         image = np.asarray(image)
@@ -926,6 +1185,10 @@ class ClusterService:
                 worker = self._workers.get(worker_id)
                 if worker is not None:
                     worker.last_heartbeat = time.perf_counter()
+            # Quarantined workers earn probation credit with every
+            # heartbeat that arrives with no failure since the last one
+            # (no-op unless a quarantine policy is configured).
+            self.router.record_clean_heartbeat(worker_id)
         elif kind == "ready":
             self._handle_ready(message)
         elif kind == "attached":
@@ -1000,31 +1263,49 @@ class ClusterService:
 
     def _handle_response(self, message: tuple) -> None:
         kind, worker_id, rid, payload = message
+        now = time.perf_counter()
         with self._lock:
             entry = self._pending.pop(rid, None)
             if entry is None:
-                # Late answer for a request that was requeued after this
-                # sender was (wrongly or rightly) declared dead, and that
-                # the replacement already answered — release the slot the
-                # replacement still holds, scoped to the incarnation that
-                # acquired it (a same-id re-registration must not lose a
-                # slot it never granted).
-                assignee = self._stale_assignee.pop(rid, None)
-                if assignee is not None and assignee[0] == worker_id:
-                    self.router.release(worker_id, assignee[1])
-                    self._slot_free.notify_all()
+                # Late (duplicate) answer: the request was already won by
+                # another holder, requeued past this sender, or expired.
+                # Release exactly the *sender's* still-held slot, scoped
+                # to the incarnation that acquired it (a same-id
+                # re-registration must not lose a slot it never granted).
+                holders = self._stale_holders.get(rid)
+                if holders is not None:
+                    held = holders.pop(worker_id, None)
+                    if not holders:
+                        del self._stale_holders[rid]
+                    if held is not None:
+                        self.router.release(worker_id, held[0])
+                        self._slot_free.notify_all()
                 return
-            if entry.worker != worker_id:
-                # Answered by a worker we had already given up on — its
-                # slots were credited when it was removed, so there is
-                # nothing to release for the *sender* (doing so would hit
-                # whatever now holds that id).  Remember the current
-                # assignee instead: its duplicate answer must release the
-                # slot it still holds.
-                self._stale_assignee[rid] = (entry.worker, entry.generation)
-            else:
-                self.router.release(worker_id, entry.generation)
-            now = time.perf_counter()
+            # First answer wins — with retry/hedging several workers may
+            # hold a live slot for this rid (outputs are bit-identical, so
+            # *which* copy wins is unobservable).  Release the sender's
+            # slot now; the remaining holders' slots are parked until
+            # their own late answers arrive (or their deaths credit them,
+            # or the stale grace reaps them).
+            holders = dict(entry.holders)
+            holders[entry.worker] = entry.generation
+            sender_generation = holders.pop(worker_id, None)
+            if sender_generation is not None:
+                self.router.release(worker_id, sender_generation)
+                if kind == "res":
+                    self.router.record_completion(
+                        worker_id, max(0.0, now - entry.dispatched_at))
+                else:
+                    self.router.record_failure(worker_id)
+            # A sender absent from the holder set was already given up on
+            # (declared dead; its slots were credited at removal) — there
+            # is nothing to release for it, only the live holders to park.
+            if holders:
+                reap_at = now + self._stale_grace_s
+                self._stale_holders[rid] = {
+                    holder: (generation, reap_at)
+                    for holder, generation in holders.items()
+                }
             traffic = self._traffic_for(entry.model)
             traffic.last_done = now
             traffic.latencies.record(max(0.0, now - entry.submitted_at))
@@ -1038,6 +1319,184 @@ class ClusterService:
             entry.future.set_exception(RuntimeError(
                 f"worker {worker_id} failed request: {payload}"
             ))
+
+    # ------------------------------------------------------------- faults
+    def _faulty_deliver(self, message: tuple) -> None:
+        """Inbound delivery threaded through the fault plane's frame rules.
+
+        Replaces :meth:`_handle_message` as the transport's deliver
+        callback when a fault plan is armed: worker→router hot-path frames
+        may be dropped, delivered late (via the injector's timer thread)
+        or duplicated before the real handler sees them.
+        """
+        for delay, msg in self._faults.filter_inbound(message):
+            if delay <= 0:
+                self._handle_message(msg)
+            else:
+                self._faults.schedule_delivery(
+                    delay, lambda m=msg: self._handle_message(m))
+
+    @property
+    def fault_events(self) -> List:
+        """Faults the armed plan has actually fired so far, in order
+        (:class:`~repro.serving.faults.FaultEvent`; empty without a plan)."""
+        return [] if self._faults is None else self._faults.events()
+
+    # ------------------------------------------------------------- deadlines
+    def _monitor_pending(self) -> None:
+        """Deadline/retry/hedge control loop (20 ms cadence).
+
+        Three sweeps over the pending table: fail dispatched requests
+        whose end-to-end deadline passed (releasing every slot they
+        hold), re-dispatch requests whose current attempt has outlived
+        the retry policy's patience, and hedge requests past the p99-based
+        hedge delay.  Parked late-answer slots whose grace expired are
+        reaped here too — a lost response frame must not leak admission
+        capacity forever.
+        """
+        while not self._supervise_stop.wait(0.02):
+            self._sweep_pending()
+
+    def _sweep_pending(self) -> None:
+        policy = self.retry_policy
+        now = time.perf_counter()
+        expired: List[_Pending] = []
+        exhausted: List[_Pending] = []
+        sends: List[Tuple[WorkerEndpoint, tuple]] = []
+        p99_cache: Dict[str, tuple] = {}
+
+        def model_p99(model: str) -> tuple:
+            cached = p99_cache.get(model)
+            if cached is None:
+                traffic = self._traffic.get(model)
+                cached = ((0, 0.0) if traffic is None
+                          else traffic.latencies.quantile_s(99.0))
+                p99_cache[model] = cached
+            return cached
+
+        with self._lock:
+            if self._closed:
+                return
+            for rid, entry in list(self._pending.items()):
+                if entry.deadline is not None and now >= entry.deadline:
+                    # Too late for anyone to want the answer: fail the
+                    # future and release every held slot immediately.  The
+                    # workers' late answers will find neither a pending
+                    # entry nor a parked slot — no double release.
+                    del self._pending[rid]
+                    self._deadline_expired += 1
+                    self.router.release(entry.worker, entry.generation)
+                    for holder, generation in entry.holders.items():
+                        self.router.release(holder, generation)
+                    self._slot_free.notify_all()
+                    expired.append(entry)
+                    continue
+                if policy is None:
+                    continue
+                count, p99_s = model_p99(entry.model)
+                if count >= policy.min_samples and p99_s > 0.0:
+                    candidate = policy.timeout_factor * p99_s
+                else:
+                    # Cold start: no latency distribution to scale from
+                    # yet.  Fall back to the heartbeat timeout — the same
+                    # "worker is unresponsive" bound the supervisor uses —
+                    # so a request whose very first frame was lost still
+                    # retries instead of waiting for statistics.
+                    candidate = self.heartbeat_timeout_s
+                base = max(policy.min_timeout_s,
+                           min(policy.max_timeout_s, candidate))
+                waited = now - entry.dispatched_at
+                patience = (
+                    base * policy.backoff_factor ** (entry.attempts - 1)
+                )
+                if waited >= patience and entry.attempts >= policy.max_attempts:
+                    # Retry budget exhausted and the final attempt has
+                    # outlived its patience too: fail terminally rather
+                    # than hang.  Slots are released exactly as on
+                    # deadline expiry; a straggler answer arriving later
+                    # finds neither a pending entry nor a parked slot.
+                    del self._pending[rid]
+                    self.router.record_failure(entry.worker)
+                    self.router.release(entry.worker, entry.generation)
+                    for holder, generation in entry.holders.items():
+                        self.router.release(holder, generation)
+                    self._slot_free.notify_all()
+                    exhausted.append(entry)
+                    continue
+                if waited >= patience:
+                    # Retry: the current assignee has outlived attempt
+                    # ``attempts``'s patience.  Demote it (slot parked on
+                    # the entry; released by its late answer / death /
+                    # grace), record the failure for quarantine purposes
+                    # and force-dispatch to a different worker.
+                    exclude = [entry.worker, *entry.holders]
+                    worker_id = self.router.acquire(
+                        entry.model, force=True, record_shed=False,
+                        exclude=exclude)
+                    if worker_id is None or worker_id not in self._workers:
+                        if worker_id is not None:
+                            self.router.release(worker_id)
+                        continue  # nowhere else to go; re-check next tick
+                    self.router.record_failure(entry.worker)
+                    entry.holders[entry.worker] = entry.generation
+                    worker = self._workers[worker_id]
+                    entry.worker = worker_id
+                    entry.generation = worker.generation
+                    entry.attempts += 1
+                    entry.dispatched_at = now
+                    self._retries += 1
+                    sends.append((worker.endpoint,
+                                  ("reqs", [(rid, entry.model, entry.image)])))
+                elif (policy.hedge and not entry.hedged
+                      and count >= policy.min_samples and p99_s > 0.0
+                      and waited >= max(policy.min_timeout_s,
+                                        min(policy.max_timeout_s,
+                                            policy.hedge_factor * p99_s))):
+                    # Hedge: dispatch a duplicate *within* the admission
+                    # bound (no force — a saturated fleet sheds hedges
+                    # first); first response wins, bit-identical outputs
+                    # make the winner unobservable.
+                    exclude = [entry.worker, *entry.holders]
+                    worker_id = self.router.acquire(
+                        entry.model, record_shed=False, exclude=exclude)
+                    if worker_id is None or worker_id not in self._workers:
+                        if worker_id is not None:
+                            self.router.release(worker_id)
+                        continue
+                    worker = self._workers[worker_id]
+                    entry.holders[worker_id] = worker.generation
+                    entry.hedged = True
+                    self._hedges += 1
+                    sends.append((worker.endpoint,
+                                  ("reqs", [(rid, entry.model, entry.image)])))
+            # Reap parked late-answer slots whose grace expired: the
+            # response frame is considered lost for good.  If it arrives
+            # after all, the missing park entry makes it a no-op.
+            for rid in list(self._stale_holders):
+                holders = self._stale_holders[rid]
+                for holder, (generation, reap_at) in list(holders.items()):
+                    if now >= reap_at:
+                        del holders[holder]
+                        self.router.release(holder, generation)
+                        self._slot_free.notify_all()
+                if not holders:
+                    del self._stale_holders[rid]
+        for entry in expired:
+            if not entry.future.done():
+                entry.future.set_exception(DeadlineExceededError(
+                    "deadline expired while dispatched; request dropped"
+                ))
+        for entry in exhausted:
+            if not entry.future.done():
+                entry.future.set_exception(WorkerCrashError(
+                    f"no answer after {entry.attempts} attempt(s); "
+                    "retry budget exhausted"
+                ))
+        for endpoint, message in sends:
+            try:
+                endpoint.send(message)
+            except (TransportClosed, ValueError, OSError):
+                pass  # dying link: its death handler requeues the rid
 
     # ------------------------------------------------------------- supervision
     def _supervise(self) -> None:
@@ -1134,8 +1593,29 @@ class ClusterService:
                 return
             del self._workers[worker.worker_id]
             self.router.remove_worker(worker.worker_id)
-            victims = [rid for rid, entry in self._pending.items()
-                       if entry.worker == worker.worker_id]
+            victims = []
+            for rid, entry in self._pending.items():
+                # A dead hedge/demoted holder's slot was credited by
+                # remove_worker; its late answer can never come.
+                entry.holders.pop(worker.worker_id, None)
+                if entry.worker != worker.worker_id:
+                    continue
+                if entry.holders:
+                    # The primary died but a duplicate of this request is
+                    # already in flight on a surviving holder — promote it
+                    # instead of requeueing (which would dispatch a third
+                    # copy).
+                    promoted = next(iter(entry.holders))
+                    entry.generation = entry.holders.pop(promoted)
+                    entry.worker = promoted
+                else:
+                    victims.append(rid)
+            # Parked late-answer slots of the dead worker: credited by
+            # remove_worker, never answering — drop their park entries.
+            for rid in list(self._stale_holders):
+                self._stale_holders[rid].pop(worker.worker_id, None)
+                if not self._stale_holders[rid]:
+                    del self._stale_holders[rid]
             # Orphans were parked waiting for *some* replacement to become
             # ready; if the worker that just died was that replacement, the
             # wait is over — re-run them through _redispatch, which either
@@ -1186,44 +1666,72 @@ class ClusterService:
         """Move an admitted request onto a live worker (crash requeue)."""
         endpoint = None
         failed_future: Optional[Future] = None
+        failure: Optional[BaseException] = None
         with self._lock:
             entry = self._pending.get(rid)
             if entry is None:
                 return
-            entry.requeues += 1
-            self._requeued += 1
-            # force=True: this work was admitted once already; shedding it
-            # now would turn a worker crash into client-visible errors.
-            worker_id = self.router.acquire(entry.model, force=True)
-            if worker_id is None or worker_id not in self._workers:
-                if worker_id is not None:
-                    self.router.release(worker_id)
-                replacement_coming = not self._closed and (
-                    any(not w.ready for w in self._workers.values())
-                    or bool(self._spawn_pending)
-                    or bool(self._rejoin_pending)
-                )
-                if replacement_coming:
-                    # Park until the replacement's "ready" drains orphans
-                    # (spawned workers and expected reconnects both end in
-                    # a "ready"; the supervisor reaps the ones that never
-                    # arrive and drains the orphans again).
-                    self._orphans.append(rid)
-                    return
-                self._pending.pop(rid, None)
+            now = time.perf_counter()
+            if entry.deadline is not None and now >= entry.deadline:
+                # Expired while losing its worker: drop instead of
+                # re-dispatching — never execute past-deadline work.  The
+                # primary slot was already handled by whoever called us;
+                # surviving hedge holders park for their late answers.
+                del self._pending[rid]
+                self._deadline_expired += 1
+                if entry.holders:
+                    reap_at = now + self._stale_grace_s
+                    self._stale_holders[rid] = {
+                        holder: (generation, reap_at)
+                        for holder, generation in entry.holders.items()
+                    }
                 failed_future = entry.future
+                failure = DeadlineExceededError(
+                    "deadline expired during crash recovery; request "
+                    "dropped unexecuted"
+                )
             else:
-                entry.worker = worker_id
-                worker = self._workers[worker_id]
-                entry.generation = worker.generation
-                endpoint = worker.endpoint
-                message = ("reqs", [(rid, entry.model, entry.image)])
+                entry.requeues += 1
+                self._requeued += 1
+                # force=True: this work was admitted once already; shedding
+                # it now would turn a worker crash into client-visible
+                # errors.  Workers already holding a copy are excluded — a
+                # duplicate on the *same* worker id would collide with its
+                # own late answer.
+                worker_id = self.router.acquire(
+                    entry.model, force=True, exclude=list(entry.holders))
+                if worker_id is None or worker_id not in self._workers:
+                    if worker_id is not None:
+                        self.router.release(worker_id)
+                    replacement_coming = not self._closed and (
+                        any(not w.ready for w in self._workers.values())
+                        or bool(self._spawn_pending)
+                        or bool(self._rejoin_pending)
+                    )
+                    if replacement_coming:
+                        # Park until the replacement's "ready" drains
+                        # orphans (spawned workers and expected reconnects
+                        # both end in a "ready"; the supervisor reaps the
+                        # ones that never arrive and drains the orphans
+                        # again).
+                        self._orphans.append(rid)
+                        return
+                    self._pending.pop(rid, None)
+                    failed_future = entry.future
+                    failure = WorkerCrashError(
+                        f"request {rid} lost its worker and no replacement "
+                        f"is available"
+                    )
+                else:
+                    entry.worker = worker_id
+                    worker = self._workers[worker_id]
+                    entry.generation = worker.generation
+                    entry.dispatched_at = now
+                    endpoint = worker.endpoint
+                    message = ("reqs", [(rid, entry.model, entry.image)])
         if failed_future is not None:
             if not failed_future.done():
-                failed_future.set_exception(WorkerCrashError(
-                    f"request {rid} lost its worker and no replacement is "
-                    f"available"
-                ))
+                failed_future.set_exception(failure)
             return
         try:
             endpoint.send(message)
@@ -1508,18 +2016,26 @@ class ClusterService:
             workers = len(self._workers)
             respawns = self._respawns
             requeued = self._requeued
+            deadline_expired = self._deadline_expired
+            retries = self._retries
+            hedges = self._hedges
+        router_stats = self.router.stats()
         return ClusterReport(
             workers=workers,
             models=models,
             worker_reports=reports,
             aggregated=aggregated,
-            router=self.router.stats(),
+            router=router_stats,
             respawns=respawns,
             requeued=requeued,
             shed=shed,
             attach_ms_mean=(sum(attach_values) / len(attach_values))
             if attach_values else 0.0,
             store_bytes=self.store.total_bytes(),
+            deadline_expired=deadline_expired,
+            retries=retries,
+            hedges=hedges,
+            quarantined=router_stats.quarantined,
         )
 
     # ------------------------------------------------------------- baseline

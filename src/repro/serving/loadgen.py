@@ -20,6 +20,7 @@ a correctness drift.
 from __future__ import annotations
 
 import time
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
@@ -31,10 +32,12 @@ from repro.serving.pool import ModelPool
 from repro.serving.service import InferenceService, ServiceReport
 
 __all__ = [
+    "ChaosResult",
     "LoadgenResult",
     "ShedLoadResult",
     "SpikeLoadResult",
     "SpikePhase",
+    "run_chaos_scenario",
     "run_closed_loop",
     "run_open_loop",
     "run_open_loop_shedding",
@@ -387,6 +390,207 @@ def run_spike_load(
         phases=tuple(phase_stats),
         wall_s=wall_s,
         completed=len(futures),
+        outputs=outputs,
+    )
+
+
+@dataclass(frozen=True)
+class ChaosResult:
+    """Outcome of one fault-injected load run (:func:`run_chaos_scenario`).
+
+    Every offered request is accounted for exactly once: it either
+    ``completed`` (with an output row bit-identical to the fault-free
+    baseline), was ``shed`` at admission, expired its ``deadline``, or
+    ``failed`` terminally (fleet died).  A future that resolves to none of
+    those within the drain timeout is a *hung future* and the scenario
+    raises instead of returning — silent loss is the one outcome a chaos
+    run must never report as success.
+    """
+
+    wall_s: float
+    completed: int
+    shed: int
+    deadline_expired: int
+    failed: int
+    retries: int
+    hedges: int
+    quarantined: int
+    respawns: int
+    requeued: int
+    bit_identical: bool
+    p99_ms: float
+    #: Faults the plan actually fired, in firing order
+    #: (:class:`~repro.serving.faults.FaultEvent` tuples).
+    fault_events: tuple
+    #: The plan's deterministic schedule, for same-seed replay checks.
+    schedule: tuple
+    #: Completed rows keyed by offered-request index.
+    outputs: dict
+
+    @property
+    def offered(self) -> int:
+        return self.completed + self.shed + self.deadline_expired + self.failed
+
+    @property
+    def goodput_rps(self) -> float:
+        if self.wall_s <= 0:
+            return float("inf") if self.completed else 0.0
+        return self.completed / self.wall_s
+
+    def table(self) -> str:
+        rows = [
+            ("offered", self.offered),
+            ("completed", self.completed),
+            ("shed", self.shed),
+            ("deadline expired", self.deadline_expired),
+            ("failed", self.failed),
+            ("goodput (req/s)", self.goodput_rps),
+            ("latency p99 (ms)", self.p99_ms),
+            ("retries", self.retries),
+            ("hedges", self.hedges),
+            ("quarantined", self.quarantined),
+            ("respawns", self.respawns),
+            ("requeued", self.requeued),
+            ("faults fired", len(self.fault_events)),
+            ("bit identical", self.bit_identical),
+            ("wall time (s)", self.wall_s),
+        ]
+        lines = [format_kv(rows, title="Chaos scenario")]
+        if self.fault_events:
+            lines.append("")
+            lines.append("fault timeline:")
+            for event in self.fault_events:
+                lines.append(f"  t={event.at_s:6.3f}s  {event.kind:<10s} "
+                             f"{event.target}")
+        return "\n".join(lines)
+
+
+def run_chaos_scenario(
+    plan,
+    model: str = "MicroCNN",
+    workers: int = 3,
+    requests: int = 96,
+    offered_rps: float = 150.0,
+    deadline_s: Optional[float] = None,
+    seed: int = 0,
+    retry=None,
+    quarantine=None,
+    drain_timeout_s: float = 60.0,
+    **cluster_kwargs,
+) -> ChaosResult:
+    """Drive sustained open-loop load through a fault-injected cluster.
+
+    Builds a :class:`~repro.serving.cluster.ClusterService` with ``plan``
+    armed (plus retry/hedging and quarantine policies — defaults are used
+    when not given), submits ``requests`` Poisson arrivals at
+    ``offered_rps`` with non-blocking admission and an optional end-to-end
+    ``deadline_s``, then drains every future and audits the outcome:
+
+    * **no hung futures** — a future still unresolved ``drain_timeout_s``
+      after the last arrival raises :class:`RuntimeError`;
+    * **no lost or duplicated work** — completed + shed + expired + failed
+      must equal offered (checked by construction: every arrival lands in
+      exactly one bucket);
+    * **bit-identical outputs** — every completed row is compared against
+      a fault-free single-process baseline over the same images.
+
+    The same ``plan`` seed reproduces the same fault schedule, so a chaos
+    failure is a unit test away from being replayed.  ``plan=None`` runs
+    the identical scenario fault-free — the control every chaos benchmark
+    compares goodput and tail latency against.
+    """
+    from repro.serving.cluster import (
+        ClusterService,
+        ClusterOverloadError,
+        DeadlineExceededError,
+        RetryPolicy,
+        WorkerCrashError,
+    )
+    from repro.serving.router import QuarantinePolicy
+
+    if requests <= 0:
+        raise ValueError("requests must be positive")
+    if offered_rps <= 0:
+        raise ValueError("offered_rps must be positive")
+    pool = ModelPool()
+    network = pool.get(model)
+    images = synthetic_images(network.input_shape, requests, seed=seed)
+    schedule = () if plan is None else tuple(plan.schedule())
+
+    cluster_kwargs.setdefault("models", (model,))
+    cluster = ClusterService(
+        workers=workers,
+        retry=RetryPolicy() if retry is None else retry,
+        quarantine=QuarantinePolicy() if quarantine is None else quarantine,
+        faults=plan,
+        **cluster_kwargs,
+    )
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / offered_rps, size=requests)
+    futures: dict = {}
+    shed = 0
+    deadline_expired = 0
+    failed = 0
+    outputs: dict = {}
+    try:
+        t0 = time.perf_counter()
+        arrive_at = t0
+        for index in range(requests):
+            arrive_at += gaps[index]
+            delay = arrive_at - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            try:
+                futures[index] = cluster.submit(
+                    model, images[index], block=False, timeout=deadline_s)
+            except ClusterOverloadError:
+                shed += 1
+            except DeadlineExceededError:
+                deadline_expired += 1
+        for index, future in futures.items():
+            budget = drain_timeout_s - (time.perf_counter() - t0)
+            try:
+                outputs[index] = future.result(timeout=max(1.0, budget))
+            except DeadlineExceededError:
+                deadline_expired += 1
+            except WorkerCrashError:
+                failed += 1
+            except FuturesTimeoutError:
+                raise RuntimeError(
+                    f"hung future: request {index} unresolved "
+                    f"{drain_timeout_s:.0f}s after submission — the cluster "
+                    f"lost track of admitted work under fault injection"
+                )
+        wall_s = time.perf_counter() - t0
+        fault_events = tuple(cluster.fault_events)
+        detail = cluster.cluster_report()
+        p99_ms = (detail.aggregated[model].latency.p99_ms
+                  if model in detail.aggregated else 0.0)
+        baseline = cluster.baseline_service()
+        try:
+            expected = run_closed_loop(baseline, model, images).outputs
+        finally:
+            baseline.close()
+    finally:
+        cluster.close()
+    bit_identical = all(
+        np.array_equal(row, expected[index]) for index, row in outputs.items()
+    )
+    return ChaosResult(
+        wall_s=wall_s,
+        completed=len(outputs),
+        shed=shed,
+        deadline_expired=deadline_expired,
+        failed=failed,
+        retries=detail.retries,
+        hedges=detail.hedges,
+        quarantined=detail.quarantined,
+        respawns=detail.respawns,
+        requeued=detail.requeued,
+        bit_identical=bit_identical,
+        p99_ms=p99_ms,
+        fault_events=fault_events,
+        schedule=schedule,
         outputs=outputs,
     )
 

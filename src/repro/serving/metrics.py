@@ -101,6 +101,20 @@ class LatencyTracker:
         with self._lock:
             return list(self._samples)
 
+    def quantile_s(self, q: float = 99.0) -> tuple:
+        """``(total_count, q-th percentile in seconds)`` over the window.
+
+        The cheap accessor the cluster's retry/hedging timers poll — one
+        percentile, no :class:`LatencySummary` construction.
+        """
+        with self._lock:
+            window = list(self._samples)
+            total = self._total
+        if not window:
+            return total, 0.0
+        return total, float(np.percentile(
+            np.asarray(window, dtype=np.float64), q))
+
     def summary(self) -> LatencySummary:
         with self._lock:
             window = list(self._samples)

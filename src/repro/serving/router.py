@@ -45,6 +45,17 @@ stealing a slot the new incarnation never granted.  The invariant
 interleaving of acquire/release/remove/re-register
 (``tests/test_autoscale.py`` drives randomized sequences against it).
 
+A fourth, health-driven layer sits on top (:class:`QuarantinePolicy`):
+the cluster feeds per-request outcomes back (:meth:`record_completion` /
+:meth:`record_failure`), the router tracks an EWMA completion latency per
+worker, and a worker whose latency degrades far beyond the fleet median —
+or that fails several requests in a row — is **quarantined**: ejected
+from eligibility (like pinning, never to the point of making a model
+unservable) until it earns probation re-admission with ``N`` consecutive
+clean heartbeats (:meth:`record_clean_heartbeat`).  Quarantine only
+shapes *routing preference*; slot accounting and the declared-model
+restriction are untouched, so the invariant above is oblivious to it.
+
 Examples
 --------
 >>> router = LeastOutstandingRouter(max_outstanding=2)
@@ -76,6 +87,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Set
 
 __all__ = [
     "LeastOutstandingRouter",
+    "QuarantinePolicy",
     "RouterStats",
     "pin_counts_from_shares",
     "rendezvous_score",
@@ -120,6 +132,81 @@ def pin_counts_from_shares(shares: Mapping[str, float], workers: int,
 
 
 @dataclass(frozen=True)
+class QuarantinePolicy:
+    """When to eject a degraded worker, and how it earns its way back.
+
+    A worker is quarantined when either trigger fires:
+
+    * **latency** — its EWMA completion latency exceeds ``latency_factor``
+      × the fleet median EWMA, once it has at least ``min_samples``
+      completions *and* the fleet has a second worker to compare against
+      (a fleet of one has no notion of "slow");
+    * **failures** — ``max_consecutive_failures`` requests in a row
+      failed on it (crash/timeout/requeue all count; one success resets).
+
+    Quarantine ends by **probation**: ``probation_heartbeats`` consecutive
+    clean heartbeats (a heartbeat with no failure since the previous one)
+    re-admit the worker with its health counters reset.  A failure during
+    probation restarts the count.
+
+    Examples
+    --------
+    >>> policy = QuarantinePolicy(max_consecutive_failures=2,
+    ...                           probation_heartbeats=2)
+    >>> router = LeastOutstandingRouter(quarantine=policy)
+    >>> router.add_worker("w0"); router.add_worker("w1")
+    1
+    2
+    >>> router.record_failure("w0"); router.record_failure("w0")
+    >>> router.quarantined_workers()
+    ['w0']
+    >>> router.acquire("m")  # w0 no longer eligible
+    'w1'
+    >>> router.record_clean_heartbeat("w0")
+    >>> router.record_clean_heartbeat("w0")
+    >>> router.quarantined_workers()
+    []
+    """
+
+    #: EWMA latency beyond this multiple of the fleet median quarantines.
+    latency_factor: float = 4.0
+    #: Completions required before the latency trigger may fire.
+    min_samples: int = 8
+    #: Consecutive failures that quarantine regardless of latency.
+    max_consecutive_failures: int = 3
+    #: Consecutive clean heartbeats that end a quarantine.
+    probation_heartbeats: int = 5
+    #: EWMA smoothing factor for per-worker completion latency.
+    ewma_alpha: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.latency_factor <= 1.0:
+            raise ValueError("latency_factor must exceed 1")
+        if self.min_samples < 1:
+            raise ValueError("min_samples must be at least 1")
+        if self.max_consecutive_failures < 1:
+            raise ValueError("max_consecutive_failures must be at least 1")
+        if self.probation_heartbeats < 1:
+            raise ValueError("probation_heartbeats must be at least 1")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+
+
+class _WorkerHealth:
+    """Mutable per-worker health state (router lock guards all access)."""
+
+    __slots__ = ("ewma_latency_s", "samples", "consecutive_failures",
+                 "quarantined", "probation_clean")
+
+    def __init__(self) -> None:
+        self.ewma_latency_s: Optional[float] = None
+        self.samples = 0
+        self.consecutive_failures = 0
+        self.quarantined = False
+        self.probation_clean = 0
+
+
+@dataclass(frozen=True)
 class RouterStats:
     """Counters over the router's lifetime."""
 
@@ -127,6 +214,7 @@ class RouterStats:
     completed: int
     shed: int
     workers: int
+    quarantined: int = 0
 
     @property
     def outstanding(self) -> int:
@@ -148,13 +236,19 @@ class LeastOutstandingRouter:
         listed model routes only within the top-``K`` workers of its
         rendezvous order (see :meth:`set_pin_counts`).  Unlisted models
         stay unpinned (any declaring worker is eligible).
+    quarantine:
+        Optional :class:`QuarantinePolicy` enabling health-driven worker
+        ejection.  Without it the feedback methods
+        (:meth:`record_completion` etc.) are cheap no-ops.
     """
 
     def __init__(self, max_outstanding: int = 64,
-                 pin_counts: Optional[Mapping[str, int]] = None) -> None:
+                 pin_counts: Optional[Mapping[str, int]] = None,
+                 quarantine: Optional[QuarantinePolicy] = None) -> None:
         if max_outstanding < 1:
             raise ValueError("max_outstanding must be at least 1")
         self.max_outstanding = int(max_outstanding)
+        self.quarantine_policy = quarantine
         self._lock = threading.Lock()
         self._outstanding: Dict[str, int] = {}
         #: Declared servable models per worker; ``None`` = serves any model.
@@ -164,6 +258,7 @@ class LeastOutstandingRouter:
         self._generations: Dict[str, int] = {}
         self._generation_counter = 0
         self._pin_counts: Dict[str, int] = {}
+        self._health: Dict[str, _WorkerHealth] = {}
         self._dispatched = 0
         self._completed = 0
         self._shed = 0
@@ -213,11 +308,18 @@ class LeastOutstandingRouter:
         """
         candidates = self._candidates(model)
         count = self._pin_counts.get(model)
-        if count is None or count >= len(candidates):
-            return candidates
-        candidates.sort(key=lambda worker: rendezvous_score(model, worker),
-                        reverse=True)
-        return candidates[: max(1, count)]
+        if count is not None and count < len(candidates):
+            candidates.sort(
+                key=lambda worker: rendezvous_score(model, worker),
+                reverse=True)
+            candidates = candidates[: max(1, count)]
+        # Quarantine filters *within* the pinned set, and backs off
+        # entirely rather than make a model unservable: with every
+        # eligible worker quarantined, the least-bad worker still beats
+        # shedding forever.
+        healthy = [worker for worker in candidates
+                   if not self._is_quarantined(worker)]
+        return healthy if healthy else candidates
 
     def eligible_workers(self, model: str) -> List[str]:
         """Workers ``model`` may currently route to (pinning applied)."""
@@ -242,6 +344,9 @@ class LeastOutstandingRouter:
                 return self._generations[worker]
             self._outstanding[worker] = 0
             self._models[worker] = declared
+            # A fresh incarnation starts with a clean bill of health — the
+            # process (or connection) the bad history belonged to is gone.
+            self._health.pop(worker, None)
             self._generation_counter += 1
             self._generations[worker] = self._generation_counter
             return self._generation_counter
@@ -281,6 +386,7 @@ class LeastOutstandingRouter:
         with self._lock:
             count = self._outstanding.pop(worker, 0)
             self._models.pop(worker, None)
+            self._health.pop(worker, None)
             self._completed += count
             return count
 
@@ -292,9 +398,113 @@ class LeastOutstandingRouter:
         with self._lock:
             return self._outstanding.get(worker, 0)
 
+    # ------------------------------------------------------------- health
+    def _is_quarantined(self, worker: str) -> bool:
+        """Lock held by caller."""
+        health = self._health.get(worker)
+        return health is not None and health.quarantined
+
+    def _fleet_median_ewma(self, exclude: str) -> Optional[float]:
+        """Median EWMA latency over the *other* live workers (lock held)."""
+        values = sorted(
+            health.ewma_latency_s
+            for worker, health in self._health.items()
+            if worker != exclude and worker in self._outstanding
+            and health.ewma_latency_s is not None
+        )
+        if not values:
+            return None
+        mid = len(values) // 2
+        if len(values) % 2:
+            return values[mid]
+        return 0.5 * (values[mid - 1] + values[mid])
+
+    def _health_entry(self, worker: str) -> Optional[_WorkerHealth]:
+        """Lock held by caller; ``None`` for unknown workers / no policy."""
+        if self.quarantine_policy is None:
+            return None
+        if worker not in self._outstanding:
+            return None
+        health = self._health.get(worker)
+        if health is None:
+            health = self._health[worker] = _WorkerHealth()
+        return health
+
+    def record_completion(self, worker: str, latency_s: float) -> None:
+        """Feed one successful completion's wall latency into the worker's
+        health.  May quarantine the worker if its EWMA latency has degraded
+        past ``latency_factor`` × the fleet median (other workers only, so
+        a uniformly slow fleet — big model, cold cache — never quarantines
+        anyone)."""
+        policy = self.quarantine_policy
+        with self._lock:
+            health = self._health_entry(worker)
+            if health is None:
+                return
+            health.consecutive_failures = 0
+            alpha = policy.ewma_alpha
+            if health.ewma_latency_s is None:
+                health.ewma_latency_s = float(latency_s)
+            else:
+                health.ewma_latency_s += alpha * (float(latency_s)
+                                                  - health.ewma_latency_s)
+            health.samples += 1
+            if health.quarantined or health.samples < policy.min_samples:
+                return
+            median = self._fleet_median_ewma(exclude=worker)
+            if (median is not None and median > 0.0
+                    and health.ewma_latency_s
+                    > policy.latency_factor * median):
+                health.quarantined = True
+                health.probation_clean = 0
+
+    def record_failure(self, worker: str) -> None:
+        """Feed one failed request (crash, timeout, requeue) into the
+        worker's health; quarantines after ``max_consecutive_failures``
+        in a row and restarts any probation in progress."""
+        policy = self.quarantine_policy
+        with self._lock:
+            health = self._health_entry(worker)
+            if health is None:
+                return
+            health.consecutive_failures += 1
+            health.probation_clean = 0
+            if (not health.quarantined and health.consecutive_failures
+                    >= policy.max_consecutive_failures):
+                health.quarantined = True
+
+    def record_clean_heartbeat(self, worker: str) -> None:
+        """A heartbeat arrived with no failure since the previous one.
+        ``probation_heartbeats`` of these in a row end a quarantine with
+        the worker's health counters reset."""
+        policy = self.quarantine_policy
+        with self._lock:
+            health = self._health.get(worker)
+            if (policy is None or health is None
+                    or not health.quarantined
+                    or worker not in self._outstanding):
+                return
+            health.probation_clean += 1
+            if health.probation_clean >= policy.probation_heartbeats:
+                self._health[worker] = _WorkerHealth()
+
+    def quarantined_workers(self) -> List[str]:
+        """Currently quarantined worker ids, sorted."""
+        with self._lock:
+            return sorted(worker for worker in self._outstanding
+                          if self._is_quarantined(worker))
+
+    def worker_ewma_latency_s(self, worker: str) -> Optional[float]:
+        """The worker's EWMA completion latency (``None`` before the
+        first completion or without a quarantine policy)."""
+        with self._lock:
+            health = self._health.get(worker)
+            return None if health is None else health.ewma_latency_s
+
     # ------------------------------------------------------------- routing
     def acquire(self, model: str, force: bool = False,
-                record_shed: bool = True) -> Optional[str]:
+                record_shed: bool = True,
+                exclude: Optional[Sequence[str]] = None) -> Optional[str]:
         """Reserve a dispatch slot; returns the worker id or ``None`` (shed).
 
         The caller owns the returned slot and must pair it with
@@ -307,13 +517,19 @@ class LeastOutstandingRouter:
         ``record_shed=False`` keeps a ``None`` return out of the shed
         counter — a backpressured caller polling for a free slot is
         *waiting*, not shedding, and must not inflate the statistic.
+        ``exclude`` removes specific workers from consideration — a hedged
+        or retried dispatch must land somewhere *other* than the workers
+        already holding the request's slots.
         """
+        excluded = frozenset(exclude) if exclude else frozenset()
         with self._lock:
             eligible = (self._candidates(model) if force
                         else self._eligible(model))
             best: Optional[str] = None
             best_key = None
             for worker in eligible:
+                if worker in excluded:
+                    continue
                 count = self._outstanding[worker]
                 if count >= self.max_outstanding and not force:
                     continue
@@ -381,4 +597,6 @@ class LeastOutstandingRouter:
                 completed=self._completed,
                 shed=self._shed,
                 workers=len(self._outstanding),
+                quarantined=sum(1 for worker in self._outstanding
+                                if self._is_quarantined(worker)),
             )

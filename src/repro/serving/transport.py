@@ -1026,12 +1026,21 @@ def _serve_session(channel: Channel, welcome, attachments_by_digest: Dict,
     log(f"worker {worker_id}: ready ({len(attachments)} model(s))")
 
     hb_stop = threading.Event()
+    #: Fault injection: heartbeats are suppressed until this monotonic
+    #: stamp (a stalled worker must *look* stalled — a separate heartbeat
+    #: thread cheerfully reporting liveness would defeat the fault).
+    stall_until = [0.0]
 
     def _heartbeat() -> None:
         interval = max(0.01, config.heartbeat_interval_s)
+        # Monotonic stamp: a wall-clock step on this host (NTP, DST) must
+        # not distort heartbeat pacing or let the router's staleness check
+        # mass-declare workers dead.
         while not hb_stop.wait(interval):
+            if time.monotonic() < stall_until[0]:
+                continue
             try:
-                channel.send(("hb", worker_id, time.time()))
+                channel.send(("hb", worker_id, time.monotonic()))
             except TransportClosed:
                 return
 
@@ -1092,6 +1101,13 @@ def _serve_session(channel: Channel, welcome, attachments_by_digest: Dict,
             elif kind == "report":
                 _send_response(("reports", worker_id, message[1],
                                 service.reports()))
+            elif kind == "stall":
+                # Fault injection: wedge this worker — serve loop blocked,
+                # heartbeats suppressed — for the requested window.  From
+                # the router it is indistinguishable from a GC pause or a
+                # page-in storm.
+                stall_until[0] = time.monotonic() + float(message[1])
+                time.sleep(float(message[1]))
             elif kind == "stop":
                 outcome = "stop"
                 break

@@ -25,6 +25,7 @@ from repro.serving import (
     ClusterService,
     FakeClock,
     LeastOutstandingRouter,
+    QuarantinePolicy,
     pin_counts_from_shares,
     rendezvous_score,
     run_spike_load,
@@ -102,13 +103,21 @@ class TestRouterAccounting:
     @given(st.lists(
         st.tuples(
             st.sampled_from(["add", "acquire", "force", "release",
-                             "stale", "remove"]),
+                             "stale", "remove",
+                             "fail", "latency", "hb"]),
             st.integers(min_value=0, max_value=3),
         ),
         max_size=80,
     ))
     def test_accounting_invariant_over_random_churn(self, ops):
-        router = LeastOutstandingRouter(max_outstanding=2)
+        # The quarantine policy is deliberately hair-triggered so health
+        # events actually flip workers in and out of quarantine during
+        # churn — slot accounting must be untouched by any of it.
+        router = LeastOutstandingRouter(
+            max_outstanding=2,
+            quarantine=QuarantinePolicy(min_samples=2, latency_factor=1.5,
+                                        max_consecutive_failures=2,
+                                        probation_heartbeats=1))
         held = []  # (worker, generation) per successful unreleased acquire
         for op, i in ops:
             worker_id = f"w{i}"
@@ -130,12 +139,25 @@ class TestRouterAccounting:
                 assert router.release(worker_id, generation=-1) is False
             elif op == "remove":
                 router.remove_worker(worker_id)
+            elif op == "fail":
+                router.record_failure(worker_id)
+            elif op == "latency":
+                # i spreads the latencies so some workers degrade past
+                # the fleet median and get quarantined.
+                router.record_completion(worker_id, 0.01 * (1 + 10 * i))
+            elif op == "hb":
+                router.record_clean_heartbeat(worker_id)
             stats = router.stats()
             live = sum(1 for worker, generation in held
                        if router.generation(worker) == generation)
             assert stats.outstanding == live
             assert stats.dispatched == stats.completed + stats.outstanding
             assert all(router.outstanding(w) >= 0 for w in router.workers())
+            # Health bookkeeping never leaks beyond the registered fleet
+            # and never empties a model's candidate set.
+            assert set(router.quarantined_workers()) <= set(router.workers())
+            if router.workers():
+                assert router.eligible_workers("M")
 
 
 # --------------------------------------------------------------------------

@@ -36,6 +36,24 @@ KEY_GROUPS = (
 #: ``repro.core.backends.BACKEND_CHOICES`` without importing the package.
 BACKEND_VALUES = frozenset({"auto", "numpy", "cffi", "numba"})
 
+#: Extra required keys for specific ``op`` values.  ``chaos`` records
+#: (BENCH_chaos.json) must carry the full request accounting — the file's
+#: claim is "no request was lost under fault injection", which is only
+#: checkable when every bucket is recorded — plus the correctness verdict.
+OP_REQUIRED_KEYS = {
+    "chaos": ("scenario", "seed", "offered", "completed", "shed",
+              "deadline_expired", "failed", "retries", "hedges",
+              "quarantined", "respawns", "faults_fired", "bit_identical"),
+}
+
+#: Fault scenarios a chaos record may name: the fault classes of
+#: ``repro.serving.faults`` plus the fault-free control and the combined
+#: run — kept in lockstep without importing the package.
+CHAOS_SCENARIOS = frozenset({
+    "baseline", "delay", "drop", "duplicate", "stall", "crash",
+    "partition", "slow_start", "mixed",
+})
+
 
 def check_file(path: str) -> list:
     """Return a list of problem strings for one BENCH file."""
@@ -64,6 +82,36 @@ def check_file(path: str) -> list:
                 f"{path}: record {index} has unknown backend {backend!r} "
                 f"(expected one of {sorted(BACKEND_VALUES)})"
             )
+        required = OP_REQUIRED_KEYS.get(record.get("op"))
+        if required:
+            missing = [key for key in required if key not in record]
+            if missing:
+                problems.append(
+                    f"{path}: record {index} (op={record['op']!r}) is "
+                    f"missing {'/'.join(missing)}"
+                )
+        if record.get("op") == "chaos":
+            scenario = record.get("scenario")
+            if scenario is not None and scenario not in CHAOS_SCENARIOS:
+                problems.append(
+                    f"{path}: record {index} has unknown chaos scenario "
+                    f"{scenario!r} (expected one of {sorted(CHAOS_SCENARIOS)})"
+                )
+            accounted = sum(record.get(key, 0) or 0 for key in
+                            ("completed", "shed", "deadline_expired",
+                             "failed"))
+            if "offered" in record and accounted != record["offered"]:
+                problems.append(
+                    f"{path}: record {index} loses requests: "
+                    f"completed+shed+deadline_expired+failed = {accounted} "
+                    f"!= offered = {record['offered']}"
+                )
+            if record.get("bit_identical") is not True:
+                problems.append(
+                    f"{path}: record {index} ({scenario}) is not "
+                    "bit_identical — a chaos record must never land with "
+                    "diverged outputs"
+                )
     return problems
 
 
