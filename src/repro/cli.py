@@ -26,7 +26,12 @@ grow on sustained shedding, shrink when idle), ``--pin MODEL=K,...``
 (attach each model only to its rendezvous top-K workers), and
 ``--chaos SEED:PLAN`` (seeded deterministic fault injection — e.g.
 ``7:crash,stall*2,delay`` — against a cluster with retries, hedging and
-slow-worker quarantine; see ``docs/deployment.md``).
+slow-worker quarantine; see ``docs/deployment.md``).  ``--scenario
+NAME|FILE|SPEC`` replays a seeded multi-tenant workload (bundled name,
+JSON spec file, or inline tenant grammar) with SLO-tiered admission and
+per-class pass summaries, composable with ``--chaos``; ``--slo
+interactive|standard|batch`` tags a plain open-loop stream with one
+class (see ``docs/serving.md``).
 ``cluster-worker`` runs one self-registering worker process — on the
 router's host or any other — that dials the router, fetches model bytes
 it has never seen into the per-host digest cache, and serves until the
@@ -134,6 +139,20 @@ def parse_chaos_argument(text: str):
         raise argparse.ArgumentTypeError(str(exc)) from None
 
 
+def parse_scenario_argument(text: str):
+    """Parse ``--scenario`` into a :class:`ScenarioSpec` (argparse type).
+
+    Accepts a bundled scenario name, a ``.json`` spec file, or an inline
+    tenant spec string; malformed specs surface as usage errors.
+    """
+    from repro.serving.scenarios import resolve_scenario
+
+    try:
+        return resolve_scenario(text)
+    except (ValueError, OSError, TypeError) as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
 #: Kernel-backend specs accepted by ``--backend`` — kept in lockstep with
 #: :data:`repro.core.backends.BACKEND_CHOICES` (asserted by the CLI tests)
 #: without importing the backend registry at parser-build time.
@@ -186,7 +205,8 @@ def _wants_cluster(args) -> bool:
     return (args.workers > 1 or args.transport != "pipe"
             or args.expect_workers > 0
             or getattr(args, "autoscale", None) is not None
-            or getattr(args, "pin", None) is not None)
+            or getattr(args, "pin", None) is not None
+            or getattr(args, "slo", None) is not None)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -280,6 +300,33 @@ def build_parser() -> argparse.ArgumentParser:
                          help="end-to-end per-request deadline: expired work "
                               "is dropped unexecuted and its future fails "
                               "with DeadlineExceededError (chaos mode)")
+    loadgen.add_argument("--scenario", type=parse_scenario_argument,
+                         default=None, metavar="NAME|FILE|SPEC",
+                         help="drive a seeded multi-tenant scenario instead "
+                              "of a single-rate stream: a bundled name "
+                              "(steady_mix, flash_crowd, ...), a .json spec "
+                              "file, or an inline spec "
+                              "('web,slo=interactive,rate=80;jobs,slo=batch"
+                              ",rate=40'); implies cluster mode, composes "
+                              "with --chaos (see docs/serving.md)")
+    loadgen.add_argument("--slo", choices=("interactive", "standard",
+                                           "batch"),
+                         default=None,
+                         help="tag every request with one SLO class for the "
+                              "router's tiered admission (implies cluster "
+                              "mode with non-blocking admission)")
+    loadgen.add_argument("--rate-scale", type=float, default=1.0,
+                         metavar="X",
+                         help="multiply every scenario tenant's arrival "
+                              "rate by X (scenario mode)")
+    loadgen.add_argument("--duration-s", type=float, default=None,
+                         metavar="S",
+                         help="override the scenario's duration (scenario "
+                              "mode)")
+    loadgen.add_argument("--passes", type=int, default=1, metavar="N",
+                         help="run the scenario N times with seeds "
+                              "SEED..SEED+N-1 and aggregate per-class "
+                              "attainment (scenario mode)")
     _add_transport_arguments(loadgen)
     _add_execution_arguments(loadgen)
 
@@ -410,10 +457,40 @@ def _command_chaos(args) -> str:
     return result.table()
 
 
+def _command_scenario(args) -> str:
+    """Seeded multi-tenant scenario run (``loadgen --scenario ...``)."""
+    from repro.serving.scenarios import passes_table, run_scenario_passes
+
+    results, aggregates = run_scenario_passes(
+        args.scenario,
+        passes=max(1, args.passes),
+        seed=args.seed,
+        workers=max(2, args.workers),
+        duration_s=args.duration_s,
+        rate_scale=args.rate_scale,
+        chaos=args.chaos,
+        max_batch_size=args.max_batch_size,
+        max_wait_ms=args.max_wait_ms,
+        cache_capacity=args.cache_capacity,
+        chunk_bytes=args.chunk_hint,
+        worker_threads=args.threads,
+        worker_backend=args.backend or "auto",
+        transport=args.transport,
+        bind=args.bind,
+        expect_workers=args.expect_workers,
+    )
+    pieces = [result.table() for result in results]
+    if len(results) > 1:
+        pieces.append(passes_table(aggregates))
+    return "\n\n".join(pieces)
+
+
 def _command_loadgen(args) -> str:
     from repro.core.engine import PhoneBitEngine
     from repro.serving import InferenceService, run_open_loop, synthetic_images
 
+    if args.scenario is not None:
+        return _command_scenario(args)
     if args.chaos is not None:
         return _command_chaos(args)
     if _wants_cluster(args):
@@ -462,6 +539,27 @@ def _command_loadgen(args) -> str:
             input_shape, args.requests, seed=args.seed,
             unique=args.unique_inputs,
         )
+        if args.slo is not None:
+            from repro.analysis.reporting import format_kv
+            from repro.serving import run_open_loop_shedding
+
+            shed_result = run_open_loop_shedding(
+                service, args.model, images, offered_rps=args.rps,
+                seed=args.seed, slo=args.slo,
+            )
+            return format_kv(
+                [
+                    ("slo class", args.slo),
+                    ("offered", shed_result.offered),
+                    ("completed", shed_result.completed),
+                    ("shed", shed_result.shed),
+                    ("shed %", 100.0 * shed_result.shed_rate),
+                    ("achieved (req/s)", shed_result.achieved_rps),
+                    ("retry-after mean (ms)",
+                     shed_result.retry_after_ms_mean),
+                ],
+                title=f"Open loop ({args.model}, non-blocking admission)",
+            )
         result = run_open_loop(
             service, args.model, images, offered_rps=args.rps, seed=args.seed
         )

@@ -54,10 +54,13 @@ from repro.serving.autoscale import Autoscaler, AutoscaleConfig, AutoscaleSignal
 from repro.serving.faults import FaultInjector, FaultPlan
 from repro.serving.metrics import LatencyTracker
 from repro.serving.router import (
+    SLO_CLASSES,
     LeastOutstandingRouter,
     QuarantinePolicy,
     RouterStats,
+    pin_counts_from_shares,
     rendezvous_score,
+    validate_slo,
 )
 from repro.serving.scheduler import TRIGGERS, SchedulerStats
 from repro.serving.service import ServiceReport
@@ -77,6 +80,8 @@ __all__ = [
     "ClusterService",
     "DeadlineExceededError",
     "RetryPolicy",
+    "SLOPolicy",
+    "DEFAULT_SLO_POLICIES",
     "WorkerCrashError",
     "WorkerConfig",
     "open_loop_sweep",
@@ -183,6 +188,54 @@ class RetryPolicy:
             raise ValueError("max_timeout_s must be >= min_timeout_s")
         if self.min_samples < 1:
             raise ValueError("min_samples must be at least 1")
+
+
+@dataclass(frozen=True)
+class SLOPolicy:
+    """Per-SLO-class serving defaults: latency budget, deadline, retry.
+
+    One row of the cluster's ``slo_policies`` table.  A request submitted
+    with ``slo=<class>`` and no explicit ``timeout`` inherits the class's
+    ``deadline_s``; ``max_attempts`` and ``hedge`` override the cluster's
+    :class:`RetryPolicy` per class (``None`` keeps the policy's value) —
+    an interactive tier typically hedges while the batch tier must not
+    burn duplicate capacity.  ``latency_budget_ms`` is the per-request
+    latency target the scenario harness measures **SLO attainment**
+    against; the admission path itself never reads it.
+    """
+
+    slo: str
+    #: Per-request latency target (attainment accounting, not enforcement).
+    latency_budget_ms: float
+    #: Default end-to-end deadline for the class; ``None`` = no deadline.
+    deadline_s: Optional[float] = None
+    #: Override of ``RetryPolicy.max_attempts`` (``None`` = inherit).
+    max_attempts: Optional[int] = None
+    #: Override of ``RetryPolicy.hedge`` (``None`` = inherit).
+    hedge: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        validate_slo(self.slo)
+        if self.latency_budget_ms <= 0:
+            raise ValueError("latency_budget_ms must be positive")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive or None")
+        if self.max_attempts is not None and self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1 or None")
+
+
+#: Stock per-class policy table: interactive hedges under a tight budget
+#: and deadline, standard rides the cluster-wide retry policy, batch gets
+#: a loose budget, no deadline and never hedges.  Scenario specs override
+#: the budgets per tenant; the table is the fallback.
+DEFAULT_SLO_POLICIES: Mapping[str, SLOPolicy] = {
+    "interactive": SLOPolicy("interactive", latency_budget_ms=250.0,
+                             deadline_s=2.0, hedge=True),
+    "standard": SLOPolicy("standard", latency_budget_ms=1000.0,
+                          deadline_s=10.0),
+    "batch": SLOPolicy("batch", latency_budget_ms=10000.0,
+                       deadline_s=None, hedge=False),
+}
 
 
 @dataclass(frozen=True)
@@ -329,6 +382,9 @@ class _Pending:
     attempts: int = 1
     #: A hedge duplicate is already in flight.
     hedged: bool = False
+    #: SLO class the request was admitted under (``None`` = unclassed,
+    #: treated as ``standard`` by the router's tiered admission).
+    slo: Optional[str] = None
     #: Extra live slot holders beyond ``worker`` — demoted slow assignees
     #: and hedge duplicates, as ``{worker_id: generation}``.  Their slots
     #: are released when their (late) answers arrive or credited when
@@ -571,6 +627,19 @@ class ClusterService:
         partition faults at the seeded times.  The fired schedule is on
         :attr:`fault_events`.  Test/benchmark machinery — never enable in
         production serving.
+    slo_reserves:
+        ``{class: slots}`` enabling SLO-class tiered admission on the
+        router: each class may only fill a worker up to
+        ``max_outstanding - slots``, so under pressure batch sheds before
+        standard before interactive (see
+        :func:`~repro.serving.router.default_slo_reserves`).
+    slo_policies:
+        ``{class: SLOPolicy}`` per-class serving defaults.  A
+        ``submit(slo=...)`` without an explicit ``timeout`` inherits the
+        class's ``deadline_s``, and the class's ``max_attempts`` /
+        ``hedge`` override the cluster :class:`RetryPolicy` for its
+        requests.  ``None`` (default) leaves every class on the shared
+        knobs — existing unclassed traffic is unaffected.
     """
 
     def __init__(
@@ -601,6 +670,8 @@ class ClusterService:
         retry: Optional[RetryPolicy] = None,
         quarantine: Optional[QuarantinePolicy] = None,
         faults: Optional[FaultPlan] = None,
+        slo_reserves: Optional[Mapping[str, int]] = None,
+        slo_policies: Optional[Mapping[str, SLOPolicy]] = None,
     ) -> None:
         socket_mode = (transport in ("uds", "tcp") if isinstance(transport, str)
                        else getattr(transport, "spawns_via_registration", False))
@@ -654,7 +725,17 @@ class ClusterService:
             max_outstanding=max_outstanding or 2 * max_batch_size,
             pin_counts=self._pinning,
             quarantine=quarantine,
+            slo_reserves=slo_reserves,
         )
+        if slo_policies is not None:
+            for name, slo_policy in slo_policies.items():
+                if validate_slo(name) != slo_policy.slo:
+                    raise ValueError(
+                        f"slo_policies[{name!r}] carries class "
+                        f"{slo_policy.slo!r}"
+                    )
+        self.slo_policies = (dict(slo_policies)
+                             if slo_policies is not None else None)
         self.max_respawns = workers if max_respawns is None else max_respawns
         if isinstance(faults, FaultInjector):
             self._faults: Optional[FaultInjector] = faults
@@ -978,7 +1059,8 @@ class ClusterService:
         return traffic
 
     def _admit(self, key: str, image: np.ndarray, block: bool,
-               deadline: Optional[float], count_shed: bool = True) -> tuple:
+               deadline: Optional[float], count_shed: bool = True,
+               slo: Optional[str] = None) -> tuple:
         """Acquire a routing slot and register the pending entry.
 
         Returns ``(rid, worker_id, future)``; the caller is responsible for
@@ -1002,7 +1084,8 @@ class ClusterService:
                 # record_shed=False: a blocked submitter polling for a slot
                 # is waiting, not shedding — only the client-visible raise
                 # below counts as a shed.
-                worker_id = self.router.acquire(key, record_shed=False)
+                worker_id = self.router.acquire(key, record_shed=False,
+                                                slo=slo)
                 if worker_id is not None and worker_id in self._workers:
                     break
                 if worker_id is not None:
@@ -1015,10 +1098,10 @@ class ClusterService:
                     # a client-visible shed.
                     if count_shed:
                         traffic.shed += 1
-                        self.router.record_shed()
+                        self.router.record_shed(slo)
                     raise ClusterOverloadError(
                         self.router.retry_after_s(self.config.max_wait_ms,
-                                                  model=key)
+                                                  model=key, slo=slo)
                     )
                 remaining = None if deadline is None else deadline - time.perf_counter()
                 if remaining is not None and remaining <= 0:
@@ -1044,7 +1127,7 @@ class ClusterService:
             self._pending[rid] = _Pending(
                 future=future, model=key, image=image, worker=worker_id,
                 submitted_at=now, deadline=deadline, dispatched_at=now,
-                generation=self._workers[worker_id].generation,
+                generation=self._workers[worker_id].generation, slo=slo,
             )
             return rid, worker_id, future
 
@@ -1107,7 +1190,8 @@ class ClusterService:
                     self._redispatch(rid)
 
     def submit(self, model: str, image: np.ndarray, block: bool = True,
-               timeout: Optional[float] = None) -> Future:
+               timeout: Optional[float] = None,
+               slo: Optional[str] = None) -> Future:
         """Route one request to a worker; resolves to the output row.
 
         With ``block=True`` (default — what the closed-loop load generators
@@ -1121,15 +1205,29 @@ class ClusterService:
         admission the returned future fails with the same error and the
         request's slots are released — expired work queued behind a slow
         worker is dropped at dispatch time, never executed.
+
+        ``slo`` names the request's class (:data:`~repro.serving.router
+        .SLO_CLASSES`): with ``slo_reserves`` configured the router admits
+        it through its class's tiered bound (batch sheds first), and with
+        ``slo_policies`` configured a ``timeout=None`` request inherits
+        the class's default ``deadline_s``.
         """
         key = self.canonical_name(model)
         image = np.asarray(image)
+        if slo is not None:
+            slo = validate_slo(slo)
+            if timeout is None and self.slo_policies is not None:
+                slo_policy = self.slo_policies.get(slo)
+                if slo_policy is not None:
+                    timeout = slo_policy.deadline_s
         deadline = None if timeout is None else time.perf_counter() + timeout
-        rid, worker_id, future = self._admit(key, image, block, deadline)
+        rid, worker_id, future = self._admit(key, image, block, deadline,
+                                             slo=slo)
         self._dispatch(key, [(rid, worker_id, image)])
         return future
 
-    def submit_batch(self, model: str, images: np.ndarray) -> List[Future]:
+    def submit_batch(self, model: str, images: np.ndarray,
+                     slo: Optional[str] = None) -> List[Future]:
         """Enqueue one request per leading row of ``images`` (blocking).
 
         Admissions are coalesced: all of a run's requests routed to one
@@ -1142,12 +1240,14 @@ class ClusterService:
         backpressure, mirroring the single-process semantics.
         """
         key = self.canonical_name(model)
+        slo = None if slo is None else validate_slo(slo)
         futures: List[Future] = []
         assignments: List[tuple] = []
         for image in np.asarray(images):
             try:
                 rid, worker_id, future = self._admit(
-                    key, image, block=False, deadline=None, count_shed=False
+                    key, image, block=False, deadline=None, count_shed=False,
+                    slo=slo
                 )
             except ClusterOverloadError:
                 # Saturated: dispatch what we hold, then wait empty-handed.
@@ -1155,7 +1255,7 @@ class ClusterService:
                     self._dispatch(key, assignments)
                     assignments = []
                 rid, worker_id, future = self._admit(
-                    key, image, block=True, deadline=None
+                    key, image, block=True, deadline=None, slo=slo
                 )
             futures.append(future)
             assignments.append((rid, worker_id, image))
@@ -1393,6 +1493,19 @@ class ClusterService:
                     continue
                 if policy is None:
                     continue
+                # Per-class overrides: an SLOPolicy row may cap the
+                # request's attempts or veto hedging for its class.
+                slo_policy = (self.slo_policies.get(entry.slo)
+                              if self.slo_policies is not None
+                              and entry.slo is not None else None)
+                max_attempts = (policy.max_attempts
+                                if slo_policy is None
+                                or slo_policy.max_attempts is None
+                                else slo_policy.max_attempts)
+                hedge_enabled = (policy.hedge
+                                 if slo_policy is None
+                                 or slo_policy.hedge is None
+                                 else slo_policy.hedge)
                 count, p99_s = model_p99(entry.model)
                 if count >= policy.min_samples and p99_s > 0.0:
                     candidate = policy.timeout_factor * p99_s
@@ -1409,7 +1522,7 @@ class ClusterService:
                 patience = (
                     base * policy.backoff_factor ** (entry.attempts - 1)
                 )
-                if waited >= patience and entry.attempts >= policy.max_attempts:
+                if waited >= patience and entry.attempts >= max_attempts:
                     # Retry budget exhausted and the final attempt has
                     # outlived its patience too: fail terminally rather
                     # than hang.  Slots are released exactly as on
@@ -1447,18 +1560,20 @@ class ClusterService:
                     self._retries += 1
                     sends.append((worker.endpoint,
                                   ("reqs", [(rid, entry.model, entry.image)])))
-                elif (policy.hedge and not entry.hedged
+                elif (hedge_enabled and not entry.hedged
                       and count >= policy.min_samples and p99_s > 0.0
                       and waited >= max(policy.min_timeout_s,
                                         min(policy.max_timeout_s,
                                             policy.hedge_factor * p99_s))):
                     # Hedge: dispatch a duplicate *within* the admission
                     # bound (no force — a saturated fleet sheds hedges
-                    # first); first response wins, bit-identical outputs
+                    # first, and a hedge rides its request's own class
+                    # tier); first response wins, bit-identical outputs
                     # make the winner unobservable.
                     exclude = [entry.worker, *entry.holders]
                     worker_id = self.router.acquire(
-                        entry.model, record_shed=False, exclude=exclude)
+                        entry.model, record_shed=False, exclude=exclude,
+                        slo=entry.slo)
                     if worker_id is None or worker_id not in self._workers:
                         if worker_id is not None:
                             self.router.release(worker_id)
@@ -1790,6 +1905,46 @@ class ClusterService:
                 continue  # dying link: its death handler re-pins again
             for model in models:
                 self.router.add_worker_model(worker.worker_id, model)
+
+    def measured_model_shares(self) -> Dict[str, float]:
+        """Observed request count per model since startup.
+
+        This is the live traffic-share signal
+        :func:`~repro.serving.router.pin_counts_from_shares` wants:
+        actual submissions (admitted requests), not configured guesses.
+        """
+        with self._lock:
+            return {model: float(traffic.requests)
+                    for model, traffic in self._traffic.items()
+                    if traffic.requests > 0}
+
+    def rebalance_pinning(self, min_workers: int = 1
+                          ) -> Optional[Dict[str, int]]:
+        """Re-derive pin widths from **measured** traffic shares.
+
+        Feeds :meth:`measured_model_shares` into
+        :func:`~repro.serving.router.pin_counts_from_shares` over the
+        current live fleet size, updates the router's pin table for the
+        models that saw traffic, and converges worker attachments onto
+        the new layout.  Returns the applied ``{model: K}`` (``None``
+        when pinning is disabled or no traffic has been observed yet) —
+        a no-op on unpinned clusters, where every worker already serves
+        everything.
+        """
+        shares = self.measured_model_shares()
+        with self._lock:
+            if self._pinning is None or not shares:
+                return None
+            fleet = sum(1 for w in self._workers.values() if not w.stopping)
+            if fleet < 1:
+                return None
+            counts = pin_counts_from_shares(shares, workers=fleet,
+                                            min_workers=min_workers)
+            self._pinning.update(counts)
+            applied = dict(self._pinning)
+        self.router.set_pin_counts(applied)
+        self._refresh_pinning()
+        return applied
 
     def scale_up(self, count: int = 1) -> int:
         """Spawn up to ``count`` additional workers; returns how many.

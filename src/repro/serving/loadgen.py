@@ -37,6 +37,9 @@ __all__ = [
     "ShedLoadResult",
     "SpikeLoadResult",
     "SpikePhase",
+    "phased_poisson_offsets",
+    "poisson_offsets",
+    "run_arrival_schedule",
     "run_chaos_scenario",
     "run_closed_loop",
     "run_open_loop",
@@ -49,6 +52,74 @@ __all__ = [
     "throughput_sweep",
     "write_sweep_records",
 ]
+
+
+# ---------------------------------------------------------------------------
+# arrival schedules — the one schedule-driven core every open-loop load
+# shape rides on.  A schedule is a pure function of its rng (never of the
+# wall clock), so the same seed always yields a byte-identical arrival
+# sequence; the pacing driver then walks the wall clock through it.
+# ---------------------------------------------------------------------------
+
+def poisson_offsets(rng: np.random.Generator, offered_rps: float,
+                    count: int) -> np.ndarray:
+    """Cumulative Poisson arrival offsets (seconds from the run start).
+
+    One vectorized ``exponential`` draw of ``count`` gaps — the exact
+    draw the flat open-loop generators have always made, so existing
+    seeded schedules stay byte-identical (pinned by
+    ``tests/test_scenarios.py``).
+    """
+    if offered_rps <= 0:
+        raise ValueError("offered_rps must be positive")
+    return np.cumsum(rng.exponential(1.0 / offered_rps, size=count))
+
+
+def phased_poisson_offsets(rng: np.random.Generator,
+                           phases: Sequence[tuple]) -> tuple:
+    """Piecewise-constant-rate Poisson schedule for ``(name, rps, dur)``
+    phases: ``(offsets, phase_index)`` arrays.
+
+    Gaps are drawn one at a time — draw-for-draw identical to the
+    historical spike loop, including the final draw of each phase that
+    lands past the phase end and is discarded — so seeded spike
+    schedules are byte-identical to the pre-refactor ones.
+    """
+    offsets: List[float] = []
+    phase_index: List[int] = []
+    position = 0.0
+    for number, (_, offered_rps, duration_s) in enumerate(phases):
+        if offered_rps <= 0:
+            raise ValueError("offered_rps must be positive in every phase")
+        phase_end = position + float(duration_s)
+        while True:
+            position += rng.exponential(1.0 / offered_rps)
+            if position >= phase_end:
+                position = phase_end
+                break
+            offsets.append(position)
+            phase_index.append(number)
+    return (np.asarray(offsets, dtype=np.float64),
+            np.asarray(phase_index, dtype=np.int64))
+
+
+def run_arrival_schedule(offsets: Sequence[float], arrive,
+                         t0: Optional[float] = None) -> float:
+    """Pace the wall clock through a precomputed arrival schedule.
+
+    Sleeps until ``t0 + offsets[i]`` then calls ``arrive(i)`` for each
+    arrival, never stalling the clock on slow submissions — the open-loop
+    contract.  Returns ``t0`` so callers measure wall time and drain
+    budgets from the same origin the schedule used.
+    """
+    if t0 is None:
+        t0 = time.perf_counter()
+    for index in range(len(offsets)):
+        delay = t0 + float(offsets[index]) - time.perf_counter()
+        if delay > 0:
+            time.sleep(delay)
+        arrive(index)
+    return t0
 
 
 def sweep_table(records: Sequence[dict], title: Optional[str] = None) -> str:
@@ -156,19 +227,14 @@ def run_open_loop(
     seed: int = 0,
 ) -> LoadgenResult:
     """Submit requests on a Poisson arrival process at ``offered_rps``."""
-    if offered_rps <= 0:
-        raise ValueError("offered_rps must be positive")
     rng = np.random.default_rng(seed)
-    gaps = rng.exponential(1.0 / offered_rps, size=len(images))
-    t0 = time.perf_counter()
-    deadline = t0
-    futures = []
-    for image, gap in zip(images, gaps):
-        deadline += gap
-        delay = deadline - time.perf_counter()
-        if delay > 0:
-            time.sleep(delay)
-        futures.append(service.submit(model, image))
+    offsets = poisson_offsets(rng, offered_rps, len(images))
+    futures: List = []
+
+    def arrive(index: int) -> None:
+        futures.append(service.submit(model, images[index]))
+
+    t0 = run_arrival_schedule(offsets, arrive)
     outputs = np.stack([future.result() for future in futures])
     wall_s = time.perf_counter() - t0
     return LoadgenResult(
@@ -216,6 +282,7 @@ def run_open_loop_shedding(
     images: np.ndarray,
     offered_rps: float,
     seed: int = 0,
+    slo: Optional[str] = None,
 ) -> ShedLoadResult:
     """Open-loop Poisson arrivals with *non-blocking* admission.
 
@@ -226,29 +293,28 @@ def run_open_loop_shedding(
     (:class:`~repro.serving.cluster.ClusterOverloadError`) is *counted* —
     along with the router's suggested retry-after — and the arrival clock
     never stalls.  Cluster-only: the single-process service has no
-    non-blocking admission surface.
+    non-blocking admission surface.  ``slo`` tags every arrival with one
+    SLO class for the router's tiered admission.
     """
     from repro.serving.cluster import ClusterOverloadError
 
-    if offered_rps <= 0:
-        raise ValueError("offered_rps must be positive")
     rng = np.random.default_rng(seed)
-    gaps = rng.exponential(1.0 / offered_rps, size=len(images))
+    offsets = poisson_offsets(rng, offered_rps, len(images))
+    submit_kwargs = {} if slo is None else {"slo": slo}
     futures = {}
     shed = 0
     retry_after_sum = 0.0
-    t0 = time.perf_counter()
-    deadline = t0
-    for index, (image, gap) in enumerate(zip(images, gaps)):
-        deadline += gap
-        delay = deadline - time.perf_counter()
-        if delay > 0:
-            time.sleep(delay)
+
+    def arrive(index: int) -> None:
+        nonlocal shed, retry_after_sum
         try:
-            futures[index] = cluster.submit(model, image, block=False)
+            futures[index] = cluster.submit(model, images[index],
+                                            block=False, **submit_kwargs)
         except ClusterOverloadError as exc:
             shed += 1
             retry_after_sum += exc.retry_after_s
+
+    t0 = run_arrival_schedule(offsets, arrive)
     outputs = {index: future.result() for index, future in futures.items()}
     wall_s = time.perf_counter() - t0
     try:
@@ -350,38 +416,31 @@ def run_spike_load(
     from repro.serving.cluster import ClusterOverloadError
 
     rng = np.random.default_rng(seed)
+    offsets, phase_index = phased_poisson_offsets(rng, phases)
     futures: dict = {}
-    phase_stats = []
-    arrival = 0
-    t0 = time.perf_counter()
-    deadline = t0
-    for name, offered_rps, duration_s in phases:
-        if offered_rps <= 0:
-            raise ValueError("offered_rps must be positive in every phase")
-        phase_end = deadline + float(duration_s)
-        offered = 0
-        shed = 0
-        while True:
-            deadline += rng.exponential(1.0 / offered_rps)
-            if deadline >= phase_end:
-                deadline = phase_end
-                break
-            delay = deadline - time.perf_counter()
-            if delay > 0:
-                time.sleep(delay)
-            index = arrival % len(images)
-            offered += 1
-            try:
-                futures[arrival] = (index,
-                                    cluster.submit(model, images[index],
-                                                   block=False))
-            except ClusterOverloadError:
-                shed += 1
-            arrival += 1
-        phase_stats.append(SpikePhase(
+    offered_counts = [0] * len(phases)
+    shed_counts = [0] * len(phases)
+
+    def arrive(arrival: int) -> None:
+        number = int(phase_index[arrival])
+        index = arrival % len(images)
+        offered_counts[number] += 1
+        try:
+            futures[arrival] = (index,
+                                cluster.submit(model, images[index],
+                                               block=False))
+        except ClusterOverloadError:
+            shed_counts[number] += 1
+
+    t0 = run_arrival_schedule(offsets, arrive)
+    phase_stats = [
+        SpikePhase(
             name=name, offered_rps=float(offered_rps),
-            duration_s=float(duration_s), offered=offered, shed=shed,
-        ))
+            duration_s=float(duration_s), offered=offered_counts[number],
+            shed=shed_counts[number],
+        )
+        for number, (name, offered_rps, duration_s) in enumerate(phases)
+    ]
     outputs = {}
     for index, future in futures.values():
         outputs[index] = future.result()
@@ -526,20 +585,15 @@ def run_chaos_scenario(
         **cluster_kwargs,
     )
     rng = np.random.default_rng(seed)
-    gaps = rng.exponential(1.0 / offered_rps, size=requests)
+    offsets = poisson_offsets(rng, offered_rps, requests)
     futures: dict = {}
     shed = 0
     deadline_expired = 0
     failed = 0
     outputs: dict = {}
     try:
-        t0 = time.perf_counter()
-        arrive_at = t0
-        for index in range(requests):
-            arrive_at += gaps[index]
-            delay = arrive_at - time.perf_counter()
-            if delay > 0:
-                time.sleep(delay)
+        def arrive(index: int) -> None:
+            nonlocal shed, deadline_expired
             try:
                 futures[index] = cluster.submit(
                     model, images[index], block=False, timeout=deadline_s)
@@ -547,6 +601,8 @@ def run_chaos_scenario(
                 shed += 1
             except DeadlineExceededError:
                 deadline_expired += 1
+
+        t0 = run_arrival_schedule(offsets, arrive)
         for index, future in futures.items():
             budget = drain_timeout_s - (time.perf_counter() - t0)
             try:

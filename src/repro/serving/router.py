@@ -36,6 +36,18 @@ retry-after so clients can back off (the cluster surfaces this as
 is computed over the **model's eligible worker set** — a model pinned to
 2 of 16 workers drains through 2 workers, not 16.
 
+Admission is **SLO-class tiered** when ``slo_reserves`` is configured:
+each request carries a class from :data:`SLO_CLASSES`
+(``interactive`` > ``standard`` > ``batch``) and each class may only fill
+a worker up to ``max_outstanding - reserve(class)`` slots.  Reserves are
+monotone down-tier (interactive ≤ standard ≤ batch), so under pressure
+the batch tier sheds first, then standard, and interactive last — lower
+tiers can never occupy the slots reserved above them.
+:func:`default_slo_reserves` derives a reserve table from a single
+*interactive floor* knob.  :meth:`retry_after_s` scales the suggested
+back-off by each class's share of the window: a batch client at half the
+window is told to wait twice as long as an interactive one.
+
 Slot accounting is exact: :meth:`release` returns a slot only when the
 worker actually holds one, and every registration gets a fresh
 **generation** (:meth:`add_worker` returns it) so a release scoped to a
@@ -86,12 +98,73 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Set
 
 __all__ = [
+    "SLO_CLASSES",
+    "SLO_TIERS",
     "LeastOutstandingRouter",
     "QuarantinePolicy",
     "RouterStats",
+    "default_slo_reserves",
     "pin_counts_from_shares",
     "rendezvous_score",
+    "validate_slo",
 ]
+
+#: SLO classes, highest priority first.  Tiered admission sheds the last
+#: class first and protects the first class longest.
+SLO_CLASSES = ("interactive", "standard", "batch")
+
+#: Class name → tier index (0 = highest priority).
+SLO_TIERS = {name: tier for tier, name in enumerate(SLO_CLASSES)}
+
+#: Class a request belongs to when no ``slo`` is given.
+SLO_DEFAULT = "standard"
+
+
+def validate_slo(slo: Optional[str]) -> str:
+    """Return the effective SLO class name; raise on an unknown one."""
+    if slo is None:
+        return SLO_DEFAULT
+    if slo not in SLO_TIERS:
+        raise ValueError(
+            f"unknown SLO class {slo!r}; expected one of {SLO_CLASSES}"
+        )
+    return slo
+
+
+def default_slo_reserves(max_outstanding: int,
+                         interactive_floor: Optional[int] = None
+                         ) -> Dict[str, int]:
+    """Reserve table from a single *interactive floor* knob.
+
+    ``interactive_floor`` slots per worker are reserved for the
+    interactive tier alone (default: a quarter of the window, at least
+    one).  The batch tier is additionally confined to half of whatever
+    remains, so it sheds strictly before standard does.
+
+    Examples
+    --------
+    >>> default_slo_reserves(8)
+    {'interactive': 0, 'standard': 2, 'batch': 5}
+    >>> default_slo_reserves(16, interactive_floor=4)
+    {'interactive': 0, 'standard': 4, 'batch': 10}
+    """
+    if max_outstanding < 1:
+        raise ValueError("max_outstanding must be at least 1")
+    if interactive_floor is None:
+        interactive_floor = max(1, max_outstanding // 4) \
+            if max_outstanding > 1 else 0
+    floor = int(interactive_floor)
+    if not 0 <= floor < max_outstanding:
+        raise ValueError(
+            "interactive_floor must be in [0, max_outstanding)"
+        )
+    remaining = max_outstanding - floor
+    batch_extra = remaining - max(1, remaining // 2)
+    return {
+        "interactive": 0,
+        "standard": floor,
+        "batch": min(max_outstanding - 1, floor + batch_extra),
+    }
 
 
 def rendezvous_score(model: str, worker: str) -> int:
@@ -240,16 +313,24 @@ class LeastOutstandingRouter:
         Optional :class:`QuarantinePolicy` enabling health-driven worker
         ejection.  Without it the feedback methods
         (:meth:`record_completion` etc.) are cheap no-ops.
+    slo_reserves:
+        Optional ``{class: slots}`` mapping enabling SLO-class tiered
+        admission: each class may only fill a worker up to
+        ``max_outstanding - slots``.  See :meth:`set_slo_reserves`.
+        Without it every class shares the one ``max_outstanding`` bound.
     """
 
     def __init__(self, max_outstanding: int = 64,
                  pin_counts: Optional[Mapping[str, int]] = None,
-                 quarantine: Optional[QuarantinePolicy] = None) -> None:
+                 quarantine: Optional[QuarantinePolicy] = None,
+                 slo_reserves: Optional[Mapping[str, int]] = None) -> None:
         if max_outstanding < 1:
             raise ValueError("max_outstanding must be at least 1")
         self.max_outstanding = int(max_outstanding)
         self.quarantine_policy = quarantine
         self._lock = threading.Lock()
+        self._slo_reserves: Dict[str, int] = {}
+        self._shed_by_class: Dict[str, int] = {name: 0 for name in SLO_CLASSES}
         self._outstanding: Dict[str, int] = {}
         #: Declared servable models per worker; ``None`` = serves any model.
         self._models: Dict[str, Optional[Set[str]]] = {}
@@ -264,6 +345,65 @@ class LeastOutstandingRouter:
         self._shed = 0
         if pin_counts:
             self.set_pin_counts(pin_counts)
+        if slo_reserves:
+            self.set_slo_reserves(slo_reserves)
+
+    # ------------------------------------------------------------- SLO tiers
+    def set_slo_reserves(self,
+                         reserves: Optional[Mapping[str, int]]) -> None:
+        """Set (or clear, with ``None``) the per-class slot reserves.
+
+        ``{class: slots}`` withholds ``slots`` of every worker's
+        ``max_outstanding`` window from that class, leaving them for
+        higher tiers.  Reserves must be monotone down-tier (interactive ≤
+        standard ≤ batch) — that monotonicity *is* the shed-order
+        contract: whenever a class sheds, every class below it already
+        sheds too.  Every class must keep at least one usable slot.
+        """
+        with self._lock:
+            if reserves is None:
+                self._slo_reserves = {}
+                return
+            table: Dict[str, int] = {}
+            for name, slots in reserves.items():
+                validate_slo(name)
+                slots = int(slots)
+                if not 0 <= slots < self.max_outstanding:
+                    raise ValueError(
+                        f"reserve for {name!r} must be in "
+                        f"[0, {self.max_outstanding})"
+                    )
+                table[name] = slots
+            ordered = [table.get(name, 0) for name in SLO_CLASSES]
+            if any(low > high for low, high in zip(ordered, ordered[1:])):
+                raise ValueError(
+                    "slo_reserves must be monotone down-tier "
+                    f"(interactive <= standard <= batch), got {table!r}"
+                )
+            self._slo_reserves = table
+
+    def slo_reserves(self) -> Dict[str, int]:
+        """Snapshot of the configured ``{class: reserved slots}`` table."""
+        with self._lock:
+            return dict(self._slo_reserves)
+
+    def _slo_bound(self, slo: Optional[str]) -> int:
+        """Per-worker admission bound for ``slo`` (lock held by caller)."""
+        if not self._slo_reserves:
+            return self.max_outstanding
+        reserve = self._slo_reserves.get(validate_slo(slo), 0)
+        return self.max_outstanding - reserve
+
+    def slo_bounds(self) -> Dict[str, int]:
+        """Effective per-worker admission bound per SLO class."""
+        with self._lock:
+            return {name: self._slo_bound(name) for name in SLO_CLASSES}
+
+    def shed_by_class(self) -> Dict[str, int]:
+        """Recorded sheds per SLO class (unclassed sheds count as
+        ``standard``)."""
+        with self._lock:
+            return dict(self._shed_by_class)
 
     # ------------------------------------------------------------- pinning
     def set_pin_counts(self, pin_counts: Optional[Mapping[str, int]]) -> None:
@@ -504,7 +644,8 @@ class LeastOutstandingRouter:
     # ------------------------------------------------------------- routing
     def acquire(self, model: str, force: bool = False,
                 record_shed: bool = True,
-                exclude: Optional[Sequence[str]] = None) -> Optional[str]:
+                exclude: Optional[Sequence[str]] = None,
+                slo: Optional[str] = None) -> Optional[str]:
         """Reserve a dispatch slot; returns the worker id or ``None`` (shed).
 
         The caller owns the returned slot and must pair it with
@@ -519,10 +660,15 @@ class LeastOutstandingRouter:
         *waiting*, not shedding, and must not inflate the statistic.
         ``exclude`` removes specific workers from consideration — a hedged
         or retried dispatch must land somewhere *other* than the workers
-        already holding the request's slots.
+        already holding the request's slots.  ``slo`` names the request's
+        class: with :meth:`set_slo_reserves` configured, the class's
+        tiered bound replaces ``max_outstanding`` for non-forced acquires,
+        so lower tiers shed first and never touch the reserved headroom.
         """
         excluded = frozenset(exclude) if exclude else frozenset()
+        slo = validate_slo(slo)
         with self._lock:
+            bound = self._slo_bound(slo)
             eligible = (self._candidates(model) if force
                         else self._eligible(model))
             best: Optional[str] = None
@@ -531,7 +677,7 @@ class LeastOutstandingRouter:
                 if worker in excluded:
                     continue
                 count = self._outstanding[worker]
-                if count >= self.max_outstanding and not force:
+                if count >= bound and not force:
                     continue
                 key = (count, -rendezvous_score(model, worker))
                 if best_key is None or key < best_key:
@@ -539,15 +685,17 @@ class LeastOutstandingRouter:
             if best is None:
                 if record_shed:
                     self._shed += 1
+                    self._shed_by_class[slo] += 1
                 return None
             self._outstanding[best] += 1
             self._dispatched += 1
             return best
 
-    def record_shed(self) -> None:
+    def record_shed(self, slo: Optional[str] = None) -> None:
         """Count one client-visible shed (used with ``record_shed=False``)."""
         with self._lock:
             self._shed += 1
+            self._shed_by_class[validate_slo(slo)] += 1
 
     def release(self, worker: str, generation: Optional[int] = None) -> bool:
         """Return one slot on ``worker``; ``True`` iff a held slot came back.
@@ -572,7 +720,8 @@ class LeastOutstandingRouter:
             return True
 
     def retry_after_s(self, batch_wall_ms: float = 2.0,
-                      model: Optional[str] = None) -> float:
+                      model: Optional[str] = None,
+                      slo: Optional[str] = None) -> float:
         """Suggested client back-off when shedding.
 
         A saturated cluster drains roughly one batch per eligible worker
@@ -580,14 +729,19 @@ class LeastOutstandingRouter:
         retry.  With ``model`` given the horizon is computed over the
         model's **eligible** worker set — a model pinned to 2 of 16
         workers drains 8× slower than the fleet-wide figure would claim.
+        With ``slo`` given the horizon additionally scales by the class's
+        share of the window: a batch request admitted through half the
+        slots must wait through twice the drain an interactive one would.
         """
+        slo = validate_slo(slo)
         with self._lock:
             if model is None:
                 workers = max(1, len(self._outstanding))
             else:
                 workers = max(1, len(self._eligible(model)))
+            tier_factor = self.max_outstanding / max(1, self._slo_bound(slo))
         return max(0.001, (batch_wall_ms / 1000.0) * self.max_outstanding
-                   / (2.0 * workers))
+                   * tier_factor / (2.0 * workers))
 
     # ------------------------------------------------------------- stats
     def stats(self) -> RouterStats:

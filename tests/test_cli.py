@@ -90,3 +90,55 @@ class TestServingCli:
         out = capsys.readouterr().out
         line = next(l for l in out.splitlines() if "cache hit rate" in l)
         assert line.rstrip().endswith("0.0%")
+
+
+class TestScenarioCli:
+    def test_scenario_run_prints_per_class_summary(self, capsys):
+        assert cli.main([
+            "loadgen", "--scenario",
+            "web,slo=interactive,rate=50;jobs,slo=batch,rate=30",
+            "--duration-s", "0.8", "--workers", "2", "--seed", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Per-class summary" in out
+        assert "interactive" in out and "batch" in out
+        assert "schedule digest" in out
+        assert "bit identical     True" in out
+
+    def test_scenario_accepts_bundled_names(self):
+        args = cli.build_parser().parse_args(
+            ["loadgen", "--scenario", "flash_crowd"])
+        assert args.scenario.name == "flash_crowd"
+        assert {t.slo for t in args.scenario.tenants} >= {"interactive",
+                                                          "batch"}
+
+    def test_malformed_scenario_spec_is_a_usage_error(self, capsys):
+        for bad in ("no_such_scenario", "t,curve=warp", "t,slo=gold",
+                    "slo=interactive"):
+            with pytest.raises(SystemExit) as excinfo:
+                cli.build_parser().parse_args(["loadgen", "--scenario", bad])
+            assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown arrival curve" in err
+        assert "unknown SLO class" in err
+
+    def test_malformed_chaos_spec_is_a_usage_error(self, capsys):
+        for bad in ("x:crash", "7:warp", "7:crash*0", "7:"):
+            with pytest.raises(SystemExit) as excinfo:
+                cli.build_parser().parse_args(["loadgen", "--chaos", bad])
+            assert excinfo.value.code == 2
+        assert "unknown fault class" in capsys.readouterr().err
+
+    def test_slo_flag_routes_through_shedding_admission(self, capsys):
+        assert cli.main([
+            "loadgen", "--slo", "batch", "--rps", "400", "--requests", "10",
+            "--workers", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "non-blocking admission" in out
+        assert "slo class" in out and "batch" in out
+
+    def test_unknown_slo_class_rejected(self):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.build_parser().parse_args(["loadgen", "--slo", "gold"])
+        assert excinfo.value.code == 2

@@ -44,6 +44,9 @@ OP_REQUIRED_KEYS = {
     "chaos": ("scenario", "seed", "offered", "completed", "shed",
               "deadline_expired", "failed", "retries", "hedges",
               "quarantined", "respawns", "faults_fired", "bit_identical"),
+    "scenario": ("scenario", "seed", "offered", "completed", "shed",
+                 "deadline_expired", "failed", "per_class", "digest",
+                 "replay_identical", "bit_identical"),
 }
 
 #: Fault scenarios a chaos record may name: the fault classes of
@@ -53,6 +56,17 @@ CHAOS_SCENARIOS = frozenset({
     "baseline", "delay", "drop", "duplicate", "stall", "crash",
     "partition", "slow_start", "mixed",
 })
+
+#: Multi-tenant scenarios a scenario record may name: the bundled specs of
+#: ``repro.serving.scenarios`` plus the bench's overload pass — kept in
+#: lockstep without importing the package.
+SCENARIO_NAMES = frozenset({
+    "steady_mix", "diurnal", "flash_crowd", "multi_burst", "slow_drip",
+    "flash_crowd_overload",
+})
+
+#: SLO classes a scenario record's per_class buckets may use.
+SLO_CLASSES = frozenset({"interactive", "standard", "batch"})
 
 
 def check_file(path: str) -> list:
@@ -112,6 +126,60 @@ def check_file(path: str) -> list:
                     "bit_identical — a chaos record must never land with "
                     "diverged outputs"
                 )
+        if record.get("op") == "scenario":
+            problems.extend(
+                f"{path}: record {index} {problem}"
+                for problem in _check_scenario_record(record)
+            )
+    return problems
+
+
+def _check_scenario_record(record: dict) -> list:
+    """Scenario-specific rules: known names, per-class conservation."""
+    problems = []
+    scenario = record.get("scenario")
+    if scenario is not None and scenario not in SCENARIO_NAMES:
+        problems.append(
+            f"has unknown scenario {scenario!r} "
+            f"(expected one of {sorted(SCENARIO_NAMES)})"
+        )
+    for flag in ("bit_identical", "replay_identical"):
+        if record.get(flag) is not True:
+            problems.append(
+                f"({scenario}) is not {flag} — a scenario record must "
+                "never land with diverged outputs or an unreplayable "
+                "schedule"
+            )
+    per_class = record.get("per_class")
+    if not isinstance(per_class, dict):
+        return problems
+    unknown = sorted(set(per_class) - SLO_CLASSES)
+    if unknown:
+        problems.append(
+            f"has unknown SLO classes {unknown} "
+            f"(expected a subset of {sorted(SLO_CLASSES)})"
+        )
+    totals = {key: 0 for key in ("offered", "completed", "shed",
+                                 "deadline_expired", "failed")}
+    for slo, bucket in per_class.items():
+        if not isinstance(bucket, dict):
+            problems.append(f"per_class[{slo!r}] is not an object")
+            continue
+        accounted = sum(bucket.get(key, 0) or 0 for key in
+                        ("completed", "shed", "deadline_expired", "failed"))
+        if "offered" in bucket and accounted != bucket["offered"]:
+            problems.append(
+                f"loses {slo} requests: completed+shed+deadline_expired"
+                f"+failed = {accounted} != offered = {bucket['offered']}"
+            )
+        for key in totals:
+            totals[key] += bucket.get(key, 0) or 0
+    for key, value in totals.items():
+        if key in record and record[key] != value:
+            problems.append(
+                f"per-class {key} sums to {value} but the record "
+                f"claims {record[key]}"
+            )
     return problems
 
 
