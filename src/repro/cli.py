@@ -11,6 +11,8 @@ Usage (no console-script entry point is installed; invoke the module):
     python -m repro.cli summary     <model.pbit>
     python -m repro.cli serve-bench [--model MicroCNN] [--batches 1,4,16,64]
     python -m repro.cli loadgen     [--model MicroCNN] [--rps 200]
+    python -m repro.cli rollout     [--model MicroCNN] [--divergent]
+    python -m repro.cli rollback    [--model MicroCNN]
     python -m repro.cli cluster-worker --connect tcp://HOST:PORT
 
 Each sub-command regenerates one of the paper's tables/figures, inspects a
@@ -36,6 +38,14 @@ class (see ``docs/serving.md``).
 router's host or any other — that dials the router, fetches model bytes
 it has never seen into the per-host digest cache, and serves until the
 router stops it.
+``rollout`` drives a zero-downtime live rollout under sustained load —
+publish a v2 artifact mid-stream, canary-mirror a traffic fraction
+against the stable digest, promote on a clean gate (``--divergent``
+instead publishes different weights and must auto-roll back on the
+first mismatch); ``rollback`` aborts a live rollout by operator command
+mid-canary.  Both print the rollout event timeline and verify zero
+shed, zero lost requests and bit-identical outputs throughout (see
+docs/deployment.md, "Live rollout & rollback").
 """
 
 from __future__ import annotations
@@ -330,6 +340,49 @@ def build_parser() -> argparse.ArgumentParser:
     _add_transport_arguments(loadgen)
     _add_execution_arguments(loadgen)
 
+    def _add_rollout_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--model", default="MicroCNN",
+                         help="serving-zoo model to roll out")
+        sub.add_argument("--workers", type=int, default=2, metavar="N",
+                         help="cluster worker processes")
+        sub.add_argument("--requests", type=int, default=192,
+                         help="open-loop requests offered across the drill")
+        sub.add_argument("--rps", type=float, default=250.0,
+                         help="offered load in requests per second")
+        sub.add_argument("--seed", type=int, default=0)
+        sub.add_argument("--publish-at", type=float, default=0.25,
+                         metavar="F",
+                         help="publish the v2 artifact once this fraction "
+                              "of the schedule has arrived")
+        sub.add_argument("--canary-fraction", type=float, default=0.25,
+                         metavar="F",
+                         help="fraction of traffic mirrored to the canary")
+        sub.add_argument("--min-samples", type=int, default=4, metavar="N",
+                         help="comparison samples required before promote")
+        sub.add_argument("--json", metavar="PATH", default=None,
+                         help="also write the rollout event timeline to "
+                              "PATH ('-' for stdout)")
+
+    rollout = subparsers.add_parser(
+        "rollout",
+        help="live-rollout drill: publish a v2 artifact under sustained "
+             "load, canary it against the stable digest, promote on a "
+             "clean gate (zero shed, zero lost, bit-identical)",
+    )
+    _add_rollout_arguments(rollout)
+    rollout.add_argument(
+        "--divergent", action="store_true",
+        help="publish an artifact with genuinely different weights: the "
+             "canary must catch the first mismatched answer and "
+             "auto-roll back with the stable digest still serving")
+
+    rollback = subparsers.add_parser(
+        "rollback",
+        help="operator-rollback drill: abort a live rollout mid-canary "
+             "and verify the stable digest never stopped serving",
+    )
+    _add_rollout_arguments(rollback)
+
     cluster_worker = subparsers.add_parser(
         "cluster-worker",
         help="run one self-registering cluster worker (remote or loopback)",
@@ -485,6 +538,35 @@ def _command_scenario(args) -> str:
     return "\n\n".join(pieces)
 
 
+def _command_rollout(args, operator_rollback: bool = False) -> str:
+    """Live-rollout / operator-rollback drill (``rollout`` / ``rollback``)."""
+    from repro.serving.loadgen import run_rollout_drill, write_sweep_records
+    from repro.serving.rollout import RolloutConfig
+
+    min_samples = (10**9 if operator_rollback else max(1, args.min_samples))
+    result = run_rollout_drill(
+        model=args.model,
+        workers=max(2, args.workers),
+        requests=args.requests,
+        offered_rps=args.rps,
+        seed=args.seed,
+        divergent=getattr(args, "divergent", False),
+        operator_rollback=operator_rollback,
+        publish_at=args.publish_at,
+        rollout=RolloutConfig(
+            canary_fraction=args.canary_fraction,
+            # The rollback drill parks the rollout in canary (an
+            # unreachable quota) so the operator abort is what ends it.
+            min_canary_samples=min_samples,
+        ),
+    )
+    table = result.table()
+    if args.json:
+        table = table + "\n" + write_sweep_records(
+            list(result.timeline), args.json)
+    return table
+
+
 def _command_loadgen(args) -> str:
     from repro.core.engine import PhoneBitEngine
     from repro.serving import InferenceService, run_open_loop, synthetic_images
@@ -598,6 +680,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         output = _command_serve_bench(args)
     elif args.command == "loadgen":
         output = _command_loadgen(args)
+    elif args.command == "rollout":
+        output = _command_rollout(args)
+    elif args.command == "rollback":
+        output = _command_rollout(args, operator_rollback=True)
     elif args.command == "cluster-worker":
         from repro.serving.transport import run_cluster_worker
 

@@ -30,6 +30,20 @@ def input_digest(model_name: str, array: np.ndarray) -> str:
     return h.hexdigest()
 
 
+def response_cache_key(model_name: str, artifact_digest: str,
+                       array: np.ndarray) -> str:
+    """Cache key for (model, *artifact version*, input) triples.
+
+    The artifact digest is part of the key, never just the model name: two
+    versions of one model (a rollout's stable and canary weights) produce
+    different outputs for the same image, so a name-keyed cache would let
+    a rollback serve responses computed by the version that was rolled
+    back.  ``@`` cannot appear in a SHA-256 hex digest, so the namespace
+    cannot collide with a model name that happens to embed one.
+    """
+    return input_digest(f"{model_name}@{artifact_digest}", array)
+
+
 @dataclass(frozen=True)
 class CacheStats:
     """Counters describing cache effectiveness."""

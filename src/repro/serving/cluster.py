@@ -51,8 +51,10 @@ import numpy as np
 
 from repro.analysis.reporting import format_kv
 from repro.serving.autoscale import Autoscaler, AutoscaleConfig, AutoscaleSignals
+from repro.serving.cache import CacheStats, LRUResponseCache, response_cache_key
 from repro.serving.faults import FaultInjector, FaultPlan
 from repro.serving.metrics import LatencyTracker
+from repro.serving.rollout import RolloutConfig, RolloutController
 from repro.serving.router import (
     SLO_CLASSES,
     LeastOutstandingRouter,
@@ -80,6 +82,8 @@ __all__ = [
     "ClusterService",
     "DeadlineExceededError",
     "RetryPolicy",
+    "RolloutConfig",
+    "RolloutController",
     "SLOPolicy",
     "DEFAULT_SLO_POLICIES",
     "WorkerCrashError",
@@ -261,10 +265,14 @@ class WorkerConfig:
 # ---------------------------------------------------------------------------
 
 def _worker_submit(service, response_q, worker_id: str, rid: int,
-                   model: str, image: np.ndarray) -> None:
-    """Feed one routed request into the worker's local service."""
+                   model: str, image: np.ndarray, digest: str = "") -> None:
+    """Feed one routed request into the worker's local service.
+
+    ``digest`` pins the request to one resident artifact version (every
+    cluster dispatch is version-tagged); ``""`` serves the active one.
+    """
     try:
-        future = service.submit(model, image)
+        future = service.submit(model, image, digest=digest or None)
     except Exception as exc:
         response_q.put(("err", worker_id, rid, f"{type(exc).__name__}: {exc}"))
         return
@@ -290,8 +298,10 @@ def _worker_main(worker_id: str, handles: Dict[str, ShmModelHandle],
     a ``stop`` message arrives; heartbeats ride the response queue.
     """
     try:
-        attached = [attach_model(handle) for handle in handles.values()]
-        service, attach_ms = build_worker_service(attached, config)
+        attached = {handle.digest: attach_model(handle)
+                    for handle in handles.values()}
+        service, attach_ms = build_worker_service(list(attached.values()),
+                                                  config)
     except BaseException as exc:  # noqa: BLE001 - reported to the front end
         response_q.put(("init_error", worker_id,
                         f"{type(exc).__name__}: {exc}"))
@@ -315,9 +325,9 @@ def _worker_main(worker_id: str, handles: Dict[str, ShmModelHandle],
                 continue
             kind = message[0]
             if kind == "reqs":
-                for rid, model, image in message[1]:
+                for rid, model, image, digest in message[1]:
                     _worker_submit(service, response_q, worker_id, rid, model,
-                                   image)
+                                   image, digest)
             elif kind == "attach":
                 # Dynamic (re)pinning: map more published artifacts into this
                 # worker.  Warming can take whole seconds for a deep model,
@@ -330,12 +340,74 @@ def _worker_main(worker_id: str, handles: Dict[str, ShmModelHandle],
                         model=model, shm_name=shm_name, nbytes=nbytes,
                         digest=digest,
                     ))
-                    attached.append(just_attached)  # keep the mapping alive
+                    attached[digest] = just_attached  # keep the mapping alive
                     service.pool.register(just_attached.network, name=model,
-                                          warm=True)
+                                          warm=True, digest=digest)
                     response_q.put(("attached", worker_id, model,
                                     (time.perf_counter() - t0) * 1000.0))
                 last_hb = time.monotonic()
+            elif kind == "prepare":
+                # Rollout fetch-ahead: stage a new artifact version beside
+                # the serving one without activating it.  Same heartbeat
+                # bracket as "attach" — warming must not read as death.
+                for model, digest, nbytes, shm_name in message[1]:
+                    response_q.put(("hb", worker_id, time.monotonic()))
+                    t0 = time.perf_counter()
+                    try:
+                        staged = attached.get(digest)
+                        if staged is None:
+                            staged = attach_model(ShmModelHandle(
+                                model=model, shm_name=shm_name, nbytes=nbytes,
+                                digest=digest,
+                            ))
+                            attached[digest] = staged
+                        service.pool.register(staged.network, name=model,
+                                              warm=True, digest=digest,
+                                              activate=False)
+                    except Exception as exc:  # noqa: BLE001 - no ack → the
+                        # controller's staging timeout rolls the rollout back.
+                        response_q.put(("err", worker_id, -1,
+                                        f"prepare {model}@{digest[:12]}: "
+                                        f"{type(exc).__name__}: {exc}"))
+                        continue
+                    response_q.put(("prepared", worker_id, model, digest,
+                                    (time.perf_counter() - t0) * 1000.0))
+                last_hb = time.monotonic()
+            elif kind == "commit":
+                # Atomic pointer flip: untagged requests now serve `digest`.
+                _, model, digest = message
+                try:
+                    service.pool.set_active(model, digest)
+                except KeyError:
+                    pass  # no ack → the promote timeout rolls back
+                else:
+                    response_q.put(("committed", worker_id, model, digest))
+            elif kind == "detach":
+                # Revocation: drop resident versions (digest "" = the whole
+                # model) and release their shared-memory views.
+                done_items: List[Tuple[str, str]] = []
+                freed = 0
+                for model, digest in message[1]:
+                    victims: List[str] = []
+                    try:
+                        if digest:
+                            service.retire(model, digest)
+                            victims = [digest]
+                        else:
+                            service.evict(model)
+                            victims = [
+                                d for d, a in attached.items()
+                                if a.handle.model == model
+                            ]
+                    except (KeyError, ValueError):
+                        continue
+                    for victim in victims:
+                        view = attached.pop(victim, None)
+                        if view is not None:
+                            freed += view.handle.nbytes
+                            view.close()
+                    done_items.append((model, digest))
+                response_q.put(("detached", worker_id, done_items, freed))
             elif kind == "report":
                 response_q.put(("reports", worker_id, message[1],
                                 service.reports()))
@@ -390,6 +462,20 @@ class _Pending:
     #: are released when their (late) answers arrive or credited when
     #: they die; first answer from *any* holder wins the future.
     holders: Dict[str, int] = field(default_factory=dict)
+    #: Artifact version the dispatch is tagged with — the model's serving
+    #: digest at dispatch time (or the rollout's new digest for a canary
+    #: probe).  A worker executes exactly this version, never "whatever is
+    #: active locally", so a mid-rollout fleet can never serve a mix of
+    #: digests to one request.
+    digest: str = ""
+    #: Front-end response-cache key (miss path populates the cache on
+    #: completion); ``None`` when caching is off or the entry is a probe.
+    cache_key: Optional[str] = None
+    #: Canary probe: an internal mirror dispatch.  Never retried, never
+    #: hedged, never requeued on worker death — its only consumer is the
+    #: rollout controller's comparison, and a dropped probe is just a
+    #: sample that never happened.
+    probe: bool = False
 
 
 @dataclass
@@ -421,6 +507,79 @@ class _ModelTraffic:
         self.shed = 0
         self.first_submit: Optional[float] = None
         self.last_done: Optional[float] = None
+        #: Front-end response-cache counters.  Hits resolve before
+        #: admission, so the hit count depends only on the request stream
+        #: and the serving digest — never on which worker the request
+        #: would have routed to.
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+
+@dataclass
+class _Rollout:
+    """Front-end state of one live rollout: the pure controller plus the
+    artifact handles its decisions act on."""
+
+    controller: RolloutController
+    old_handle: ShmModelHandle
+    new_handle: ShmModelHandle
+    #: Terminal phase has been executed (handles flipped / flip-back and
+    #: detach of the losing version queued).
+    finalized: bool = False
+    #: Commit done; the old version awaits detach once no in-flight
+    #: request is tagged with it.
+    retiring: bool = False
+
+
+class _CanaryComparison:
+    """Pairs one client request with its mirrored canary probe.
+
+    The client always receives the *stable* answer; the probe is an
+    internal duplicate against the rollout's new digest.  Once both
+    futures resolve, exactly one comparison sample is reported to the
+    rollout controller — or none at all when either side failed for
+    infrastructure reasons (worker crash, deadline, cluster close): a
+    dead worker says nothing about the new weights.  A probe that fails
+    where the stable answer succeeded for any *other* reason counts as a
+    mismatch — the new version errored on an input the old one serves.
+    """
+
+    _NO_SAMPLE_ERRORS = (WorkerCrashError, DeadlineExceededError,
+                         ClusterOverloadError)
+
+    def __init__(self, cluster: "ClusterService", model: str,
+                 new_digest: str) -> None:
+        self._cluster = cluster
+        self._model = model
+        self._new_digest = new_digest
+        self._lock = threading.Lock()
+        self._started: Dict[str, float] = {}
+        self._results: Dict[str, tuple] = {}
+
+    def watch(self, which: str, future: Future) -> None:
+        self._started[which] = time.perf_counter()
+        future.add_done_callback(lambda f, w=which: self._done(w, f))
+
+    def _done(self, which: str, future: Future) -> None:
+        latency_s = time.perf_counter() - self._started[which]
+        error = future.exception()
+        value = None if error is not None else future.result()
+        with self._lock:
+            self._results[which] = (error, value, latency_s)
+            if len(self._results) < 2:
+                return
+            stable_error, stable_value, stable_s = self._results["stable"]
+            canary_error, canary_value, canary_s = self._results["canary"]
+        if stable_error is not None:
+            return  # no stable answer to compare against
+        if canary_error is not None:
+            if isinstance(canary_error, self._NO_SAMPLE_ERRORS):
+                return  # infrastructure loss, not a model verdict
+            match = False
+        else:
+            match = bool(np.array_equal(stable_value, canary_value))
+        self._cluster._record_comparison(self._model, self._new_digest,
+                                         match, stable_s, canary_s)
 
 
 @dataclass(frozen=True)
@@ -706,10 +865,21 @@ class ClusterService:
         else:
             self._pinning = None
 
+        # The response cache is **cluster-wide**: one LRU on the front
+        # end, keyed by (model, serving digest, input digest).  Workers
+        # run cache-less (cache_capacity=0 in their config) — per-worker
+        # caches would make hit rates routing-shaped, where the same
+        # repeated request hits or misses depending on which worker the
+        # balancer picked.  Digest-keyed entries also make a rollback
+        # safe: the rolled-back version's responses can never serve for
+        # the restored one.
+        self._cache_capacity = cache_capacity
+        self._response_cache = (LRUResponseCache(cache_capacity)
+                                if cache_capacity else None)
         self.config = WorkerConfig(
             max_batch_size=max_batch_size,
             max_wait_ms=max_wait_ms,
-            cache_capacity=cache_capacity,
+            cache_capacity=0,
             chunk_bytes=chunk_bytes,
             threads=worker_threads,
             heartbeat_interval_s=heartbeat_interval_s,
@@ -768,6 +938,13 @@ class ClusterService:
         self._retries = 0
         self._hedges = 0
         self._closed = False
+        #: Live rollouts, one per model: ``{canonical name: _Rollout}``.
+        self._rollouts: Dict[str, "_Rollout"] = {}
+        #: Finished rollout controllers (timeline/status after the fact).
+        self._rollout_history: List[RolloutController] = []
+        #: ``("detached", worker, items, freed_bytes)`` acks, for tests
+        #: asserting attach revocation actually freed worker memory.
+        self._detach_log: List[tuple] = []
         #: Socket workers the router launched that have not yet said hello,
         #: keyed by subprocess pid.
         self._spawn_pending: Dict[int, subprocess.Popen] = {}
@@ -1058,9 +1235,51 @@ class ClusterService:
             traffic = self._traffic.setdefault(model, _ModelTraffic())
         return traffic
 
+    def _cache_lookup(self, key: str, image: np.ndarray
+                      ) -> Tuple[Optional[str], Optional[Future]]:
+        """Front-end response-cache probe for one request.
+
+        Returns ``(cache_key, resolved_future_or_None)``.  A hit resolves
+        *before* admission — no slot, no dispatch, no routing — which is
+        what makes the cluster-wide hit rate a property of the request
+        stream and the serving digest alone, identical across 1, 2 or N
+        workers.  The key includes the model's current serving digest, so
+        a rollout commit (or rollback) naturally invalidates: the old
+        version's entries can never answer for the new one.
+        """
+        if self._response_cache is None:
+            return None, None
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("cluster is closed")
+            digest = self._handles[key].digest
+            cache_key = response_cache_key(key, digest, image)
+            cached = self._response_cache.get(cache_key)
+            if cached is None:
+                self._traffic_for(key).cache_misses += 1
+                return cache_key, None
+            now = time.perf_counter()
+            traffic = self._traffic_for(key)
+            traffic.cache_hits += 1
+            traffic.requests += 1
+            if traffic.first_submit is None:
+                traffic.first_submit = now
+            traffic.last_done = now
+        future: Future = Future()
+        future.set_running_or_notify_cancel()
+        future.set_result(cached)
+        return cache_key, future
+
+    def cache_stats(self) -> Optional[CacheStats]:
+        """Cluster-wide response-cache counters (``None`` when disabled)."""
+        if self._response_cache is None:
+            return None
+        return self._response_cache.stats()
+
     def _admit(self, key: str, image: np.ndarray, block: bool,
                deadline: Optional[float], count_shed: bool = True,
-               slo: Optional[str] = None) -> tuple:
+               slo: Optional[str] = None,
+               cache_key: Optional[str] = None) -> tuple:
         """Acquire a routing slot and register the pending entry.
 
         Returns ``(rid, worker_id, future)``; the caller is responsible for
@@ -1128,6 +1347,7 @@ class ClusterService:
                 future=future, model=key, image=image, worker=worker_id,
                 submitted_at=now, deadline=deadline, dispatched_at=now,
                 generation=self._workers[worker_id].generation, slo=slo,
+                digest=self._handles[key].digest, cache_key=cache_key,
             )
             return rid, worker_id, future
 
@@ -1159,7 +1379,7 @@ class ClusterService:
                     self._slot_free.notify_all()
                     expired.append(entry.future)
                 else:
-                    live.append((rid, worker_id, image))
+                    live.append((rid, worker_id, image, entry.digest))
         for future in expired:
             if not future.done():
                 future.set_exception(DeadlineExceededError(
@@ -1167,8 +1387,8 @@ class ClusterService:
                     "unexecuted"
                 ))
         groups: Dict[str, List[tuple]] = {}
-        for rid, worker_id, image in live:
-            groups.setdefault(worker_id, []).append((rid, key, image))
+        for rid, worker_id, image, digest in live:
+            groups.setdefault(worker_id, []).append((rid, key, image, digest))
         for worker_id, items in groups.items():
             with self._lock:
                 worker = self._workers.get(worker_id)
@@ -1181,7 +1401,7 @@ class ClusterService:
                 except (TransportClosed, ValueError, OSError):
                     pass
             if not delivered:
-                for rid, _, _ in items:
+                for rid, _, _, _ in items:
                     with self._lock:
                         entry = self._pending.get(rid)
                         generation = (entry.generation if entry is not None
@@ -1220,10 +1440,14 @@ class ClusterService:
                 slo_policy = self.slo_policies.get(slo)
                 if slo_policy is not None:
                     timeout = slo_policy.deadline_s
+        cache_key, hit = self._cache_lookup(key, image)
+        if hit is not None:
+            return hit
         deadline = None if timeout is None else time.perf_counter() + timeout
         rid, worker_id, future = self._admit(key, image, block, deadline,
-                                             slo=slo)
+                                             slo=slo, cache_key=cache_key)
         self._dispatch(key, [(rid, worker_id, image)])
+        self._maybe_probe(key, image, future)
         return future
 
     def submit_batch(self, model: str, images: np.ndarray,
@@ -1244,10 +1468,14 @@ class ClusterService:
         futures: List[Future] = []
         assignments: List[tuple] = []
         for image in np.asarray(images):
+            cache_key, hit = self._cache_lookup(key, image)
+            if hit is not None:
+                futures.append(hit)
+                continue
             try:
                 rid, worker_id, future = self._admit(
                     key, image, block=False, deadline=None, count_shed=False,
-                    slo=slo
+                    slo=slo, cache_key=cache_key
                 )
             except ClusterOverloadError:
                 # Saturated: dispatch what we hold, then wait empty-handed.
@@ -1255,10 +1483,12 @@ class ClusterService:
                     self._dispatch(key, assignments)
                     assignments = []
                 rid, worker_id, future = self._admit(
-                    key, image, block=True, deadline=None, slo=slo
+                    key, image, block=True, deadline=None, slo=slo,
+                    cache_key=cache_key
                 )
             futures.append(future)
             assignments.append((rid, worker_id, image))
+            self._maybe_probe(key, image, future)
         if assignments:
             self._dispatch(key, assignments)
         return futures
@@ -1298,6 +1528,32 @@ class ClusterService:
                 if worker is not None:
                     worker.attach_ms[model] = ms
                     worker.last_heartbeat = time.perf_counter()
+        elif kind == "prepared":
+            self._handle_prepared(message)
+        elif kind == "committed":
+            _, worker_id, model, digest = message
+            with self._lock:
+                worker = self._workers.get(worker_id)
+                if worker is not None:
+                    worker.last_heartbeat = time.perf_counter()
+                rollout = self._rollouts.get(model)
+                if (rollout is not None
+                        and digest == rollout.controller.new_digest):
+                    rollout.controller.worker_committed(worker_id)
+            self._rollout_tick()
+        elif kind == "detached":
+            _, worker_id, items, freed = message
+            with self._lock:
+                worker = self._workers.get(worker_id)
+                if worker is not None:
+                    worker.last_heartbeat = time.perf_counter()
+                self._detach_log.append((worker_id, list(items), int(freed)))
+                for model, digest in items:
+                    # Straggler cleanup: e.g. a prepare that completed
+                    # after its rollout rolled back declared a digest the
+                    # bulk revocation never saw.
+                    if digest:
+                        self.router.revoke_digest(worker_id, model, digest)
         elif kind == "reports":
             _, worker_id, generation, reports = message
             with self._lock:
@@ -1336,9 +1592,36 @@ class ClusterService:
         except (TransportClosed, ValueError, OSError):
             pass  # dead link: its conn_lost handler owns the cleanup
 
+    def _handle_prepared(self, message: tuple) -> None:
+        """A worker acked ``prepare``: the new version is staged on it."""
+        _, worker_id, model, digest, ms = message
+        straggler: Optional[WorkerEndpoint] = None
+        with self._lock:
+            worker = self._workers.get(worker_id)
+            if worker is not None:
+                worker.last_heartbeat = time.perf_counter()
+                worker.attach_ms[f"{model}@{digest[:12]}"] = ms
+            self.router.declare_digest(worker_id, model, digest)
+            rollout = self._rollouts.get(model)
+            if (rollout is not None and worker is not None
+                    and digest == rollout.controller.new_digest):
+                rollout.controller.worker_prepared(worker_id)
+                if rollout.controller.phase in ("promoting", "committed"):
+                    # A late joiner finished staging after the fleet
+                    # already flipped: flip its active pointer too, or
+                    # its *untagged* local state would lag the cluster.
+                    straggler = worker.endpoint
+        if straggler is not None:
+            try:
+                straggler.send(("commit", model, digest))
+            except (TransportClosed, ValueError, OSError):
+                pass  # dying link: its death handler discounts the worker
+        self._rollout_tick()
+
     def _handle_ready(self, message: tuple) -> None:
         _, worker_id, pid, attach_ms = message
         orphans: List[int] = []
+        prepare_sends: List[Tuple[WorkerEndpoint, tuple]] = []
         with self._lock:
             worker = self._workers.get(worker_id)
             if worker is None:  # pragma: no cover - raced close()
@@ -1353,8 +1636,31 @@ class ClusterService:
                 models=(None if worker.models is None
                         else sorted(worker.models)),
             )
+            # Declare the serving version of everything it attached —
+            # digest-tagged traffic (canary probes, in-flight rollout
+            # requests) may only route to declared holders.
+            held = (self._handles if worker.models is None
+                    else {m: self._handles[m] for m in worker.models})
+            for model, handle in held.items():
+                self.router.declare_digest(worker_id, model, handle.digest)
+            # A worker joining mid-rollout must stage the new digest too.
+            for model, rollout in self._rollouts.items():
+                if worker.models is not None and model not in worker.models:
+                    continue
+                if rollout.controller.done:
+                    continue
+                rollout.controller.worker_joined(worker_id)
+                new = rollout.new_handle
+                prepare_sends.append((worker.endpoint, ("prepare", [
+                    (new.model, new.digest, new.nbytes, new.shm_name)
+                ])))
             orphans, self._orphans = self._orphans, []
             self._slot_free.notify_all()
+        for endpoint, frame in prepare_sends:
+            try:
+                endpoint.send(frame)
+            except (TransportClosed, ValueError, OSError):
+                pass  # dying link: its death handler discounts the worker
         # Converge attachments before redispatching parked work, so a
         # force-acquire can land on a worker that just gained the model.
         self._refresh_pinning()
@@ -1406,14 +1712,20 @@ class ClusterService:
                     holder: (generation, reap_at)
                     for holder, generation in holders.items()
                 }
-            traffic = self._traffic_for(entry.model)
-            traffic.last_done = now
-            traffic.latencies.record(max(0.0, now - entry.submitted_at))
+            if not entry.probe:
+                # Canary probes are internal mirrors: they must not skew
+                # the client-facing latency distribution (the retry
+                # policy's p99 is derived from it).
+                traffic = self._traffic_for(entry.model)
+                traffic.last_done = now
+                traffic.latencies.record(max(0.0, now - entry.submitted_at))
             self._slot_free.notify_all()
         if kind == "res":
             result = payload
             if isinstance(result, np.ndarray) and result.flags.writeable:
                 result.setflags(write=False)
+            if entry.cache_key is not None and self._response_cache is not None:
+                self._response_cache.put(entry.cache_key, result)
             entry.future.set_result(result)
         else:
             entry.future.set_exception(RuntimeError(
@@ -1456,6 +1768,7 @@ class ClusterService:
         """
         while not self._supervise_stop.wait(0.02):
             self._sweep_pending()
+            self._rollout_tick()
 
     def _sweep_pending(self) -> None:
         policy = self.retry_policy
@@ -1491,7 +1804,10 @@ class ClusterService:
                     self._slot_free.notify_all()
                     expired.append(entry)
                     continue
-                if policy is None:
+                if policy is None or entry.probe:
+                    # Probes are never retried or hedged: a slow or lost
+                    # probe is a canary sample that never happened, and
+                    # duplicating it would double-count the comparison.
                     continue
                 # Per-class overrides: an SLOPolicy row may cap the
                 # request's attempts or veto hedging for its class.
@@ -1559,7 +1875,8 @@ class ClusterService:
                     entry.dispatched_at = now
                     self._retries += 1
                     sends.append((worker.endpoint,
-                                  ("reqs", [(rid, entry.model, entry.image)])))
+                                  ("reqs", [(rid, entry.model, entry.image,
+                                             entry.digest)])))
                 elif (hedge_enabled and not entry.hedged
                       and count >= policy.min_samples and p99_s > 0.0
                       and waited >= max(policy.min_timeout_s,
@@ -1583,7 +1900,8 @@ class ClusterService:
                     entry.hedged = True
                     self._hedges += 1
                     sends.append((worker.endpoint,
-                                  ("reqs", [(rid, entry.model, entry.image)])))
+                                  ("reqs", [(rid, entry.model, entry.image,
+                                             entry.digest)])))
             # Reap parked late-answer slots whose grace expired: the
             # response frame is considered lost for good.  If it arrives
             # after all, the missing park entry makes it a no-op.
@@ -1708,6 +2026,8 @@ class ClusterService:
                 return
             del self._workers[worker.worker_id]
             self.router.remove_worker(worker.worker_id)
+            for rollout in self._rollouts.values():
+                rollout.controller.worker_gone(worker.worker_id)
             victims = []
             for rid, entry in self._pending.items():
                 # A dead hedge/demoted holder's slot was credited by
@@ -1776,6 +2096,9 @@ class ClusterService:
         self._refresh_pinning()
         for rid in victims:
             self._redispatch(rid)
+        # The death may have terminated a rollout (last staged holder) or
+        # completed a promote (the dead worker was the last pending ack).
+        self._rollout_tick()
 
     def _redispatch(self, rid: int) -> None:
         """Move an admitted request onto a live worker (crash requeue)."""
@@ -1805,9 +2128,26 @@ class ClusterService:
                     "deadline expired during crash recovery; request "
                     "dropped unexecuted"
                 )
+            elif entry.probe:
+                # A canary probe that lost its worker is dropped, never
+                # moved: re-running it elsewhere would sample a different
+                # worker than the router picked, and the rollout
+                # controller already discounted the dead holder.  The
+                # comparison pair treats the crash as "no sample".
+                del self._pending[rid]
+                failed_future = entry.future
+                failure = WorkerCrashError(
+                    f"canary probe {rid} lost its worker; sample dropped"
+                )
             else:
                 entry.requeues += 1
                 self._requeued += 1
+                # Retag to the model's *current* serving digest: a requeue
+                # may straddle a rollout commit, and the replacement worker
+                # is only guaranteed to hold the serving version.  Safe
+                # because the serving digest only ever flips after a
+                # bit-identical canary — both versions answer alike.
+                entry.digest = self._handles[entry.model].digest
                 # force=True: this work was admitted once already; shedding
                 # it now would turn a worker crash into client-visible
                 # errors.  Workers already holding a copy are excluded — a
@@ -1843,7 +2183,8 @@ class ClusterService:
                     entry.generation = worker.generation
                     entry.dispatched_at = now
                     endpoint = worker.endpoint
-                    message = ("reqs", [(rid, entry.model, entry.image)])
+                    message = ("reqs", [(rid, entry.model, entry.image,
+                                         entry.digest)])
         if failed_future is not None:
             if not failed_future.done():
                 failed_future.set_exception(failure)
@@ -1864,19 +2205,26 @@ class ClusterService:
     def _refresh_pinning(self) -> None:
         """Converge the attached model sets onto the pinned top-K layout.
 
-        Called after every membership change (ready / death / retire).
-        Under the cluster lock it computes which ready workers are missing
-        models the ideal layout assigns them; the ``attach`` messages go
-        out **outside** the lock, and each model is declared to the router
-        only *after* its attach was sent — the channel is FIFO, so a
-        worker always processes the attach before any request routed to it
-        for that model.  Attachments are only ever added, never revoked:
-        a surplus attachment is harmless (the router's top-K eligibility
-        keeps routing on the ideal subset once enough workers declare).
+        Called after every membership change (ready / death / retire) and
+        after pin widths shrink (:meth:`rebalance_pinning`).  Under the
+        cluster lock it computes which ready workers are missing models
+        the ideal layout assigns them, and which hold a surplus; the
+        ``attach`` / ``detach`` messages go out **outside** the lock.
+        Each grown model is declared to the router only *after* its
+        attach was sent — the channel is FIFO, so a worker always
+        processes the attach before any request routed to it for that
+        model.  Surplus models are revoked in the opposite order: routing
+        eligibility is withdrawn under the lock *before* the ``detach``
+        frame goes out, so every request dispatched ahead of the detach
+        is already in the worker's FIFO queue and drains before the
+        worker's pool drops the version and frees its shm views.  A model
+        mid-rollout is never revoked — its layout is frozen until the
+        rollout terminates.
         """
         if self._pinning is None:
             return
         sends: List[Tuple[_Worker, List[tuple], List[str]]] = []
+        revokes: List[Tuple[_Worker, List[str]]] = []
         with self._lock:
             live = [w for w in self._workers.values() if not w.stopping]
             if not live:
@@ -1888,16 +2236,24 @@ class ClusterService:
                     # initializing get their turn from their own ready
                     # handler (their handshake would drop an attach).
                     continue
-                missing = desired.get(worker.worker_id, set()) - worker.models
-                if not missing:
-                    continue
-                manifest = [
-                    (h.model, h.digest, h.nbytes, h.shm_name)
-                    for m in sorted(missing)
-                    for h in (self._handles[m],)
-                ]
-                worker.models |= missing
-                sends.append((worker, manifest, sorted(missing)))
+                want = desired.get(worker.worker_id, set())
+                missing = want - worker.models
+                surplus = {m for m in worker.models - want
+                           if m not in self._rollouts}
+                if missing:
+                    manifest = [
+                        (h.model, h.digest, h.nbytes, h.shm_name)
+                        for m in sorted(missing)
+                        for h in (self._handles[m],)
+                    ]
+                    worker.models |= missing
+                    sends.append((worker, manifest, sorted(missing)))
+                if surplus:
+                    for model in sorted(surplus):
+                        self.router.remove_worker_model(worker.worker_id,
+                                                        model)
+                    worker.models -= surplus
+                    revokes.append((worker, sorted(surplus)))
         for worker, manifest, models in sends:
             try:
                 worker.endpoint.send(("attach", manifest))
@@ -1905,6 +2261,14 @@ class ClusterService:
                 continue  # dying link: its death handler re-pins again
             for model in models:
                 self.router.add_worker_model(worker.worker_id, model)
+                self.router.declare_digest(worker.worker_id, model,
+                                           self._handles[model].digest)
+        for worker, models in revokes:
+            try:
+                worker.endpoint.send(
+                    ("detach", [(model, "") for model in models]))
+            except (TransportClosed, ValueError, OSError):
+                pass  # dying link: death already frees everything
 
     def measured_model_shares(self) -> Dict[str, float]:
         """Observed request count per model since startup.
@@ -2081,6 +2445,294 @@ class ClusterService:
                 }
             return detail
 
+    # ------------------------------------------------------------- rollout
+    def publish(self, network, model: Optional[str] = None,
+                rollout: Optional[RolloutConfig] = None) -> str:
+        """Publish a new version of a served model and start its rollout.
+
+        The new artifact is content-addressed into the store beside the
+        serving version, every ready holder of the model is told to
+        fetch-ahead and warm it (``prepare``) while the old digest keeps
+        serving **every** request, and a :class:`RolloutController` takes
+        over: staging → canary (a mirrored fraction of live traffic,
+        compared bit-for-bit) → promoting (atomic per-worker active-pointer
+        flips) → committed, with auto-rollback on canary mismatch, canary
+        latency regression, worker loss or any phase timeout.  Returns
+        the new artifact's digest.
+
+        Raises :class:`ValueError` when the bytes are already the serving
+        version (content addressing: same bytes = same model) and
+        :class:`RuntimeError` when a rollout for the model is already
+        live — one rollout per model at a time.
+        """
+        key = self.canonical_name(model or network.name)
+        new_handle = self.store.publish_version(network, name=key)
+        sends: List[WorkerEndpoint] = []
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("cluster is closed")
+            old_handle = self._handles[key]
+            if new_handle.digest == old_handle.digest:
+                raise ValueError(
+                    f"published bytes are already the serving version of "
+                    f"{key!r} ({old_handle.digest[:12]}...)")
+            if key in self._rollouts:
+                raise RuntimeError(
+                    f"a rollout for {key!r} is already live "
+                    f"(phase {self._rollouts[key].controller.phase!r}); "
+                    f"promote or roll it back first")
+            holders = [
+                w for w in self._workers.values()
+                if w.ready and not w.stopping
+                and (w.models is None or key in w.models)
+            ]
+            controller = RolloutController(
+                key, old_handle.digest, new_handle.digest,
+                [w.worker_id for w in holders],
+                config=rollout, clock=time.monotonic,
+            )
+            self._rollouts[key] = _Rollout(
+                controller=controller, old_handle=old_handle,
+                new_handle=new_handle,
+            )
+            sends = [w.endpoint for w in holders]
+        frame = ("prepare", [(new_handle.model, new_handle.digest,
+                              new_handle.nbytes, new_handle.shm_name)])
+        for endpoint in sends:
+            try:
+                endpoint.send(frame)
+            except (TransportClosed, ValueError, OSError):
+                pass  # dying link: its death handler discounts the worker
+        self._rollout_tick()  # a holder-less publish finalizes immediately
+        return new_handle.digest
+
+    def promote(self, model: str) -> None:
+        """Manually promote a canarying rollout (``auto_promote=False``
+        flows, or an operator overriding the sample quota)."""
+        key = self.canonical_name(model)
+        sends: List[WorkerEndpoint] = []
+        with self._lock:
+            live = self._rollouts.get(key)
+            if live is None:
+                raise KeyError(f"no live rollout for {model!r}")
+            pending = live.controller.begin_promote()
+            frame = ("commit", key, live.controller.new_digest)
+            for wid in pending:
+                worker = self._workers.get(wid)
+                if worker is not None:
+                    sends.append(worker.endpoint)
+        for endpoint in sends:
+            try:
+                endpoint.send(frame)
+            except (TransportClosed, ValueError, OSError):
+                pass
+        self._rollout_tick()
+
+    def rollback(self, model: str,
+                 reason: str = "operator request") -> None:
+        """Abort a live rollout: the stable digest keeps (or resumes)
+        serving everywhere and the new version is detached fleet-wide.
+
+        Works from any live phase — including mid-promote, where workers
+        that already flipped are flipped back (the old version stayed
+        resident on every worker precisely for this).  Raises
+        :class:`KeyError` when no rollout for the model is live, and
+        :class:`RuntimeError` once the rollout committed (roll *forward*
+        by publishing the previous artifact again).
+        """
+        key = self.canonical_name(model)
+        with self._lock:
+            live = self._rollouts.get(key)
+            if live is None:
+                raise KeyError(f"no live rollout for {model!r}")
+            if live.controller.phase == "committed":
+                raise RuntimeError(
+                    f"rollout of {key!r} already committed; publish the "
+                    f"previous artifact to roll forward instead")
+            live.controller.force_rollback(reason)
+        self._rollout_tick()
+
+    def rollout_status(self, model: Optional[str] = None) -> List[dict]:
+        """Status snapshots of rollouts, live first, then finished ones
+        in completion order (see :meth:`RolloutController.status`)."""
+        key = None if model is None else self.canonical_name(model)
+        with self._lock:
+            controllers = [r.controller for r in self._rollouts.values()
+                           if r.controller not in self._rollout_history]
+            controllers += self._rollout_history
+        return [c.status() for c in controllers
+                if key is None or c.model == key]
+
+    def rollout_timeline(self, model: str) -> List[dict]:
+        """Event timeline of the newest rollout of ``model`` (JSON-stable
+        records, see :meth:`RolloutController.timeline`); ``[]`` when the
+        model has never been rolled out."""
+        key = self.canonical_name(model)
+        with self._lock:
+            live = self._rollouts.get(key)
+            if live is not None:
+                return live.controller.timeline()
+            for controller in reversed(self._rollout_history):
+                if controller.model == key:
+                    return controller.timeline()
+        return []
+
+    def _record_comparison(self, model: str, new_digest: str, match: bool,
+                           stable_latency_s: float,
+                           canary_latency_s: float) -> None:
+        """One (stable, canary) answer pair resolved — feed the sample."""
+        with self._lock:
+            live = self._rollouts.get(model)
+            if live is None or live.controller.new_digest != new_digest:
+                return  # the rollout this probe belonged to is gone
+            live.controller.record_comparison(match, stable_latency_s,
+                                              canary_latency_s)
+        self._rollout_tick()
+
+    def _maybe_probe(self, key: str, image: np.ndarray,
+                     primary_future: Future) -> None:
+        """Mirror a canary fraction of live traffic to the new digest.
+
+        The probe is admitted only against workers that *declared* the
+        new digest, without force and without shed accounting — a
+        saturated fleet silently skips the sample rather than inflating
+        shed counters or stealing client capacity.  The client's answer
+        always comes from the stable dispatch.
+        """
+        with self._lock:
+            live = self._rollouts.get(key)
+            if live is None:
+                return
+            controller = live.controller
+            if controller.phase != "canary" or not controller.should_probe():
+                return
+            new_digest = controller.new_digest
+            worker_id = self.router.acquire(key, record_shed=False,
+                                            digest=new_digest)
+            if worker_id is None or worker_id not in self._workers:
+                if worker_id is not None:
+                    self.router.release(worker_id)
+                return  # no declared holder has room: skip the sample
+            now = time.perf_counter()
+            rid = self._next_rid
+            self._next_rid += 1
+            future: Future = Future()
+            future.set_running_or_notify_cancel()
+            worker = self._workers[worker_id]
+            self._pending[rid] = _Pending(
+                future=future, model=key, image=image, worker=worker_id,
+                submitted_at=now, deadline=now + self._stale_grace_s,
+                dispatched_at=now, generation=worker.generation,
+                digest=new_digest, probe=True,
+            )
+            endpoint = worker.endpoint
+        comparison = _CanaryComparison(self, key, new_digest)
+        comparison.watch("stable", primary_future)
+        comparison.watch("canary", future)
+        try:
+            endpoint.send(("reqs", [(rid, key, image, new_digest)]))
+        except (TransportClosed, ValueError, OSError):
+            pass  # dying link: the death handler drops the probe
+
+    def _rollout_tick(self) -> None:
+        """Drive every live rollout one decision step.
+
+        Runs on the monitor cadence (and inline after every rollout
+        event): asks each controller to decide, executes promote
+        decisions (commit fan-out), finalizes terminal phases — flipping
+        the front end's serving handle on commit, flipping back
+        partially-committed workers on rollback — and performs the
+        deferred detach of the losing version once no in-flight request
+        is tagged with it.  All controller access is under the cluster
+        lock; endpoint sends happen outside it.
+        """
+        sends: List[Tuple[WorkerEndpoint, tuple]] = []
+        with self._lock:
+            if self._closed:
+                return
+            for key in list(self._rollouts):
+                live = self._rollouts[key]
+                controller = live.controller
+                if not controller.done:
+                    action = controller.decide()
+                    if action == "promote":
+                        frame = ("commit", key, controller.new_digest)
+                        for wid in controller.begin_promote():
+                            worker = self._workers.get(wid)
+                            if worker is not None:
+                                sends.append((worker.endpoint, frame))
+                if controller.phase == "committed" and not live.finalized:
+                    # The fleet flipped: flip the front end too.  From
+                    # here every new admission is tagged (and cached)
+                    # under the new digest; the old version is detached
+                    # below once the last old-tagged request drains.
+                    self.store.activate(key, controller.new_digest)
+                    self._handles = self.store.handles()
+                    live.finalized = True
+                    live.retiring = True
+                    self._rollout_history.append(controller)
+                elif controller.phase == "rolled_back" and not live.finalized:
+                    live.finalized = True
+                    info = controller.status()
+                    # Flip back any worker that already committed *before*
+                    # detaching the new version — the channel is FIFO, so
+                    # the flip-back always lands first.
+                    flip_back = ("commit", key, controller.old_digest)
+                    detach = ("detach", [(key, controller.new_digest)])
+                    for wid in info["committed"]:
+                        worker = self._workers.get(wid)
+                        if worker is not None:
+                            sends.append((worker.endpoint, flip_back))
+                    # Every worker that was *asked* to prepare gets the
+                    # detach — including ones whose prepare is still in
+                    # flight (FIFO: their prepare lands first, then the
+                    # detach drops it; a never-staged version detaches as
+                    # a no-op).
+                    staged = (set(info["pending_prepare"])
+                              | set(info["prepared"])
+                              | set(info["committed"]))
+                    for wid in sorted(staged):
+                        self.router.revoke_digest(wid, key,
+                                                  controller.new_digest)
+                        worker = self._workers.get(wid)
+                        if worker is not None:
+                            sends.append((worker.endpoint, detach))
+                    try:
+                        self.store.retire_version(controller.new_digest)
+                    except ValueError:  # pragma: no cover - defensive
+                        pass
+                    self._rollout_history.append(controller)
+                    del self._rollouts[key]
+                    continue
+                if live.retiring:
+                    old_digest = controller.old_digest
+                    in_flight = any(
+                        entry.model == key and entry.digest == old_digest
+                        for entry in self._pending.values()
+                    )
+                    if in_flight:
+                        continue  # old-tagged work still draining
+                    detach = ("detach", [(key, old_digest)])
+                    for worker in self._workers.values():
+                        if worker.stopping or not worker.ready:
+                            continue
+                        if (worker.models is not None
+                                and key not in worker.models):
+                            continue
+                        self.router.revoke_digest(worker.worker_id, key,
+                                                  old_digest)
+                        sends.append((worker.endpoint, detach))
+                    try:
+                        self.store.retire_version(old_digest)
+                    except ValueError:  # pragma: no cover - defensive
+                        pass
+                    del self._rollouts[key]
+        for endpoint, frame in sends:
+            try:
+                endpoint.send(frame)
+            except (TransportClosed, ValueError, OSError):
+                pass  # dying link: its death handler owns the cleanup
+
     # ------------------------------------------------------------- reporting
     def worker_reports(self, timeout: float = 10.0) -> Dict[str, Dict[str, ServiceReport]]:
         """Poll every ready worker for its per-model ``ServiceReport`` s."""
@@ -2135,6 +2787,8 @@ class ClusterService:
             first, last = traffic.first_submit, traffic.last_done
             requests = traffic.requests
             latency = traffic.latencies.summary()
+            front_hits = traffic.cache_hits
+            front_misses = traffic.cache_misses
         duration = (last - first) if (first is not None and last is not None) else 0.0
         device = per_worker[0].device if per_worker else "cluster"
         return ServiceReport(
@@ -2142,8 +2796,12 @@ class ClusterService:
             device=f"{device} ×{len(reports)} workers",
             duration_s=max(0.0, duration),
             requests=requests,
-            cache_hits=sum(r.cache_hits for r in per_worker),
-            cache_misses=sum(r.cache_misses for r in per_worker),
+            # Front-end (cluster-wide) cache counters plus whatever the
+            # workers saw — workers run cache-less by default, so the
+            # front-end numbers *are* the cluster's hit rate.
+            cache_hits=front_hits + sum(r.cache_hits for r in per_worker),
+            cache_misses=front_misses + sum(r.cache_misses
+                                            for r in per_worker),
             latency=latency,
             scheduler=_merge_scheduler_stats([r.scheduler for r in per_worker]),
             cache=None,
@@ -2213,7 +2871,7 @@ class ClusterService:
             pool.register(attached.network, name=model, warm=True)
         service_kwargs.setdefault("max_batch_size", self.config.max_batch_size)
         service_kwargs.setdefault("max_wait_ms", self.config.max_wait_ms)
-        service_kwargs.setdefault("cache_capacity", self.config.cache_capacity)
+        service_kwargs.setdefault("cache_capacity", self._cache_capacity)
         service_kwargs.setdefault("chunk_bytes", self.config.chunk_bytes)
         return InferenceService(pool=pool, **service_kwargs)
 

@@ -34,6 +34,7 @@ from repro.serving.service import InferenceService, ServiceReport
 __all__ = [
     "ChaosResult",
     "LoadgenResult",
+    "RolloutDrillResult",
     "ShedLoadResult",
     "SpikeLoadResult",
     "SpikePhase",
@@ -44,6 +45,7 @@ __all__ = [
     "run_closed_loop",
     "run_open_loop",
     "run_open_loop_shedding",
+    "run_rollout_drill",
     "run_spike_load",
     "sequential_baseline",
     "sequential_forward_baseline",
@@ -647,6 +649,215 @@ def run_chaos_scenario(
         p99_ms=p99_ms,
         fault_events=fault_events,
         schedule=schedule,
+        outputs=outputs,
+    )
+
+
+@dataclass(frozen=True)
+class RolloutDrillResult:
+    """Outcome of one live-rollout drill (:func:`run_rollout_drill`).
+
+    Same lossless accounting contract as :class:`ChaosResult`: every
+    offered request completed, was shed, or failed — a hung future
+    raises instead of returning.  ``phase`` is the rollout's final
+    phase; a drill that never reaches a terminal phase within the wait
+    budget reports the live phase it was left in.
+    """
+
+    wall_s: float
+    completed: int
+    shed: int
+    failed: int
+    #: Final rollout phase (``committed`` / ``rolled_back`` / live phase).
+    phase: str
+    rollback_reason: Optional[str]
+    old_digest: str
+    new_digest: str
+    #: Canary comparison accounting (``samples`` / ``mismatches`` / means).
+    canary: dict
+    bit_identical: bool
+    #: JSON-stable rollout event records (``RolloutEvent.as_record``).
+    timeline: tuple
+    #: Completed rows keyed by offered-request index.
+    outputs: dict
+
+    @property
+    def offered(self) -> int:
+        return self.completed + self.shed + self.failed
+
+    @property
+    def goodput_rps(self) -> float:
+        if self.wall_s <= 0:
+            return float("inf") if self.completed else 0.0
+        return self.completed / self.wall_s
+
+    def table(self) -> str:
+        rows = [
+            ("old digest", self.old_digest[:16] + "..."),
+            ("new digest", self.new_digest[:16] + "..."),
+            ("final phase", self.phase),
+            ("rollback reason", self.rollback_reason or "-"),
+            ("offered", self.offered),
+            ("completed", self.completed),
+            ("shed", self.shed),
+            ("failed", self.failed),
+            ("goodput (req/s)", self.goodput_rps),
+            ("canary samples", self.canary.get("samples", 0)),
+            ("canary mismatches", self.canary.get("mismatches", 0)),
+            ("bit identical", self.bit_identical),
+            ("wall time (s)", self.wall_s),
+        ]
+        lines = [format_kv(rows, title="Live rollout drill")]
+        if self.timeline:
+            lines.append("")
+            lines.append("rollout timeline:")
+            for event in self.timeline:
+                lines.append(
+                    f"  t={event['t_s']:7.3f}s  {event['phase']:<11s} "
+                    f"{event['kind']:<15s} {event['detail']}")
+        return "\n".join(lines)
+
+
+def run_rollout_drill(
+    model: str = "MicroCNN",
+    workers: int = 2,
+    requests: int = 192,
+    offered_rps: float = 250.0,
+    seed: int = 0,
+    divergent: bool = False,
+    operator_rollback: bool = False,
+    publish_at: float = 0.25,
+    rollout=None,
+    drain_timeout_s: float = 60.0,
+    terminal_wait_s: float = 15.0,
+    **cluster_kwargs,
+) -> RolloutDrillResult:
+    """Drive a live rollout under sustained open-loop load, end to end.
+
+    Builds a cluster serving ``model``, offers ``requests`` Poisson
+    arrivals at ``offered_rps`` with non-blocking admission, and — once
+    the arrival cursor crosses ``publish_at`` (a fraction of the
+    schedule) — publishes a v2 artifact and lets the canary → promote →
+    commit sequence ride the drill's own traffic:
+
+    * the default v2 is the serving network stamped with new release
+      metadata: byte-distinct digest, bit-identical outputs — it must
+      canary cleanly and commit with **zero shed and zero lost
+      requests**;
+    * ``divergent=True`` publishes a genuinely different network
+      (fresh weights), which must auto-roll back on the first mismatch
+      while every client answer keeps coming from the stable digest;
+    * ``operator_rollback=True`` aborts the rollout by hand midway
+      through the remaining schedule, exercising the ``rollback`` CLI
+      path.
+
+    Every completed output is verified bit-identical to a fault-free
+    single-process baseline over the same images (served by whichever
+    digest ended up active — both are output-identical unless the drill
+    was divergent, in which case the divergent artifact must never have
+    served a client answer).  A future unresolved ``drain_timeout_s``
+    after its submission raises — a rollout must never lose admitted
+    work.
+    """
+    from repro.models.zoo import build_phonebit_network, get_serving_config
+    from repro.serving.cluster import (
+        ClusterOverloadError,
+        ClusterService,
+        RetryPolicy,
+        WorkerCrashError,
+    )
+
+    if requests <= 0:
+        raise ValueError("requests must be positive")
+    if not 0.0 <= publish_at <= 1.0:
+        raise ValueError("publish_at must be in [0, 1]")
+
+    config = get_serving_config(model)
+    images = synthetic_images(config.input_shape, requests, seed=seed)
+    # The candidate artifact: fresh weights when divergent (the canary
+    # must catch it), otherwise the serving network stamped so only the
+    # serialized bytes — and therefore the digest — change.
+    if divergent:
+        v2 = build_phonebit_network(config, rng=7 + seed)
+        v2.metadata["release"] = "drill-divergent"
+    else:
+        v2 = build_phonebit_network(config)
+        v2.metadata["release"] = "drill-v2"
+
+    cluster_kwargs.setdefault("models", (model,))
+    cluster_kwargs.setdefault("retry", RetryPolicy())
+    cluster = ClusterService(workers=workers, **cluster_kwargs)
+
+    rng = np.random.default_rng(seed)
+    offsets = poisson_offsets(rng, offered_rps, requests)
+    publish_index = min(requests - 1, int(publish_at * requests))
+    rollback_index = min(requests - 1,
+                         publish_index + max(1, (requests - publish_index) // 2))
+    futures: dict = {}
+    outputs: dict = {}
+    shed = 0
+    failed = 0
+    new_digest = ""
+    try:
+        def arrive(index: int) -> None:
+            nonlocal shed, new_digest
+            if index == publish_index:
+                new_digest = cluster.publish(v2, model=model, rollout=rollout)
+            if operator_rollback and index == rollback_index:
+                try:
+                    cluster.rollback(model, reason="drill operator rollback")
+                except (KeyError, RuntimeError):
+                    pass  # already terminal — nothing to abort
+            try:
+                futures[index] = cluster.submit(model, images[index],
+                                                block=False)
+            except ClusterOverloadError:
+                shed += 1
+
+        t0 = run_arrival_schedule(offsets, arrive)
+        for index, future in futures.items():
+            budget = drain_timeout_s - (time.perf_counter() - t0)
+            try:
+                outputs[index] = future.result(timeout=max(1.0, budget))
+            except WorkerCrashError:
+                failed += 1
+            except FuturesTimeoutError:
+                raise RuntimeError(
+                    f"hung future: request {index} unresolved "
+                    f"{drain_timeout_s:.0f}s after submission — the cluster "
+                    f"lost track of admitted work during the rollout")
+        # Bounded wait for the controller to reach a terminal phase (the
+        # monitor thread keeps ticking timeouts, so this cannot hang).
+        deadline = time.perf_counter() + terminal_wait_s
+        status = cluster.rollout_status(model)[0]
+        while (status["phase"] not in ("committed", "rolled_back")
+               and time.perf_counter() < deadline):
+            time.sleep(0.05)
+            status = cluster.rollout_status(model)[0]
+        timeline = tuple(cluster.rollout_timeline(model))
+        wall_s = time.perf_counter() - t0
+        baseline = cluster.baseline_service()
+        try:
+            expected = run_closed_loop(baseline, model, images).outputs
+        finally:
+            baseline.close()
+    finally:
+        cluster.close()
+    bit_identical = all(
+        np.array_equal(row, expected[index]) for index, row in outputs.items()
+    )
+    return RolloutDrillResult(
+        wall_s=wall_s,
+        completed=len(outputs),
+        shed=shed,
+        failed=failed,
+        phase=str(status["phase"]),
+        rollback_reason=status["rollback_reason"],
+        old_digest=str(status["old_digest"]),
+        new_digest=str(status["new_digest"]),
+        canary=dict(status["canary"]),
+        bit_identical=bit_identical,
+        timeline=timeline,
         outputs=outputs,
     )
 

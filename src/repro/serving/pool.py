@@ -7,6 +7,16 @@ from a ``.pbit`` file) and warmed immediately: every lazy packed-weight
 cache is populated *and* the fused execution plan is compiled at load time
 (``Network.warm`` → :func:`repro.core.plan.get_plan`), so the first user
 request pays neither packing nor plan-compilation cost.
+
+Entries are keyed by **(model name, artifact digest)**: a model may hold
+several content-addressed *versions* simultaneously, of which exactly one
+is *active* (served when no digest is requested).  This is what makes a
+live rollout an atomic pointer flip — :meth:`ModelPool.set_active` swaps
+which warmed network answers for the name, the outgoing version stays
+warm and resident for instant rollback, and a digest-tagged request can
+always reach the exact version it was routed for.  Callers that never
+version (the single-process service, tests) use the default digest ``""``
+and see the historical name-keyed behaviour unchanged.
 """
 
 from __future__ import annotations
@@ -14,7 +24,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core import plan as plan_mod
 from repro.core.network import Network
@@ -33,10 +43,12 @@ class PoolEntry:
     fused_steps: int = 0
     #: Resolved kernel backend of the warmed plan ("numpy" until warmed).
     backend: str = "numpy"
+    #: Artifact digest this entry was registered under ("" when unversioned).
+    digest: str = ""
 
 
 class ModelPool:
-    """Thread-safe pool of warmed networks keyed by serving-model name.
+    """Thread-safe pool of warmed networks keyed by (model name, digest).
 
     ``backend`` is the kernel-backend spec applied while warming
     (:data:`repro.core.backends.BACKEND_CHOICES`; ``None`` defers to
@@ -58,7 +70,10 @@ class ModelPool:
         self.backend = backend
         self.strict = strict
         self._lock = threading.RLock()
-        self._entries: Dict[str, PoolEntry] = {}
+        #: name -> digest -> entry; every resident version of every model.
+        self._entries: Dict[str, Dict[str, PoolEntry]] = {}
+        #: name -> digest of the version served when no digest is asked for.
+        self._active: Dict[str, str] = {}
         #: Per-key events marking builds in flight, so concurrent first
         #: requests for one model build once while the pool lock stays free
         #: (a multi-second VGG16 build must not stall lookups of hot models).
@@ -101,10 +116,30 @@ class ModelPool:
     def __contains__(self, name: str) -> bool:
         return self.canonical_name(name) in self.available()
 
+    def digests(self, name: str) -> Tuple[str, ...]:
+        """Resident version digests for ``name`` (sorted)."""
+        key = self.canonical_name(name)
+        with self._lock:
+            return tuple(sorted(self._entries.get(key, {})))
+
+    def active_digest(self, name: str) -> str:
+        """Digest of the version currently served for untagged requests."""
+        key = self.canonical_name(name)
+        with self._lock:
+            if key not in self._active:
+                raise KeyError(f"model {name!r} is not loaded")
+            return self._active[key]
+
     # ------------------------------------------------------------- loading
     def register(self, network: Network, name: Optional[str] = None,
-                 warm: bool = True) -> Network:
-        """Adopt an externally built network (warming it by default)."""
+                 warm: bool = True, digest: str = "",
+                 activate: bool = True) -> Network:
+        """Adopt an externally built network (warming it by default).
+
+        ``digest`` versions the entry; ``activate=False`` stages it without
+        changing which version untagged requests are served (the fetch-ahead
+        half of a rollout — the swap itself is :meth:`set_active`).
+        """
         key = name or network.name
         warm_ms = 0.0
         fused_steps = 0
@@ -117,31 +152,105 @@ class ModelPool:
             fused_steps = plan.fused_step_count
             backend = plan.backend_spec
         with self._lock:
-            self._entries[key] = PoolEntry(
+            versions = self._entries.setdefault(key, {})
+            versions[digest] = PoolEntry(
                 network, build_ms=0.0, warm_ms=warm_ms,
-                fused_steps=fused_steps, backend=backend,
+                fused_steps=fused_steps, backend=backend, digest=digest,
             )
+            if activate or key not in self._active:
+                self._active[key] = digest
         return network
 
-    def get(self, name: str) -> Network:
+    def set_active(self, name: str, digest: str) -> Network:
+        """Atomically flip which resident version serves untagged requests.
+
+        This is the worker-local commit of a rollout: one pointer swap
+        under the pool lock — requests already running keep their network
+        reference, requests resolved after the swap get the new version,
+        and no request can observe a mix.
+        """
+        key = self.canonical_name(name)
+        with self._lock:
+            versions = self._entries.get(key, {})
+            if digest not in versions:
+                raise KeyError(
+                    f"model {name!r} has no resident version "
+                    f"{digest[:16] or '<unversioned>'}...; resident: "
+                    f"{sorted(versions)}")
+            self._active[key] = digest
+            return versions[digest].network
+
+    def remove(self, name: str, digest: str) -> PoolEntry:
+        """Drop one resident version (never the active one).
+
+        Returns the removed entry so the caller can release whatever
+        backing storage (a shared-memory view) the network mapped.
+        """
+        key = self.canonical_name(name)
+        with self._lock:
+            versions = self._entries.get(key, {})
+            if digest not in versions:
+                raise KeyError(
+                    f"model {name!r} has no resident version "
+                    f"{digest[:16] or '<unversioned>'}...")
+            if self._active.get(key) == digest:
+                raise ValueError(
+                    f"version {digest[:16] or '<unversioned>'}... is the "
+                    f"active version of {name!r}; activate another version "
+                    f"before removing it")
+            entry = versions.pop(digest)
+            if not versions:
+                del self._entries[key]
+                self._active.pop(key, None)
+            return entry
+
+    def evict(self, name: str) -> List[PoolEntry]:
+        """Drop *every* resident version of ``name`` (pin revocation).
+
+        Unlike :meth:`remove` this may take out the active version too —
+        the caller is withdrawing the whole model from this pool, not
+        swapping versions.  Returns the removed entries so the backing
+        storage can be released; an unknown name returns ``[]``.
+        """
+        key = self.canonical_name(name)
+        with self._lock:
+            versions = self._entries.pop(key, None)
+            self._active.pop(key, None)
+            return list(versions.values()) if versions else []
+
+    def get(self, name: str, digest: Optional[str] = None) -> Network:
         """Return the warmed network for ``name``, building it on first use.
 
-        Concurrent first requests for the same model build one copy (the
-        losers wait on the builder), and the build itself runs *outside*
-        the pool lock so lookups of already-loaded models never stall
-        behind a slow build.
+        ``digest`` selects one resident version explicitly (a digest-tagged
+        rollout request); ``None`` serves the active version.  Concurrent
+        first requests for the same model build one copy (the losers wait
+        on the builder), and the build itself runs *outside* the pool lock
+        so lookups of already-loaded models never stall behind a slow
+        build.
         """
         key = self.canonical_name(name)
         while True:
             with self._lock:
-                entry = self._entries.get(key)
-                if entry is not None:
-                    return entry.network
+                versions = self._entries.get(key)
+                if versions is not None:
+                    wanted = self._active[key] if digest is None else digest
+                    entry = versions.get(wanted)
+                    if entry is not None:
+                        return entry.network
+                    if digest is not None:
+                        raise KeyError(
+                            f"model {name!r} has no resident version "
+                            f"{digest[:16] or '<unversioned>'}...; resident: "
+                            f"{sorted(versions)}")
                 if self.strict:
                     raise KeyError(
                         f"model {name!r} is not attached to this strict "
                         f"pool; attached: {sorted(self._entries)}"
                     )
+                if digest is not None and digest != "":
+                    raise KeyError(
+                        f"model {name!r} has no resident version "
+                        f"{digest[:16]}... (zoo builds are unversioned)")
                 build_done = self._building.get(key)
                 if build_done is None:
                     self._building[key] = threading.Event()
@@ -162,11 +271,12 @@ class ModelPool:
             warm_ms = (time.perf_counter() - t0) * 1000.0
             plan = plan_mod.get_plan(network)
             with self._lock:
-                self._entries[key] = PoolEntry(
+                self._entries.setdefault(key, {})[""] = PoolEntry(
                     network, build_ms=build_ms, warm_ms=warm_ms,
                     fused_steps=plan.fused_step_count,
                     backend=plan.backend_spec,
                 )
+                self._active.setdefault(key, "")
             return network
         finally:
             with self._lock:
@@ -174,10 +284,16 @@ class ModelPool:
             if event is not None:
                 event.set()
 
-    def entry(self, name: str) -> PoolEntry:
+    def entry(self, name: str, digest: Optional[str] = None) -> PoolEntry:
         """Pool entry (network + load accounting) for a loaded model."""
         key = self.canonical_name(name)
         with self._lock:
-            if key not in self._entries:
+            versions = self._entries.get(key)
+            if not versions:
                 raise KeyError(f"model {name!r} is not loaded; call get() first")
-            return self._entries[key]
+            wanted = self._active[key] if digest is None else digest
+            if wanted not in versions:
+                raise KeyError(
+                    f"model {name!r} has no resident version "
+                    f"{wanted[:16] or '<unversioned>'}...")
+            return versions[wanted]

@@ -334,6 +334,13 @@ class LeastOutstandingRouter:
         self._outstanding: Dict[str, int] = {}
         #: Declared servable models per worker; ``None`` = serves any model.
         self._models: Dict[str, Optional[Set[str]]] = {}
+        #: Declared resident artifact versions per worker:
+        #: ``worker -> model -> {digest}``.  Orthogonal to ``_models``:
+        #: the model declaration answers "may this worker serve the
+        #: model at all", the digest declaration answers "which exact
+        #: artifact versions does it hold" — a rollout stages the new
+        #: digest here before any request may be routed to it.
+        self._digests: Dict[str, Dict[str, Set[str]]] = {}
         #: Registration generation per worker id (kept after removal so a
         #: re-registration under the same id gets a strictly newer value).
         self._generations: Dict[str, int] = {}
@@ -486,7 +493,9 @@ class LeastOutstandingRouter:
             self._models[worker] = declared
             # A fresh incarnation starts with a clean bill of health — the
             # process (or connection) the bad history belonged to is gone.
+            # Its digest declarations died with the old process too.
             self._health.pop(worker, None)
+            self._digests.pop(worker, None)
             self._generation_counter += 1
             self._generations[worker] = self._generation_counter
             return self._generation_counter
@@ -499,11 +508,74 @@ class LeastOutstandingRouter:
             if served is not None:
                 served.add(model)
 
+    def remove_worker_model(self, worker: str, model: str) -> None:
+        """Withdraw one model from a worker's served set (pin revocation).
+
+        Also drops every version declaration the worker held for the
+        model: a detached artifact must stop attracting digest-tagged
+        traffic the moment the front end decides to revoke it, not when
+        the worker's detach ack arrives.  No-op for unknown workers or
+        serve-anything workers.
+        """
+        with self._lock:
+            served = self._models.get(worker)
+            if served is not None:
+                served.discard(model)
+            by_model = self._digests.get(worker)
+            if by_model is not None:
+                by_model.pop(model, None)
+                if not by_model:
+                    self._digests.pop(worker, None)
+
     def worker_models(self, worker: str) -> Optional[Set[str]]:
         """Declared servable models for ``worker`` (``None`` = any)."""
         with self._lock:
             served = self._models.get(worker)
             return None if served is None else set(served)
+
+    # --------------------------------------------------------- digest layer
+    def declare_digest(self, worker: str, model: str, digest: str) -> None:
+        """Declare that ``worker`` holds artifact version ``digest`` of
+        ``model`` (no-op for unregistered workers).
+
+        Digest-tagged acquires (:meth:`acquire` with ``digest=``) route
+        only to declaring holders, so a rollout's canary traffic cannot
+        reach a worker before its prepare ack declared the new version.
+        """
+        with self._lock:
+            if worker not in self._outstanding:
+                return
+            by_model = self._digests.setdefault(worker, {})
+            by_model.setdefault(model, set()).add(digest)
+
+    def revoke_digest(self, worker: str, model: str, digest: str) -> None:
+        """Withdraw a version declaration (no-op when absent) — the
+        worker detached the artifact, or a rollback retired it."""
+        with self._lock:
+            by_model = self._digests.get(worker)
+            if not by_model:
+                return
+            held = by_model.get(model)
+            if held is None:
+                return
+            held.discard(digest)
+            if not held:
+                del by_model[model]
+            if not by_model:
+                self._digests.pop(worker, None)
+
+    def digest_holders(self, model: str, digest: str) -> List[str]:
+        """Registered workers declaring ``digest`` of ``model``, sorted."""
+        with self._lock:
+            return sorted(
+                worker for worker in self._outstanding
+                if digest in self._digests.get(worker, {}).get(model, ())
+            )
+
+    def worker_digests(self, worker: str, model: str) -> Set[str]:
+        """Versions of ``model`` declared resident on ``worker``."""
+        with self._lock:
+            return set(self._digests.get(worker, {}).get(model, ()))
 
     def generation(self, worker: str) -> Optional[int]:
         """Current registration generation of ``worker`` (``None`` if it is
@@ -527,6 +599,7 @@ class LeastOutstandingRouter:
             count = self._outstanding.pop(worker, 0)
             self._models.pop(worker, None)
             self._health.pop(worker, None)
+            self._digests.pop(worker, None)
             self._completed += count
             return count
 
@@ -645,7 +718,8 @@ class LeastOutstandingRouter:
     def acquire(self, model: str, force: bool = False,
                 record_shed: bool = True,
                 exclude: Optional[Sequence[str]] = None,
-                slo: Optional[str] = None) -> Optional[str]:
+                slo: Optional[str] = None,
+                digest: Optional[str] = None) -> Optional[str]:
         """Reserve a dispatch slot; returns the worker id or ``None`` (shed).
 
         The caller owns the returned slot and must pair it with
@@ -664,6 +738,10 @@ class LeastOutstandingRouter:
         class: with :meth:`set_slo_reserves` configured, the class's
         tiered bound replaces ``max_outstanding`` for non-forced acquires,
         so lower tiers shed first and never touch the reserved headroom.
+        ``digest`` pins the dispatch to workers *declaring* that artifact
+        version of the model (:meth:`declare_digest`) — like the
+        declared-model restriction, it holds even under ``force``: a
+        version-tagged request must never execute against other weights.
         """
         excluded = frozenset(exclude) if exclude else frozenset()
         slo = validate_slo(slo)
@@ -675,6 +753,9 @@ class LeastOutstandingRouter:
             best_key = None
             for worker in eligible:
                 if worker in excluded:
+                    continue
+                if digest is not None and digest not in \
+                        self._digests.get(worker, {}).get(model, ()):
                     continue
                 count = self._outstanding[worker]
                 if count >= bound and not force:

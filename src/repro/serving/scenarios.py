@@ -693,6 +693,9 @@ class ScenarioResult:
     hedges: int
     respawns: int
     fault_events: tuple = ()
+    #: Terminal (or last observed) phase of a live rollout driven through
+    #: the pass via ``rollout_model`` (``None`` when no rollout ran).
+    rollout_phase: Optional[str] = None
 
     @property
     def offered(self) -> int:
@@ -790,6 +793,9 @@ def run_scenario(
     image_pool: int = 32,
     drain_timeout_s: float = 60.0,
     rebalance_pins: bool = False,
+    rollout_model: Optional[str] = None,
+    rollout_at: float = 0.5,
+    rollout_config=None,
     **cluster_kwargs,
 ) -> ScenarioResult:
     """Drive a cluster through one compiled scenario pass.
@@ -806,6 +812,15 @@ def run_scenario(
     a fault-free single-process baseline over the same images; a future
     unresolved ``drain_timeout_s`` after the last arrival raises —
     silent loss never reports as success.
+
+    ``rollout_model`` names one scenario model to republish mid-pass: a
+    byte-distinct but output-identical v2 artifact is published once the
+    arrival cursor crosses ``rollout_at`` (a fraction of the schedule),
+    and the canary/promote/commit sequence rides the scenario's own
+    traffic.  The pass's bit-identical verification is unchanged — a
+    rollout that perturbs even one answer fails the whole scenario —
+    and the rollout's final phase lands in ``ScenarioResult
+    .rollout_phase``.
     """
     from repro.serving.cluster import (
         DEFAULT_SLO_POLICIES,
@@ -815,7 +830,7 @@ def run_scenario(
         RetryPolicy,
         WorkerCrashError,
     )
-    from repro.models.zoo import get_serving_config
+    from repro.models.zoo import build_phonebit_network, get_serving_config
     from repro.serving.loadgen import (
         run_arrival_schedule,
         run_closed_loop,
@@ -845,6 +860,26 @@ def run_scenario(
         images[model] = synthetic_images(
             config.input_shape, image_pool, seed=seed)
 
+    rollout_network = None
+    rollout_trigger = -1
+    if rollout_model is not None:
+        matches = [m for m in models if m.lower() == rollout_model.lower()]
+        if not matches:
+            raise ValueError(
+                f"rollout_model {rollout_model!r} is not a scenario model; "
+                f"scenario models: {models}")
+        rollout_model = matches[0]
+        if not 0.0 <= rollout_at <= 1.0:
+            raise ValueError("rollout_at must be in [0, 1]")
+        # Same weights as the cluster's published artifact, stamped so the
+        # serialized bytes (and therefore the digest) differ: a v2 release
+        # of an unchanged model, the safe-rollout base case.
+        rollout_network = build_phonebit_network(
+            get_serving_config(rollout_model))
+        rollout_network.metadata["release"] = "scenario-v2"
+        rollout_trigger = min(len(offsets) - 1,
+                              int(rollout_at * len(offsets)))
+
     tenant_count = len(spec.tenants)
     offered = [0] * tenant_count
     shed = [0] * tenant_count
@@ -872,6 +907,9 @@ def run_scenario(
     )
     try:
         def arrive(arrival: int) -> None:
+            if arrival == rollout_trigger and rollout_network is not None:
+                cluster.publish(rollout_network, model=rollout_model,
+                                rollout=rollout_config)
             tenant_i = int(tenant_index[arrival])
             tenant = spec.tenants[tenant_i]
             model = model_names[arrival]
@@ -919,6 +957,19 @@ def run_scenario(
             latencies[tenant_i].append(latency_s)
             if latency_s * 1000.0 <= budgets[tenant_i]:
                 within[tenant_i] += 1
+        rollout_phase = None
+        if rollout_network is not None:
+            # Arrivals have drained; give the controller a bounded window
+            # to reach a terminal phase (commit finalize, or timeout →
+            # rollback) before we report.  The monitor thread keeps
+            # ticking the state machine while we wait.
+            deadline = time.perf_counter() + 15.0
+            while time.perf_counter() < deadline:
+                status = cluster.rollout_status(rollout_model)
+                rollout_phase = status[0]["phase"] if status else None
+                if rollout_phase in ("committed", "rolled_back"):
+                    break
+                time.sleep(0.05)
         wall_s = time.perf_counter() - t0
         fault_events = tuple(cluster.fault_events)
         detail = cluster.cluster_report()
@@ -982,6 +1033,7 @@ def run_scenario(
         pin_suggestion=pin_suggestion, pins_applied=pins_applied,
         retries=detail.retries, hedges=detail.hedges,
         respawns=detail.respawns, fault_events=fault_events,
+        rollout_phase=rollout_phase,
     )
 
 

@@ -29,7 +29,7 @@ import numpy as np
 from repro.analysis.reporting import format_kv
 from repro.core.engine import PhoneBitEngine, split_batch_output
 from repro.core.network import Network
-from repro.serving.cache import CacheStats, LRUResponseCache, input_digest
+from repro.serving.cache import CacheStats, LRUResponseCache, response_cache_key
 from repro.serving.metrics import LatencySummary, LatencyTracker
 from repro.serving.pool import ModelPool
 from repro.serving.scheduler import BatchingScheduler, SchedulerStats
@@ -117,20 +117,61 @@ class ServiceReport:
         return format_kv(rows, title=f"Serving report — {self.model}")
 
 
-class _ModelState:
-    """Per-model bookkeeping owned by the service."""
+class _VersionState:
+    """One resident artifact version: its network and its own scheduler.
 
-    def __init__(self, key: str, network: Network,
+    Schedulers are per *version*, not per model: a micro-batch is executed
+    against exactly one network, so during a rollout (two versions of one
+    model live at once) stable and canary requests must never be stacked
+    into the same batch.
+    """
+
+    def __init__(self, digest: str, network: Network,
                  scheduler: BatchingScheduler) -> None:
-        self.key = key
+        self.digest = digest
         self.network = network
         self.scheduler = scheduler
+
+
+class _ModelState:
+    """Per-model bookkeeping owned by the service.
+
+    Metrics (latency, request and cache counters) aggregate over every
+    version served under the name — a rollout does not split the model's
+    operational report in two.
+    """
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+        self.versions: Dict[str, _VersionState] = {}
         self.latencies = LatencyTracker()
         self.requests = 0
         self.cache_hits = 0
         self.cache_misses = 0
         self.first_submit: Optional[float] = None
         self.last_done: Optional[float] = None
+
+
+def _merge_scheduler_stats(stats: List[SchedulerStats]) -> SchedulerStats:
+    """Aggregate per-version scheduler stats into one per-model view."""
+    if len(stats) == 1:
+        return stats[0]
+    if not stats:  # every version retired since the last request
+        return SchedulerStats(submitted=0, completed=0, failed=0)
+    triggers: Dict[str, int] = {}
+    for s in stats:
+        for name, count in s.trigger_counts.items():
+            triggers[name] = triggers.get(name, 0) + count
+    return SchedulerStats(
+        submitted=sum(s.submitted for s in stats),
+        completed=sum(s.completed for s in stats),
+        failed=sum(s.failed for s in stats),
+        batch_count=sum(s.batch_count for s in stats),
+        batched_requests=sum(s.batched_requests for s in stats),
+        trigger_counts=triggers,
+        batches=[b for s in stats for b in s.batches],
+        max_queue_depth=max(s.max_queue_depth for s in stats),
+    )
 
 
 class InferenceService:
@@ -212,47 +253,51 @@ class InferenceService:
 
         return execute
 
-    def _state_for(self, model: str) -> _ModelState:
+    def _state_for(self, model: str,
+                   digest: Optional[str] = None) -> tuple:
         # Per-model state (scheduler, metrics, cache namespace) is keyed by
         # the pool's canonical name so "microcnn" and "MicroCNN" share one
         # scheduler and one report rather than splitting traffic in two.
+        # Within a model, each resident *version* gets its own scheduler so
+        # a micro-batch never mixes artifact digests.
         key = self.pool.canonical_name(model)
-        with self._lock:
-            if self._closed:
-                raise RuntimeError("service is closed")
-            state = self._models.get(key)
-            if state is not None:
-                return state
         # Build/fetch outside the service lock: a multi-second cold build
         # (VGG16 at 224²) must not stall submissions for hot models.
-        network = self.pool.get(key)
+        network = self.pool.get(key, digest)
+        resolved = digest if digest is not None else self.pool.active_digest(key)
         with self._lock:
             if self._closed:
                 raise RuntimeError("service is closed")
             state = self._models.get(key)
             if state is None:
+                state = _ModelState(key)
+                self._models[key] = state
+            version = state.versions.get(resolved)
+            if version is None:
                 scheduler = BatchingScheduler(
                     self._executor_for(network),
                     max_batch_size=self.max_batch_size,
                     max_wait_ms=self.max_wait_ms,
-                    name=f"serve-{key}",
+                    name=f"serve-{key}" + (f"@{resolved[:12]}" if resolved else ""),
                 )
-                state = _ModelState(key, network, scheduler)
-                self._models[key] = state
-            return state
+                version = _VersionState(resolved, network, scheduler)
+                state.versions[resolved] = version
+            return state, version
 
-    def _coerce_image(self, state: _ModelState, image: np.ndarray) -> np.ndarray:
+    def _coerce_image(self, version: _VersionState,
+                      image: np.ndarray) -> np.ndarray:
         image = np.asarray(image)
-        expected = state.network.input_shape
+        expected = version.network.input_shape
         if image.shape != expected:
             raise ValueError(
-                f"{state.network.name}: expected one image of shape {expected}, "
-                f"got {image.shape}"
+                f"{version.network.name}: expected one image of shape "
+                f"{expected}, got {image.shape}"
             )
         return image
 
     # ------------------------------------------------------------- requests
-    def submit(self, model: str, image: np.ndarray) -> Future:
+    def submit(self, model: str, image: np.ndarray,
+               digest: Optional[str] = None) -> Future:
         """Enqueue one inference request; resolves to the output row.
 
         The result has the network's per-image output shape (no leading
@@ -260,22 +305,28 @@ class InferenceService:
         ``engine.run`` would produce for the same input.  Responses are
         read-only arrays (they may be shared with the response cache and
         other clients); copy before mutating.
+
+        ``digest`` pins the request to one resident artifact version (a
+        rollout's digest-tagged routing); ``None`` serves whatever version
+        is active.
         """
-        state = self._state_for(model)
-        image = self._coerce_image(state, image)
+        state, version = self._state_for(model, digest)
+        image = self._coerce_image(version, image)
         t_submit = time.perf_counter()
         with self._lock:
             state.requests += 1
             if state.first_submit is None:
                 state.first_submit = t_submit
 
-        # The digest is namespaced by the *pool key*, not ``network.name``:
-        # two registered models may wrap networks sharing a name (e.g. a
-        # prod and a canary build of the same architecture) and must never
-        # serve each other's cached responses.
+        # The response-cache key carries the *artifact digest*, not just the
+        # model name: two versions of one model (a rollout's stable and
+        # canary weights) produce different rows for the same image, and a
+        # rollback must never serve a response computed by the version that
+        # was rolled back.
         # NB: "is not None" — the cache defines __len__, so an *empty* cache
         # is falsy and a plain truthiness check would disable it.
-        key = input_digest(state.key, image) if self.cache is not None else None
+        key = (response_cache_key(state.key, version.digest, image)
+               if self.cache is not None else None)
         if key is not None:
             cached = self.cache.get(key)
             if cached is not None:
@@ -290,7 +341,7 @@ class InferenceService:
             with self._lock:
                 state.cache_misses += 1
 
-        inner = state.scheduler.submit(image)
+        inner = version.scheduler.submit(image)
         # The client gets a service-owned future resolved only *after* the
         # bookkeeping below has run.  Resolving the scheduler's own future
         # wakes its waiters before done-callbacks fire, so handing that one
@@ -342,8 +393,51 @@ class InferenceService:
                 states = [state] if state is not None else []
             else:
                 states = list(self._models.values())
-        for state in states:
-            state.scheduler.flush()
+            schedulers = [v.scheduler for s in states for v in s.versions.values()]
+        for scheduler in schedulers:
+            scheduler.flush()
+
+    def retire(self, model: str, digest: str) -> None:
+        """Drain and drop one resident version of ``model``.
+
+        Flushes and closes the version's scheduler (in-flight requests
+        complete against the old network first), drops the version state
+        and removes the pool entry — after this, no reference into the
+        version's backing storage remains in the service, so the caller
+        may safely unmap it.  Retiring the *active* version is refused;
+        a version that never served is a no-op beyond the pool removal.
+        """
+        key = self.pool.canonical_name(model)
+        if self.pool.active_digest(key) == digest:
+            raise ValueError(
+                f"version {digest[:16] or '<unversioned>'}... is the active "
+                f"version of {model!r}; swap the active version first")
+        with self._lock:
+            state = self._models.get(key)
+            version = state.versions.pop(digest, None) if state else None
+        if version is not None:
+            version.scheduler.close(drain=True)
+            version.network = None  # type: ignore[assignment]
+        self.pool.remove(key, digest)
+
+    def evict(self, model: str) -> None:
+        """Drain and drop *every* resident version of ``model``.
+
+        The pin-revocation counterpart of :meth:`retire`: the model is
+        being withdrawn from this service entirely (its pin moved to
+        another worker), so the active version goes too.  In-flight
+        requests drain against their networks first; afterwards no
+        reference into any version's backing storage remains here.
+        """
+        key = self.pool.canonical_name(model)
+        with self._lock:
+            state = self._models.pop(key, None)
+        if state is not None:
+            for version in state.versions.values():
+                version.scheduler.close(drain=True)
+                version.network = None  # type: ignore[assignment]
+            state.versions.clear()
+        self.pool.evict(key)
 
     def close(self, drain: bool = True) -> None:
         """Shut every scheduler down (draining pending work by default)."""
@@ -351,9 +445,10 @@ class InferenceService:
             if self._closed:
                 return
             self._closed = True
-            states = list(self._models.values())
-        for state in states:
-            state.scheduler.close(drain=drain)
+            schedulers = [v.scheduler for s in self._models.values()
+                          for v in s.versions.values()]
+        for scheduler in schedulers:
+            scheduler.close(drain=drain)
 
     def __enter__(self) -> "InferenceService":
         return self
@@ -374,6 +469,7 @@ class InferenceService:
             requests = state.requests
             cache_hits = state.cache_hits
             cache_misses = state.cache_misses
+            schedulers = [v.scheduler for v in state.versions.values()]
         duration = (last - first) if (first is not None and last is not None) else 0.0
         return ServiceReport(
             model=key,
@@ -383,7 +479,8 @@ class InferenceService:
             cache_hits=cache_hits,
             cache_misses=cache_misses,
             latency=state.latencies.summary(),
-            scheduler=state.scheduler.stats(),
+            scheduler=_merge_scheduler_stats(
+                [s.stats() for s in schedulers]),
             cache=self.cache.stats() if self.cache is not None else None,
         )
 

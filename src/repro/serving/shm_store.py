@@ -243,24 +243,103 @@ class SharedModelStore:
         self.prefix = prefix
         self._segments: Dict[str, shared_memory.SharedMemory] = {}
         self._handles: Dict[str, ShmModelHandle] = {}
+        #: Every published version, active or staged, keyed by its digest:
+        #: ``digest -> (segment_key, handle)``.  ``_handles`` only ever
+        #: names the *active* version per model; a live rollout keeps the
+        #: outgoing and incoming artifacts resident here simultaneously.
+        self._by_digest: Dict[str, Tuple[str, ShmModelHandle]] = {}
         # Best-effort unlink when the owner exits without close(); SIGKILL
         # is covered by the stdlib resource tracker instead.
         self._finalizer = weakref.finalize(self, _close_segments, self._segments)
 
     # ------------------------------------------------------------- publish
+    def _publish_raw(self, raw: bytes, key: str,
+                     segment_key: str) -> ShmModelHandle:
+        digest = artifact_digest(raw)
+        if digest in self._by_digest:
+            # Content addressing makes re-publishing the same bytes a no-op:
+            # the artifact is already resident under this digest.
+            return self._by_digest[digest][1]
+        shm = _QuietSharedMemory(create=True, size=len(raw))
+        shm.buf[: len(raw)] = raw
+        self._segments[segment_key] = shm
+        handle = ShmModelHandle(model=key, shm_name=shm.name, nbytes=len(raw),
+                                digest=digest)
+        self._by_digest[digest] = (segment_key, handle)
+        return handle
+
     def publish(self, network: Network, name: Optional[str] = None) -> ShmModelHandle:
         """Serialize ``network`` into a fresh segment; returns its handle."""
         key = name or network.name
         if key in self._handles:
             raise ValueError(f"model {key!r} is already published")
-        raw = serialize_network(network)
-        shm = _QuietSharedMemory(create=True, size=len(raw))
-        shm.buf[: len(raw)] = raw
-        self._segments[key] = shm
-        handle = ShmModelHandle(model=key, shm_name=shm.name, nbytes=len(raw),
-                                digest=artifact_digest(raw))
+        handle = self._publish_raw(serialize_network(network), key,
+                                   segment_key=key)
         self._handles[key] = handle
         return handle
+
+    def publish_version(self, network: Network,
+                        name: Optional[str] = None) -> ShmModelHandle:
+        """Publish a *new version* of an already-published model.
+
+        Unlike :meth:`publish`, the model name may (and normally does)
+        already exist: the new artifact gets its own segment and digest
+        while the currently active version keeps serving — this is the
+        staging half of a live rollout.  The active handle is untouched
+        until :meth:`activate` flips it; :meth:`retire_version` frees
+        whichever version lost.  Publishing bytes that are already
+        resident (same digest) returns the existing handle.
+        """
+        key = name or network.name
+        raw = serialize_network(network)
+        return self._publish_raw(raw, key,
+                                 segment_key=f"{key}@{artifact_digest(raw)[:12]}")
+
+    def activate(self, name: str, digest: str) -> ShmModelHandle:
+        """Make ``digest`` the active version served under ``name``.
+
+        The previous active version stays resident (instant rollback is
+        the point); free it explicitly with :meth:`retire_version` once
+        the fleet has detached it.
+        """
+        entry = self._by_digest.get(digest)
+        if entry is None:
+            raise KeyError(f"no published version with digest {digest[:16]}...")
+        _, handle = entry
+        if handle.model != name:
+            raise ValueError(
+                f"digest {digest[:16]}... was published for model "
+                f"{handle.model!r}, not {name!r}")
+        self._handles[name] = handle
+        return handle
+
+    def retire_version(self, digest: str) -> None:
+        """Unmap and unlink one non-active version (idempotent).
+
+        Refuses to retire the digest a model is actively serving — commit
+        or roll back first.
+        """
+        entry = self._by_digest.get(digest)
+        if entry is None:
+            return
+        segment_key, handle = entry
+        active = self._handles.get(handle.model)
+        if active is not None and active.digest == digest:
+            raise ValueError(
+                f"digest {digest[:16]}... is the active version of "
+                f"{handle.model!r}; activate another version before retiring")
+        del self._by_digest[digest]
+        shm = self._segments.pop(segment_key, None)
+        if shm is not None:
+            shm.close()
+            with contextlib.suppress(FileNotFoundError):
+                shm.unlink()
+
+    def version_handles(self, name: str) -> Dict[str, ShmModelHandle]:
+        """All resident versions of ``name``, keyed by digest."""
+        return {digest: handle
+                for digest, (_, handle) in self._by_digest.items()
+                if handle.model == name}
 
     def publish_models(self, models: Iterable[str], rng: int = 0,
                        word_size: int = 64) -> Dict[str, ShmModelHandle]:
@@ -299,9 +378,10 @@ class SharedModelStore:
         KeyError
             If no published model carries ``digest``.
         """
-        for key, handle in self._handles.items():
-            if handle.digest == digest:
-                return memoryview(self._segments[key].buf)[: handle.nbytes]
+        entry = self._by_digest.get(digest)
+        if entry is not None:
+            segment_key, handle = entry
+            return memoryview(self._segments[segment_key].buf)[: handle.nbytes]
         raise KeyError(f"no published model with digest {digest[:16]}...")
 
     # ------------------------------------------------------------- lifecycle
@@ -309,6 +389,7 @@ class SharedModelStore:
         """Unmap and unlink every published segment (idempotent)."""
         _close_segments(self._segments)
         self._handles.clear()
+        self._by_digest.clear()
         self._finalizer.detach()
 
     def __enter__(self) -> "SharedModelStore":
@@ -504,21 +585,39 @@ class HostModelCache:
 
     def _fetch_and_publish(self, handle: ShmModelHandle, cache_name: str,
                            fetch: Callable[[], bytes]) -> Optional[AttachedModel]:
-        """Fetch payload bytes, publish the cache segment, attach it."""
+        """Fetch payload bytes, publish the cache segment, attach it.
+
+        The segment is created (unready) *before* the fetch: the create is
+        the host-global claim on this digest, so when several workers race
+        to resolve the same artifact exactly one performs the transport
+        round trip — the losers see ``FileExistsError`` immediately and
+        wait on the winner's ready flag instead of fetching the same bytes
+        again.  (Creating after the fetch — the original order — let every
+        racer pay a full fetch before discovering it lost.)
+        """
         t0 = time.perf_counter()
-        raw = fetch()
-        if len(raw) != handle.nbytes or artifact_digest(raw) != handle.digest:
-            raise ValueError(
-                f"fetched artifact does not match digest "
-                f"{handle.digest[:16]}... (got {len(raw)} bytes)"
-            )
         try:
             shm = _QuietSharedMemory(name=cache_name, create=True,
                                      size=handle.nbytes + 1)
         except FileExistsError:
-            # Another worker on this host won the race — attach its segment
+            # Another worker on this host won the claim — attach its segment
             # on the next loop iteration (waiting for its ready flag).
             return None
+        try:
+            raw = fetch()
+            if len(raw) != handle.nbytes or artifact_digest(raw) != handle.digest:
+                raise ValueError(
+                    f"fetched artifact does not match digest "
+                    f"{handle.digest[:16]}... (got {len(raw)} bytes)"
+                )
+        except BaseException:
+            # A claimed-but-never-ready segment would strand every later
+            # attacher until their ready timeout; release the claim so a
+            # healthy worker can re-fetch.
+            with contextlib.suppress(FileNotFoundError):
+                shm.unlink()
+            shm.close()
+            raise
         shm.buf[: handle.nbytes] = bytes(raw)
         shm.buf[handle.nbytes] = 1  # ready: attachers may trust the payload
         self._segments[cache_name] = shm

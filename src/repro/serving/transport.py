@@ -960,7 +960,12 @@ def build_worker_service(attachments: Sequence, config):
     pool = ModelPool(backend=backend, strict=True)
     attach_ms: Dict[str, float] = {}
     for attached in attachments:
-        pool.register(attached.network, name=attached.handle.model, warm=True)
+        # Register under the artifact's real digest (not the legacy ""),
+        # so digest-tagged requests — every cluster dispatch carries the
+        # front end's serving digest — resolve to exactly these bytes,
+        # and a rollout can stage a second version beside this one.
+        pool.register(attached.network, name=attached.handle.model,
+                      warm=True, digest=attached.handle.digest)
         attach_ms[attached.handle.model] = attached.attach_ms
     service = InferenceService(
         pool=pool,
@@ -1071,9 +1076,9 @@ def _serve_session(channel: Channel, welcome, attachments_by_digest: Dict,
                     break
             kind = message[0]
             if kind == "reqs":
-                for rid, model, image in message[1]:
+                for rid, model, image, digest in message[1]:
                     _submit_one(service, _send_response, worker_id, rid,
-                                model, image)
+                                model, image, digest)
             elif kind == "attach":
                 # Dynamic re-pin: attach more published artifacts through
                 # the per-host digest cache (one wire fetch per host ever).
@@ -1093,11 +1098,87 @@ def _serve_session(channel: Channel, welcome, attachments_by_digest: Dict,
                         )
                         attachments_by_digest[digest] = attached
                     service.pool.register(attached.network, name=model,
-                                          warm=True)
+                                          warm=True, digest=digest)
                     _send_response(("attached", worker_id, model,
                                     (time.perf_counter() - t0) * 1000.0))
                 log(f"worker {worker_id}: attached "
                     f"{[m for m, *_ in message[1]]}")
+            elif kind == "prepare":
+                # Rollout staging: fetch-ahead and warm the *candidate*
+                # version while the stable one keeps serving.  Registered
+                # inactive — nothing routes to it until digest-tagged
+                # canary probes arrive, and untagged traffic never sees it
+                # before an explicit commit.
+                for model, digest, nbytes, shm_name in message[1]:
+                    t0 = time.perf_counter()
+                    try:
+                        attached = attachments_by_digest.get(digest)
+                        if attached is None:
+                            handle = ShmModelHandle(
+                                model=model,
+                                shm_name="" if force_fetch else shm_name,
+                                nbytes=nbytes, digest=digest,
+                            )
+                            attached = cache.attach(
+                                handle,
+                                fetch=lambda w=worker_id, d=digest:
+                                fetch_artifact(channel, w, d, defer=deferred),
+                            )
+                            attachments_by_digest[digest] = attached
+                        service.pool.register(attached.network, name=model,
+                                              warm=True, digest=digest,
+                                              activate=False)
+                    except TransportClosed:
+                        raise
+                    except Exception as exc:  # noqa: BLE001 - staging must not kill serving
+                        log(f"worker {worker_id}: prepare {model}@"
+                            f"{digest[:12]} failed: {exc}")
+                        continue  # no ack: the rollout's staging timeout rolls back
+                    _send_response(("prepared", worker_id, model, digest,
+                                    (time.perf_counter() - t0) * 1000.0))
+                    log(f"worker {worker_id}: staged {model}@{digest[:12]}")
+            elif kind == "commit":
+                # Rollout commit (or rollback re-commit of the old digest):
+                # an atomic worker-local pointer flip.
+                _, model, digest = message
+                try:
+                    service.pool.set_active(model, digest)
+                except KeyError as exc:
+                    log(f"worker {worker_id}: commit {model}@{digest[:12]} "
+                        f"failed: {exc}")
+                else:
+                    _send_response(("committed", worker_id, model, digest))
+                    log(f"worker {worker_id}: active {model}@{digest[:12]}")
+            elif kind == "detach":
+                # Attach revocation: drop resident versions (rollout
+                # cleanup) or whole models (pin shrink, digest "") and
+                # free the shm views backing them.
+                freed = 0
+                done_items = []
+                for model, digest in message[1]:
+                    try:
+                        if digest:
+                            service.retire(model, digest)
+                            victims = [digest]
+                        else:
+                            service.evict(model)
+                            victims = [d for d, a in
+                                       attachments_by_digest.items()
+                                       if d != "__cache__"
+                                       and a.handle.model == model]
+                    except (KeyError, ValueError) as exc:
+                        log(f"worker {worker_id}: detach {model}@"
+                            f"{digest[:12]} refused: {exc}")
+                        continue
+                    for victim in victims:
+                        attached = attachments_by_digest.pop(victim, None)
+                        if attached is not None:
+                            freed += attached.handle.nbytes
+                            attached.close()
+                    done_items.append((model, digest))
+                _send_response(("detached", worker_id, done_items, freed))
+                log(f"worker {worker_id}: detached {done_items} "
+                    f"({freed} bytes)")
             elif kind == "report":
                 _send_response(("reports", worker_id, message[1],
                                 service.reports()))
@@ -1121,12 +1202,18 @@ def _serve_session(channel: Channel, welcome, attachments_by_digest: Dict,
 
 
 def _submit_one(service, send: Callable[[tuple], None], worker_id: str,
-                rid: int, model: str, image: np.ndarray) -> None:
-    """Feed one routed request into the local service; answer via ``send``."""
+                rid: int, model: str, image: np.ndarray,
+                digest: str = "") -> None:
+    """Feed one routed request into the local service; answer via ``send``.
+
+    ``digest`` pins the request to one resident artifact version (every
+    cluster dispatch is version-tagged); ``""`` serves the active version.
+    """
     from concurrent.futures import Future
 
     try:
-        future = service.submit(model, np.asarray(image))
+        future = service.submit(model, np.asarray(image),
+                                digest=digest or None)
     except Exception as exc:
         send(("err", worker_id, rid, f"{type(exc).__name__}: {exc}"))
         return

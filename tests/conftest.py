@@ -1,9 +1,42 @@
 """Shared fixtures for the PhoneBit reproduction test-suite."""
 
+import signal
+
 import numpy as np
 import pytest
 
 from repro.core.fusion import BatchNormParams
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "timeout_s(seconds): fail the test with TimeoutError if it runs "
+        "longer than this wall-clock bound (SIGALRM-based; main thread "
+        "only — a hung multi-process test dies loudly instead of "
+        "stalling the whole suite)",
+    )
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    marker = item.get_closest_marker("timeout_s")
+    if marker is None or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+    seconds = int(marker.args[0])
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"{item.nodeid} exceeded its {seconds}s timeout_s bound")
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

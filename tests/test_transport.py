@@ -270,6 +270,82 @@ class TestHostModelCache:
                 first.close()
             assert len(fetches) == 1
 
+    def test_concurrent_fetch_ahead_one_round_trip_per_digest(self):
+        """Two digests resolving simultaneously on one host (the rollout
+        fetch-ahead shape: v1 still attaching on a late worker while v2's
+        prepare lands) perform exactly one blob round trip *each*.
+
+        The shm-create claim is the host-global lock: per digest, one
+        racer fetches and every other attacher waits on its ready flag.
+        A barrier inside the fetch path proves the two digests' round
+        trips genuinely overlap rather than serializing.
+        """
+        from repro.models.zoo import build_phonebit_network, micro_cnn_config
+
+        with SharedModelStore() as store:
+            v1 = build_phonebit_network(micro_cnn_config())
+            v1.metadata["release"] = "r1"
+            v2 = build_phonebit_network(micro_cnn_config())
+            v2.metadata["release"] = "r2"
+            handles = [store.publish_version(v1), store.publish_version(v2)]
+            assert handles[0].digest != handles[1].digest
+            payloads = {
+                h.digest: bytes(store.payload_view(h.digest))
+                for h in handles
+            }
+            remotes = {
+                h.digest: ShmModelHandle(model=h.model, shm_name="",
+                                         nbytes=h.nbytes, digest=h.digest)
+                for h in handles
+            }
+            fetch_lock = threading.Lock()
+            fetches = {h.digest: 0 for h in handles}
+            in_flight = threading.Barrier(2, timeout=WAIT_S)
+            start = threading.Barrier(4, timeout=WAIT_S)
+            results = {}
+            errors = []
+            caches = [HostModelCache() for _ in range(4)]
+
+            def worker(slot, digest):
+                try:
+                    def fetch():
+                        with fetch_lock:
+                            fetches[digest] += 1
+                        in_flight.wait()  # both digests fetching at once
+                        return payloads[digest]
+
+                    start.wait()
+                    attached = caches[slot].attach(remotes[digest],
+                                                   fetch=fetch)
+                    try:
+                        results[slot] = attached.network(
+                            synthetic_images((8, 8, 3), 2, seed=7)).data
+                    finally:
+                        attached.close()
+                except BaseException as exc:  # noqa: BLE001 - surfaced below
+                    errors.append((slot, exc))
+
+            threads = [
+                threading.Thread(target=worker,
+                                 args=(slot, handles[slot % 2].digest))
+                for slot in range(4)
+            ]
+            try:
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join(timeout=WAIT_S)
+            finally:
+                for cache in caches:
+                    cache.close()
+            assert not errors, errors
+            # Exactly one transport round trip per digest, despite two
+            # concurrent attachers each.
+            assert fetches == {handles[0].digest: 1, handles[1].digest: 1}
+            # Both attachers of each digest computed identical outputs.
+            assert np.array_equal(results[0], results[2])
+            assert np.array_equal(results[1], results[3])
+
     def test_fetch_digest_mismatch_rejected(self):
         with SharedModelStore() as store:
             handle = self._published(store)

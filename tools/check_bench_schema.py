@@ -47,6 +47,8 @@ OP_REQUIRED_KEYS = {
     "scenario": ("scenario", "seed", "offered", "completed", "shed",
                  "deadline_expired", "failed", "per_class", "digest",
                  "replay_identical", "bit_identical"),
+    "rollout": ("scenario", "seed", "workers", "offered", "completed",
+                "bit_identical"),
 }
 
 #: Fault scenarios a chaos record may name: the fault classes of
@@ -67,6 +69,16 @@ SCENARIO_NAMES = frozenset({
 
 #: SLO classes a scenario record's per_class buckets may use.
 SLO_CLASSES = frozenset({"interactive", "standard", "batch"})
+
+#: Rollout drills a rollout record may name (BENCH_rollout.json) and the
+#: terminal phase each one must land in — a "commit" record that rolled
+#: back (or vice versa) means the drill did not exercise what it claims.
+ROLLOUT_EXPECTED_PHASE = {
+    "commit": "committed",
+    "divergent": "rolled_back",
+    "operator": "rolled_back",
+}
+ROLLOUT_SCENARIOS = frozenset(ROLLOUT_EXPECTED_PHASE) | {"cache_uniformity"}
 
 
 def check_file(path: str) -> list:
@@ -131,7 +143,84 @@ def check_file(path: str) -> list:
                 f"{path}: record {index} {problem}"
                 for problem in _check_scenario_record(record)
             )
+        if record.get("op") == "rollout":
+            problems.extend(
+                f"{path}: record {index} {problem}"
+                for problem in _check_rollout_record(record)
+            )
+    problems.extend(
+        f"{path}: {problem}"
+        for problem in _check_rollout_uniformity(
+            [r for r in records if isinstance(r, dict)
+             and r.get("op") == "rollout"
+             and r.get("scenario") == "cache_uniformity"])
+    )
     return problems
+
+
+def _check_rollout_record(record: dict) -> list:
+    """Rollout-specific rules: known drills, conservation, phase."""
+    problems = []
+    scenario = record.get("scenario")
+    if scenario is not None and scenario not in ROLLOUT_SCENARIOS:
+        problems.append(
+            f"has unknown rollout scenario {scenario!r} "
+            f"(expected one of {sorted(ROLLOUT_SCENARIOS)})"
+        )
+    if record.get("bit_identical") is not True:
+        problems.append(
+            f"({scenario}) is not bit_identical — a rollout record must "
+            "never land with outputs diverged from the stable digest"
+        )
+    if scenario == "cache_uniformity":
+        missing = [key for key in ("hits", "misses") if key not in record]
+        if missing:
+            problems.append(f"(cache_uniformity) is missing "
+                            f"{'/'.join(missing)}")
+        elif "offered" in record:
+            touched = (record.get("hits") or 0) + (record.get("misses") or 0)
+            if touched != record["offered"]:
+                problems.append(
+                    f"(cache_uniformity) hits+misses = {touched} != "
+                    f"offered = {record['offered']} — every request must "
+                    "pass through the cluster-wide cache"
+                )
+        return problems
+    missing = [key for key in ("shed", "failed", "phase") if key not in record]
+    if missing:
+        problems.append(f"({scenario}) is missing {'/'.join(missing)}")
+        return problems
+    accounted = sum(record.get(key, 0) or 0 for key in
+                    ("completed", "shed", "failed"))
+    if "offered" in record and accounted != record["offered"]:
+        problems.append(
+            f"loses requests: completed+shed+failed = {accounted} "
+            f"!= offered = {record['offered']}"
+        )
+    expected = ROLLOUT_EXPECTED_PHASE.get(scenario)
+    if expected and record["phase"] != expected:
+        problems.append(
+            f"({scenario}) landed in phase {record['phase']!r}, "
+            f"expected {expected!r}"
+        )
+    return problems
+
+
+def _check_rollout_uniformity(records: list) -> list:
+    """Cache hit/miss counts must not vary with fleet size."""
+    counts = {}
+    for record in records:
+        key = (record.get("model"), record.get("offered"))
+        counts.setdefault(key, set()).add(
+            (record.get("hits"), record.get("misses")))
+    return [
+        f"cache_uniformity counts for model={model!r} offered={offered} "
+        f"vary with fleet size: {sorted(seen)} — the cluster-wide cache "
+        "must make hit rates routing-independent"
+        for (model, offered), seen in sorted(counts.items(),
+                                             key=lambda kv: str(kv[0]))
+        if len(seen) > 1
+    ]
 
 
 def _check_scenario_record(record: dict) -> list:
